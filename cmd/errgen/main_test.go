@@ -1,0 +1,90 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+)
+
+func writeCleanCSV(t *testing.T) string {
+	t.Helper()
+	csv := "a,b,c\n"
+	for i := 0; i < 60; i++ {
+		k := string(rune('0' + i%5))
+		csv += k + ",f" + k + "," + string(rune('x'+i%2)) + "\n"
+	}
+	path := t.TempDir() + "/clean.csv"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestErrgenCLI(t *testing.T) {
+	in := writeCleanCSV(t)
+	dir := t.TempDir()
+	out := dir + "/dirty.csv"
+	truth := dir + "/truth.csv"
+
+	var sb strings.Builder
+	if err := run(&sb, in, out, truth, []string{"a->b"}, 0.1, 7); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "injected") {
+		t.Errorf("status line missing:\n%s", sb.String())
+	}
+
+	dirty, err := dataset.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := fd.MustParse("a->b", dirty.Schema())
+	if fd.G1(target, dirty) == 0 {
+		t.Fatal("output has no violations")
+	}
+
+	// Truth file: header + one line per change, consistent with the
+	// dirty CSV.
+	data, err := os.ReadFile(truth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if lines[0] != "row,attribute,old,new" {
+		t.Fatalf("truth header = %q", lines[0])
+	}
+	if len(lines) < 2 {
+		t.Fatal("truth file has no changes")
+	}
+}
+
+func TestErrgenCLIErrors(t *testing.T) {
+	in := writeCleanCSV(t)
+	dir := t.TempDir()
+	var sb strings.Builder
+	if err := run(&sb, in, dir+"/o.csv", dir+"/t.csv", []string{"a->nope"}, 0.1, 1); err == nil {
+		t.Error("bad FD spec should error")
+	}
+	if err := run(&sb, dir+"/missing.csv", dir+"/o.csv", dir+"/t.csv", []string{"a->b"}, 0.1, 1); err == nil {
+		t.Error("missing input should error")
+	}
+	if err := run(&sb, in, dir+"/o.csv", dir+"/t.csv", []string{"a->b"}, 2.0, 1); err == nil {
+		t.Error("degree out of range should error")
+	}
+}
+
+func TestFDListFlag(t *testing.T) {
+	var l fdList
+	if err := l.Set("a->b"); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Set("c->d"); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != "a->b, c->d" {
+		t.Fatalf("String = %q", l.String())
+	}
+}

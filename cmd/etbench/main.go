@@ -1,0 +1,208 @@
+// Command etbench regenerates the paper's evaluation tables and figures
+// (§C and Appendix A) as text output.
+//
+// Usage:
+//
+//	etbench [-figure all|1|2|3|4|5|6|7|table3] [-runs N] [-seed S]
+//	        [-participants N] [-rows N] [-summary]
+//
+// Figures 1 and 3-7 print per-iteration series (MAE, or F1 for figure
+// 7) with one column per sampling method; figure 2 and table3 run the
+// simulated user study. With -summary only the per-method convergence
+// and accuracy summaries are printed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exptrain/internal/experiments"
+	"exptrain/internal/userstudy"
+	"exptrain/internal/viz"
+)
+
+func main() {
+	var (
+		figure       = flag.String("figure", "all", "which figure to regenerate: all, 1, 2, 3, 4, 5, 6, 6a (agreement companion), 7 or table3")
+		runs         = flag.Int("runs", 5, "seeded repetitions to average per condition")
+		seed         = flag.Uint64("seed", 1, "base seed")
+		participants = flag.Int("participants", 20, "simulated participants for figure 2 / table 3")
+		rows         = flag.Int("rows", 200, "rows per user-study scenario dataset")
+		summary      = flag.Bool("summary", false, "shorthand for -format summary")
+		format       = flag.String("format", "series", "output format for figure conditions: series, summary, csv or chart")
+	)
+	flag.Parse()
+	if *summary {
+		*format = "summary"
+	}
+
+	if err := run(os.Stdout, *figure, *runs, *seed, *participants, *rows, *format); err != nil {
+		fmt.Fprintln(os.Stderr, "etbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, figure string, runs int, seed uint64, participants, rows int, format string) error {
+	wantStudy := figure == "all" || figure == "2" || figure == "table3"
+	var study *userstudy.Study
+	if wantStudy {
+		var err error
+		study, err = userstudy.Simulate(userstudy.StudyConfig{
+			Participants: participants,
+			Rows:         rows,
+			Seed:         seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	printOne := func(title string, res *experiments.Result, f1 bool) error {
+		fmt.Fprintf(w, "== %s ==\n", title)
+		pick := experiments.MAEOf
+		metric := "MAE"
+		if f1 {
+			pick = experiments.F1Of
+			metric = "F1"
+		}
+		switch format {
+		case "summary":
+			return experiments.WriteSummary(w, res)
+		case "csv":
+			return experiments.WriteSeriesCSV(w, res, pick)
+		case "chart":
+			series := make([]viz.Series, 0, len(res.Methods))
+			for _, m := range res.Methods {
+				series = append(series, viz.Series{Name: m.Method, Values: pick(m)})
+			}
+			return viz.Chart(w, metric+" per iteration", series, viz.ChartConfig{Height: 14})
+		case "series":
+			if f1 {
+				return experiments.WriteF1Table(w, res)
+			}
+			return experiments.WriteMAETable(w, res)
+		default:
+			return fmt.Errorf("unknown format %q (want series, summary, csv or chart)", format)
+		}
+	}
+	printMany := func(title string, results []*experiments.Result, f1 bool) error {
+		for _, res := range results {
+			if err := printOne(fmt.Sprintf("%s — %s", title, res.Config.Dataset), res, f1); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	all := figure == "all"
+	ran := false
+
+	if all || figure == "table3" {
+		ran = true
+		fmt.Fprintln(w, "== Table 3: average f1-score change between labeling rounds ==")
+		if err := userstudy.WriteTable3(w, userstudy.HypothesisDrift(study)); err != nil {
+			return err
+		}
+	}
+	if all || figure == "2" {
+		ran = true
+		fmt.Fprintln(w, "== Figure 2: MRR@5 of learning models per scenario ==")
+		fits, err := userstudy.FitModels(study)
+		if err != nil {
+			return err
+		}
+		if err := userstudy.WriteFigure2(w, fits); err != nil {
+			return err
+		}
+		sums, err := userstudy.Summarize(study)
+		if err != nil {
+			return err
+		}
+		for _, s := range sums {
+			fmt.Fprintf(w, "overall %-18s MRR=%.4f top1=%.2f top2=%.2f (n=%d)\n",
+				s.Model, s.OverallMRR, s.Top1Rate, s.Top2Rate, s.TotalPredictions)
+		}
+	}
+	if all || figure == "1" {
+		ran = true
+		res, err := experiments.Figure1(seed, runs)
+		if err != nil {
+			return err
+		}
+		if err := printOne("Figure 1: MAE, OMDB ≈10%, learner=Data-estimate", res, false); err != nil {
+			return err
+		}
+	}
+	if all || figure == "3" {
+		ran = true
+		res, err := experiments.Figure3(seed, runs)
+		if err != nil {
+			return err
+		}
+		if err := printOne("Figure 3: MAE, OMDB ≈10%, learner=Uniform-0.9", res, false); err != nil {
+			return err
+		}
+	}
+	if all || figure == "4" {
+		ran = true
+		results, err := experiments.Figure4(seed, runs)
+		if err != nil {
+			return err
+		}
+		if err := printMany("Figure 4: MAE ≈20%, learner=Data-estimate", results, false); err != nil {
+			return err
+		}
+	}
+	if all || figure == "5" {
+		ran = true
+		results, err := experiments.Figure5(seed, runs)
+		if err != nil {
+			return err
+		}
+		if err := printMany("Figure 5: MAE ≈20%, learner=Uniform-0.9", results, false); err != nil {
+			return err
+		}
+	}
+	if all || figure == "6" {
+		ran = true
+		results, err := experiments.Figure6(seed, runs)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			title := fmt.Sprintf("Figure 6: MAE, OMDB degree ≈%.0f%%, learner=Uniform-0.9", res.Config.Degree*100)
+			if err := printOne(title, res, false); err != nil {
+				return err
+			}
+		}
+	}
+	if all || figure == "6a" {
+		ran = true
+		results, err := experiments.Figure6Agreement(seed, runs)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			title := fmt.Sprintf("Figure 6 companion: MAE, OMDB degree ≈%.0f%%, priors in agreement", res.Config.Degree*100)
+			if err := printOne(title, res, false); err != nil {
+				return err
+			}
+		}
+	}
+	if all || figure == "7" {
+		ran = true
+		results, err := experiments.Figure7(seed, runs)
+		if err != nil {
+			return err
+		}
+		if err := printMany("Figure 7: detection F1 ≈20%, priors Random/Random", results, true); err != nil {
+			return err
+		}
+	}
+	if !ran {
+		return fmt.Errorf("unknown figure %q (want all, 1-7, 6a or table3)", figure)
+	}
+	return nil
+}

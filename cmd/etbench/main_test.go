@@ -1,0 +1,45 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestEtbenchTable3(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "table3", 1, 1, 3, 80, "summary"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "Table 3") || !strings.Contains(out, "Scenario#") {
+		t.Errorf("Table 3 output wrong:\n%s", out)
+	}
+}
+
+func TestEtbenchFigure2(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "2", 1, 1, 3, 80, "summary"); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Figure 2", "FP", "HypothesisTesting", "overall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Figure 2 output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEtbenchUnknownFigure(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "99", 1, 1, 3, 80, "summary"); err == nil {
+		t.Fatal("unknown figure should error")
+	}
+}
+
+func TestEtbenchFormats(t *testing.T) {
+	// Unknown format errors when a figure condition actually renders.
+	var sb strings.Builder
+	if err := run(&sb, "bogusfigure", 1, 1, 2, 80, "nope"); err == nil {
+		t.Error("unknown figure should error before format matters")
+	}
+}

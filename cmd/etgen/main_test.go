@@ -1,0 +1,42 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+)
+
+func TestEtgen(t *testing.T) {
+	out := t.TempDir() + "/omdb.csv"
+	var sb strings.Builder
+	if err := run(&sb, "OMDB", 120, 3, out, true); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "120 rows") {
+		t.Errorf("status wrong:\n%s", sb.String())
+	}
+	if !strings.Contains(sb.String(), "title,year->genre") {
+		t.Errorf("FD listing missing:\n%s", sb.String())
+	}
+	rel, err := dataset.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.NumRows() != 120 {
+		t.Fatalf("rows = %d", rel.NumRows())
+	}
+	// The ground-truth FDs hold on the written file.
+	f := fd.MustParse("title,year->genre", rel.Schema())
+	if fd.G1(f, rel) != 0 {
+		t.Error("exact FD violated in generated CSV")
+	}
+}
+
+func TestEtgenUnknownDataset(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "nope", 50, 1, t.TempDir()+"/x.csv", false); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}

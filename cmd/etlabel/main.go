@@ -1,0 +1,226 @@
+// Command etlabel is the interactive exploratory-training session: a
+// human annotator labels tuple pairs selected by the learner, and the
+// learner's belief over approximate FDs converges to the annotator's —
+// the system the paper's framework is built for.
+//
+// Each round the learner presents pairs of tuples. For every pair the
+// annotator answers with:
+//
+//	<enter>          the pair looks clean
+//	attr[,attr...]   these attributes' values are erroneous in this pair
+//	a                abstain (not sure)
+//	q                finish the session
+//
+// After every round the tool prints the learner's current top
+// hypotheses with 90% credible intervals. Sessions can be checkpointed
+// and resumed with -save / -resume.
+//
+// Usage:
+//
+//	etlabel -in data.csv [-k 5] [-rounds 10] [-method StochasticUS]
+//	        [-maxlhs 2] [-save session.json] [-resume session.json]
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/game"
+	"exptrain/internal/persist"
+	"exptrain/internal/sampling"
+)
+
+func main() {
+	var (
+		in     = flag.String("in", "", "input CSV file (required)")
+		k      = flag.Int("k", 5, "pairs presented per round")
+		rounds = flag.Int("rounds", 10, "maximum rounds")
+		method = flag.String("method", "StochasticUS", "sampler: Random, US, StochasticBR, StochasticUS, QBC, EpsilonGreedy")
+		maxLHS = flag.Int("maxlhs", 2, "maximum LHS size of the hypothesis space")
+		seed   = flag.Uint64("seed", 1, "session seed")
+		save   = flag.String("save", "", "write a session snapshot here on exit")
+		resume = flag.String("resume", "", "resume from a session snapshot")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	cfg := config{
+		k: *k, rounds: *rounds, method: *method,
+		maxLHS: *maxLHS, seed: *seed, save: *save, resume: *resume,
+	}
+	if err := run(*in, cfg, os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "etlabel:", err)
+		os.Exit(1)
+	}
+}
+
+type config struct {
+	k, rounds, maxLHS int
+	method            string
+	seed              uint64
+	save, resume      string
+}
+
+// run drives the session against the given input/output streams (split
+// out from main so tests can script a session).
+func run(inPath string, cfg config, in io.Reader, out io.Writer) error {
+	rel, err := dataset.ReadCSVFile(inPath)
+	if err != nil {
+		return err
+	}
+	sampler, err := sampling.ByName(cfg.method, sampling.DefaultGamma)
+	if err != nil {
+		return err
+	}
+
+	var session *game.Session
+	if cfg.resume != "" {
+		snap, err := persist.ReadFile(cfg.resume)
+		if err != nil {
+			return err
+		}
+		session, err = game.ResumeSession(snap, game.SessionConfig{
+			Relation: rel, Sampler: sampler, K: cfg.k, Seed: cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed session: %d hypotheses, %d past rounds\n",
+			session.Belief().Size(), session.Rounds())
+	} else {
+		fds, err := fd.Enumerate(fd.SpaceConfig{Arity: rel.Schema().Arity(), MaxLHS: cfg.maxLHS})
+		if err != nil {
+			return err
+		}
+		space, err := fd.NewSpace(fds)
+		if err != nil {
+			return err
+		}
+		session, err = game.NewSession(game.SessionConfig{
+			Relation: rel, Space: space, Sampler: sampler, K: cfg.k, Seed: cfg.seed,
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	names := rel.Schema().Names()
+	reader := bufio.NewScanner(in)
+	fmt.Fprintf(out, "loaded %d rows × %d attributes; hypothesis space: %d FDs; sampler: %s\n",
+		rel.NumRows(), rel.Schema().Arity(), session.Belief().Size(), sampler.Name())
+	fmt.Fprintln(out, "answer per pair: <enter>=clean, attr[,attr]=erroneous cells, a=abstain, q=quit")
+
+	quit := false
+	for round := 0; round < cfg.rounds && !quit; round++ {
+		presented, err := session.Next()
+		if err != nil {
+			return err
+		}
+		if presented == nil {
+			fmt.Fprintln(out, "no fresh pairs left; ending session")
+			break
+		}
+
+		var labeled []belief.Labeling
+		fmt.Fprintf(out, "\n--- round %d ---\n", session.Rounds()+1)
+		for i, p := range presented {
+			printPair(out, rel, names, i+1, p)
+			l, q, err := readLabeling(reader, out, rel.Schema(), p)
+			if err != nil {
+				return err
+			}
+			labeled = append(labeled, l)
+			if q {
+				quit = true
+				break
+			}
+		}
+		if err := session.Submit(labeled); err != nil {
+			return err
+		}
+		printTop(out, session.Belief(), names, 5)
+	}
+
+	if cfg.save != "" {
+		snap, err := session.Snapshot()
+		if err != nil {
+			return err
+		}
+		if err := snap.WriteFile(cfg.save); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "session saved to %s\n", cfg.save)
+	}
+	fmt.Fprintln(out, "\nfinal model (top 5 hypotheses):")
+	printTop(out, session.Belief(), names, 5)
+	return nil
+}
+
+// printPair renders the two tuples side by side with attribute names.
+func printPair(out io.Writer, rel *dataset.Relation, names []string, n int, p dataset.Pair) {
+	fmt.Fprintf(out, "pair %d (rows %d and %d):\n", n, p.A, p.B)
+	for j, name := range names {
+		marker := " "
+		if rel.Value(p.A, j) != rel.Value(p.B, j) {
+			marker = "*"
+		}
+		fmt.Fprintf(out, "  %s %-16s %-24q %-24q\n", marker, name, rel.Value(p.A, j), rel.Value(p.B, j))
+	}
+	fmt.Fprint(out, "violation? ")
+}
+
+// readLabeling parses one annotator answer.
+func readLabeling(reader *bufio.Scanner, out io.Writer, schema *dataset.Schema, p dataset.Pair) (belief.Labeling, bool, error) {
+	for {
+		if !reader.Scan() {
+			// EOF ends the session as if the annotator quit; remaining
+			// pairs in the round count as abstained.
+			return belief.Labeling{Pair: p, Abstained: true}, true, reader.Err()
+		}
+		answer := strings.TrimSpace(reader.Text())
+		switch answer {
+		case "":
+			return belief.Labeling{Pair: p}, false, nil
+		case "a", "A":
+			return belief.Labeling{Pair: p, Abstained: true}, false, nil
+		case "q", "Q":
+			return belief.Labeling{Pair: p, Abstained: true}, true, nil
+		}
+		var marked fd.AttrSet
+		ok := true
+		for _, name := range strings.Split(answer, ",") {
+			name = strings.TrimSpace(name)
+			idx, found := schema.Index(name)
+			if !found {
+				fmt.Fprintf(out, "unknown attribute %q; try again: ", name)
+				ok = false
+				break
+			}
+			marked = marked.Add(idx)
+		}
+		if ok {
+			return belief.Labeling{Pair: p, Marked: marked}, false, nil
+		}
+	}
+}
+
+// printTop renders the learner's current leading hypotheses with 90%
+// credible intervals.
+func printTop(out io.Writer, b *belief.Belief, names []string, k int) {
+	fmt.Fprintln(out, "current top hypotheses:")
+	for rank, i := range b.TopK(k) {
+		f := b.Space().FD(i)
+		lo, hi := b.CredibleInterval(i, 0.9)
+		fmt.Fprintf(out, "  %d. %-30s confidence %.3f (90%% CI %.3f-%.3f)\n",
+			rank+1, f.Render(names), b.Confidence(i), lo, hi)
+	}
+}

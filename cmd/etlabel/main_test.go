@@ -1,0 +1,137 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+const testCSV = `Player,Team,City
+Carter,Lakers,L.A.
+Jordan,Lakers,Chicago
+Smith,Bulls,Chicago
+Black,Bulls,Chicago
+Miller,Clippers,L.A.
+Davis,Lakers,L.A.
+Stone,Bulls,Chicago
+`
+
+func writeCSV(t *testing.T) string {
+	t.Helper()
+	path := t.TempDir() + "/data.csv"
+	if err := os.WriteFile(path, []byte(testCSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestScriptedSession(t *testing.T) {
+	path := writeCSV(t)
+	// Answer: first pair clean, second marked on City, third abstain,
+	// then quit.
+	input := "\nCity\na\nq\n"
+	var out strings.Builder
+	err := run(path, config{
+		k: 4, rounds: 3, maxLHS: 1, method: "Random", seed: 1,
+	}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"round 1", "current top hypotheses", "final model"} {
+		if !strings.Contains(text, want) {
+			t.Errorf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestSessionEOFEndsCleanly(t *testing.T) {
+	path := writeCSV(t)
+	var out strings.Builder
+	err := run(path, config{
+		k: 3, rounds: 5, maxLHS: 1, method: "Random", seed: 2,
+	}, strings.NewReader(""), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "final model") {
+		t.Error("EOF session did not reach the final model")
+	}
+}
+
+func TestUnknownAttributeRetries(t *testing.T) {
+	path := writeCSV(t)
+	input := "Nope\nCity\nq\n"
+	var out strings.Builder
+	err := run(path, config{
+		k: 2, rounds: 1, maxLHS: 1, method: "Random", seed: 3,
+	}, strings.NewReader(input), &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), `unknown attribute "Nope"`) {
+		t.Errorf("missing retry prompt:\n%s", out.String())
+	}
+}
+
+func TestSaveAndResume(t *testing.T) {
+	path := writeCSV(t)
+	snapPath := t.TempDir() + "/session.json"
+
+	var out1 strings.Builder
+	err := run(path, config{
+		k: 2, rounds: 1, maxLHS: 1, method: "Random", seed: 4, save: snapPath,
+	}, strings.NewReader("\n\n"), &out1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out1.String(), "session saved") {
+		t.Fatalf("snapshot not written:\n%s", out1.String())
+	}
+
+	var out2 strings.Builder
+	err = run(path, config{
+		k: 2, rounds: 1, maxLHS: 1, method: "Random", seed: 4, resume: snapPath,
+	}, strings.NewReader("q\n"), &out2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out2.String(), "resumed session") {
+		t.Fatalf("resume banner missing:\n%s", out2.String())
+	}
+}
+
+func TestResumeSchemaMismatch(t *testing.T) {
+	path := writeCSV(t)
+	snapPath := t.TempDir() + "/session.json"
+	var out strings.Builder
+	if err := run(path, config{
+		k: 1, rounds: 1, maxLHS: 1, method: "Random", seed: 5, save: snapPath,
+	}, strings.NewReader("\n"), &out); err != nil {
+		t.Fatal(err)
+	}
+
+	otherPath := t.TempDir() + "/other.csv"
+	if err := os.WriteFile(otherPath, []byte("x,y\n1,2\n3,4\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	err := run(otherPath, config{
+		k: 1, rounds: 1, maxLHS: 1, method: "Random", seed: 5, resume: snapPath,
+	}, strings.NewReader("q\n"), &out)
+	if err == nil {
+		t.Fatal("resuming against a different schema should error")
+	}
+}
+
+func TestBadMethodAndMissingFile(t *testing.T) {
+	path := writeCSV(t)
+	var out strings.Builder
+	if err := run(path, config{k: 1, rounds: 1, maxLHS: 1, method: "bogus", seed: 1},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("unknown sampler should error")
+	}
+	if err := run(path+".missing", config{k: 1, rounds: 1, maxLHS: 1, method: "Random", seed: 1},
+		strings.NewReader(""), &out); err == nil {
+		t.Error("missing file should error")
+	}
+}

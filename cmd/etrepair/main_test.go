@@ -1,0 +1,84 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/errgen"
+	"exptrain/internal/fd"
+)
+
+func buildDirtyCSV(t *testing.T) (string, *errgen.Result, fd.FD) {
+	t.Helper()
+	clean := dataset.New(dataset.MustSchema("a", "b", "c"))
+	for i := 0; i < 150; i++ {
+		k := string(rune('0' + i%8))
+		// b is a non-injective function of a (two a-values share each
+		// b-value), so only a→b is discovered, not its inverse.
+		clean.MustAppend(dataset.Tuple{k, "f" + string(rune('0'+(i%8)/2)), string(rune('x' + i%3))})
+	}
+	target := fd.MustNew(fd.NewAttrSet(0), 1)
+	res, err := errgen.InjectDegree(clean, errgen.DegreeConfig{
+		FDs: []fd.FD{target}, Degree: 0.05, Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/dirty.csv"
+	if err := res.Rel.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	return path, res, target
+}
+
+func TestRepairPipeline(t *testing.T) {
+	in, ground, target := buildDirtyCSV(t)
+	dir := t.TempDir()
+	out := dir + "/repaired.csv"
+	report := dir + "/report.csv"
+
+	if err := run(in, out, report, 0.02, 1, 0.85, 30); err != nil {
+		t.Fatal(err)
+	}
+	repaired, err := dataset.ReadCSVFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The repaired data satisfies the planted FD better than the dirty
+	// data; with isolated errors it should be exactly repaired.
+	dirty, err := dataset.ReadCSVFile(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fd.G1(target, repaired) >= fd.G1(target, dirty) {
+		t.Fatalf("repair did not improve g1: %v → %v",
+			fd.G1(target, dirty), fd.G1(target, repaired))
+	}
+	// Every corrupted cell should be restored to its original value.
+	restored := 0
+	for _, ch := range ground.Log {
+		if repaired.Value(ch.Row, ch.Attr) == ch.Old {
+			restored++
+		}
+	}
+	if restored < len(ground.Log)*8/10 {
+		t.Errorf("restored only %d/%d corrupted cells", restored, len(ground.Log))
+	}
+	// Report exists and has a header plus rows.
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "row,attribute,old,new,confidence,source_fd") {
+		t.Errorf("report header wrong: %q", strings.SplitN(string(data), "\n", 2)[0])
+	}
+}
+
+func TestRepairPipelineErrors(t *testing.T) {
+	dir := t.TempDir()
+	if err := run(dir+"/missing.csv", dir+"/out.csv", dir+"/r.csv", 0.02, 1, 0.85, 30); err == nil {
+		t.Fatal("missing input should error")
+	}
+}

@@ -1,0 +1,65 @@
+// Command fddiscover finds approximate functional dependencies in a CSV
+// file: all minimal, nontrivial, normalized FDs whose scaled g₁ measure
+// is at most the threshold.
+//
+// Usage:
+//
+//	fddiscover -in data.csv [-maxg1 0.05] [-maxlhs 3]
+//
+// Output is one FD per line with its g₁ measure and pair-conditional
+// confidence, sorted by the lattice's canonical order.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+)
+
+func main() {
+	var (
+		in         = flag.String("in", "", "input CSV file with a header row (required)")
+		maxG1      = flag.Float64("maxg1", 0.05, "g1 threshold: report FDs with at most this violation measure")
+		maxLHS     = flag.Int("maxlhs", 3, "maximum LHS attributes to explore")
+		minConf    = flag.Float64("minconf", 0, "minimum pair-conditional confidence (0 disables)")
+		minSupport = flag.Int("minsupport", 0, "minimum LHS-agreeing pairs (0 disables)")
+	)
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+	if err := run(os.Stdout, *in, *maxG1, *maxLHS, *minConf, *minSupport); err != nil {
+		fmt.Fprintln(os.Stderr, "fddiscover:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, in string, maxG1 float64, maxLHS int, minConf float64, minSupport int) error {
+	rel, err := dataset.ReadCSVFile(in)
+	if err != nil {
+		return err
+	}
+	found, err := fd.Discover(rel, fd.DiscoveryConfig{
+		MaxG1:         maxG1,
+		MaxLHS:        maxLHS,
+		MinConfidence: minConf,
+		MinSupport:    minSupport,
+	})
+	if err != nil {
+		return err
+	}
+	names := rel.Schema().Names()
+	fmt.Fprintf(w, "# %d rows, %d attributes, %d approximate FDs at g1 <= %v\n",
+		rel.NumRows(), rel.Schema().Arity(), len(found), maxG1)
+	for _, f := range found {
+		st := fd.ComputeStats(f, rel)
+		fmt.Fprintf(w, "%-40s g1=%.6f confidence=%.4f violations=%d\n",
+			f.Render(names), st.G1(), st.Confidence(), st.Violating)
+	}
+	return nil
+}

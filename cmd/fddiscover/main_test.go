@@ -1,0 +1,59 @@
+package main
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestDiscoverCLI(t *testing.T) {
+	csv := "a,b,c\n"
+	for i := 0; i < 40; i++ {
+		k := string(rune('0' + i%4))
+		csv += k + ",f" + k + "," + string(rune('x'+i%3)) + "\n"
+	}
+	path := t.TempDir() + "/data.csv"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(&sb, path, 0, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "a->b") {
+		t.Errorf("a→b not discovered:\n%s", out)
+	}
+	if !strings.Contains(out, "40 rows, 3 attributes") {
+		t.Errorf("header wrong:\n%s", out)
+	}
+}
+
+func TestDiscoverCLIConfidenceFloor(t *testing.T) {
+	csv := "a,b\n"
+	for i := 0; i < 30; i++ {
+		// b is random relative to a at ~50% compliance within groups.
+		csv += string(rune('0'+i%3)) + "," + string(rune('x'+i%2)) + "\n"
+	}
+	path := t.TempDir() + "/low.csv"
+	if err := os.WriteFile(path, []byte(csv), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var loose, strict strings.Builder
+	if err := run(&loose, path, 1, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(&strict, path, 1, 1, 0.95, 0); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(strict.String(), "->") >= strings.Count(loose.String(), "->") {
+		t.Error("confidence floor did not filter anything")
+	}
+}
+
+func TestDiscoverCLIMissingFile(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, t.TempDir()+"/missing.csv", 0.05, 2, 0, 0); err == nil {
+		t.Fatal("missing file should error")
+	}
+}

@@ -1,0 +1,103 @@
+// Command userstudy runs the simulated user study of Appendix A and
+// prints its two analyses: Table 3 (per-scenario hypothesis drift) and
+// Figure 2 (MRR@5 of the candidate human-learning models), plus the
+// scenario definitions of Table 2 with -scenarios.
+//
+// Usage:
+//
+//	userstudy [-participants 20] [-rows 200] [-seed 1] [-scenarios]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"exptrain/internal/fd"
+	"exptrain/internal/userstudy"
+)
+
+func main() {
+	var (
+		participants  = flag.Int("participants", 20, "number of simulated participants")
+		rows          = flag.Int("rows", 200, "rows per scenario dataset")
+		seed          = flag.Uint64("seed", 1, "simulation seed")
+		showScenarios = flag.Bool("scenarios", false, "also print the Table 2 scenario definitions")
+	)
+	flag.Parse()
+	if err := run(os.Stdout, *participants, *rows, *seed, *showScenarios); err != nil {
+		fmt.Fprintln(os.Stderr, "userstudy:", err)
+		os.Exit(1)
+	}
+}
+
+func run(w io.Writer, participants, rows int, seed uint64, showScenarios bool) error {
+	study, err := userstudy.Simulate(userstudy.StudyConfig{
+		Participants: participants,
+		Rows:         rows,
+		Seed:         seed,
+	})
+	if err != nil {
+		return err
+	}
+
+	if showScenarios {
+		fmt.Fprintln(w, "== Table 2: scenarios ==")
+		for _, sc := range study.Scenarios {
+			names := sc.Rel.Schema().Names()
+			fmt.Fprintf(w, "scenario %d (%s): attributes %v\n", sc.ID, sc.Domain, names)
+			for _, f := range sc.Target {
+				fmt.Fprintf(w, "  target:      %s (g1=%.4f)\n", f.Render(names), fd.G1(f, sc.Rel))
+			}
+			for _, f := range sc.Alternatives {
+				fmt.Fprintf(w, "  alternative: %s (g1=%.4f)\n", f.Render(names), fd.G1(f, sc.Rel))
+			}
+		}
+	}
+
+	fmt.Fprintln(w, "== Table 3: average f1-score change between labeling rounds ==")
+	if err := userstudy.WriteTable3(w, userstudy.HypothesisDrift(study)); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "== Figure 2: MRR@5 per scenario (exact and \"+\" variants) ==")
+	fits, err := userstudy.FitModels(study)
+	if err != nil {
+		return err
+	}
+	if err := userstudy.WriteFigure2(w, fits); err != nil {
+		return err
+	}
+
+	sums, err := userstudy.Summarize(study)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "== Overall ==")
+	for _, s := range sums {
+		fmt.Fprintf(w, "%-18s MRR=%.4f top1=%.2f top2=%.2f (n=%d)\n",
+			s.Model, s.OverallMRR, s.Top1Rate, s.Top2Rate, s.TotalPredictions)
+	}
+
+	perP, err := userstudy.FitByParticipant(study)
+	if err != nil {
+		return err
+	}
+	wins := 0
+	for _, f := range perP {
+		if f.FPWins() {
+			wins++
+		}
+	}
+	fmt.Fprintf(w, "== Per participant ==\nFP fits better for %d of %d participants\n", wins, len(perP))
+	for _, f := range perP {
+		marker := "FP"
+		if !f.FPWins() {
+			marker = "HT"
+		}
+		fmt.Fprintf(w, "  participant %2d (%-7s): FP %.3f vs HT %.3f → %s\n",
+			f.ParticipantID, f.Kind, f.FPMRR, f.HTMRR, marker)
+	}
+	return nil
+}

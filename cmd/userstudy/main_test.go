@@ -1,0 +1,32 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestUserstudyCLI(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 3, 80, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"Table 2", "scenario 1 (Airport)", "target:",
+		"Table 3", "Figure 2", "Overall", "Per participant",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestUserstudyCLIWithoutScenarios(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, 2, 80, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb.String(), "Table 2") {
+		t.Error("scenario dump printed without -scenarios")
+	}
+}

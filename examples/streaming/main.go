@@ -1,0 +1,86 @@
+// Streaming: monitor approximate FDs over evolving data.
+//
+// The paper's introduction notes that annotators must keep re-learning
+// when data evolves rapidly. This example shows the substrate for that
+// setting: an incremental tracker maintains every hypothesis' violation
+// statistics under single-cell updates in microseconds, where a naive
+// recomputation would rescan the relation each time.
+//
+// The program simulates a feed of cell updates against a Tax-like
+// relation — most updates benign, some corrupting — and alerts whenever
+// a dependency's conditional violation rate crosses a threshold.
+//
+// Run with:
+//
+//	go run ./examples/streaming
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"exptrain"
+	"exptrain/internal/stats"
+)
+
+func main() {
+	ds, err := exptrain.GenerateDataset("Tax", 400, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel := ds.Rel
+	names := rel.Schema().Names()
+	tracked := ds.ExactFDs
+	monitor := exptrain.NewFDMultiTracker(tracked, rel)
+
+	fmt.Println("monitoring dependencies:")
+	for i, f := range tracked {
+		st := monitor.Stats(i)
+		fmt.Printf("  %-28s violation rate %.4f (%d agreeing pairs)\n",
+			f.Render(names), rate(st), st.Agreeing)
+	}
+
+	// A stream of 2000 updates: 95% rewrite a cell with a value that
+	// keeps the dependencies intact (copy from a same-group row), 5%
+	// scramble a zip-dependent cell.
+	rng := stats.NewRNG(42)
+	const threshold = 0.02
+	alerted := map[int]bool{}
+	corruptions := 0
+	for step := 1; step <= 2000; step++ {
+		row := rng.Intn(rel.NumRows())
+		if rng.Float64() < 0.05 {
+			// Corruption: break zip→city by writing a random other city.
+			city := rel.Schema().MustIndex("city")
+			monitor.Set(row, city, fmt.Sprintf("CITY-%d", rng.Intn(50)))
+			corruptions++
+		} else {
+			// Benign churn on an independent attribute.
+			salary := rel.Schema().MustIndex("salary")
+			monitor.Set(row, salary, fmt.Sprint(20000+5000*rng.Intn(17)))
+		}
+		for i, f := range tracked {
+			r := rate(monitor.Stats(i))
+			if r > threshold && !alerted[i] {
+				alerted[i] = true
+				fmt.Printf("step %4d: ALERT %-28s violation rate %.4f crossed %.2f (after %d corruptions)\n",
+					step, f.Render(names), r, threshold, corruptions)
+			}
+		}
+	}
+
+	fmt.Printf("\nafter 2000 updates (%d corruptions):\n", corruptions)
+	for i, f := range tracked {
+		st := monitor.Stats(i)
+		fmt.Printf("  %-28s violation rate %.4f\n", f.Render(names), rate(st))
+	}
+	fmt.Println("\nzip->city degraded; the other dependencies stayed clean —")
+	fmt.Println("exactly the signal an exploratory-training session would relearn from.")
+}
+
+func rate(st exptrain.FDStats) float64 {
+	if st.Agreeing == 0 {
+		return 0
+	}
+	return float64(st.Violating) / float64(st.Agreeing)
+}

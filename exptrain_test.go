@@ -1,0 +1,182 @@
+package exptrain
+
+import (
+	"math"
+	"os"
+	"strings"
+	"testing"
+)
+
+// table1CSV is the paper's Table 1 instance in CSV form.
+const table1CSV = `Player,Team,City,Role,Apps
+Carter,Lakers,L.A.,C,4
+Jordan,Lakers,Chicago,PF,4
+Smith,Bulls,Chicago,PF,4
+Black,Bulls,Chicago,C,3
+Miller,Clippers,L.A.,PG,3
+`
+
+func table1(t *testing.T) *Relation {
+	t.Helper()
+	path := t.TempDir() + "/table1.csv"
+	if err := os.WriteFile(path, []byte(table1CSV), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	rel, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestFacadePaperExample(t *testing.T) {
+	rel := table1(t)
+	f, err := ParseFD("Team->City", rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := G1(f, rel); math.Abs(got-0.04) > 1e-12 {
+		t.Fatalf("g1 = %v, want 0.04 (Example 1)", got)
+	}
+}
+
+func TestFacadeGenerateAndInject(t *testing.T) {
+	ds, err := GenerateDataset("Tax", 150, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Rel.NumRows() != 150 {
+		t.Fatalf("rows = %d", ds.Rel.NumRows())
+	}
+	injected, err := InjectErrors(ds.Rel, ds.ExactFDs, 0.1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(injected.DirtyRows) == 0 {
+		t.Fatal("no errors injected")
+	}
+	if _, err := GenerateDataset("nope", 10, 1); err == nil {
+		t.Fatal("unknown dataset should error")
+	}
+}
+
+func TestFacadeDiscoverAndDetect(t *testing.T) {
+	ds, err := GenerateDataset("Hospital", 200, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := InjectErrors(ds.Rel, ds.ExactFDs, 0.05, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found, err := Discover(injected.Rel, DiscoveryConfig{
+		MaxG1: 0.02, MaxLHS: 1, MinConfidence: 0.85, MinSupport: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(found) == 0 {
+		t.Fatal("discovery found nothing")
+	}
+	flagged := DetectErrors(found, injected.Rel)
+	tp := 0
+	for r := range flagged {
+		if _, bad := injected.DirtyRows[r]; bad {
+			tp++
+		}
+	}
+	if len(flagged) == 0 || tp == 0 {
+		t.Fatalf("detection useless: flagged=%d tp=%d", len(flagged), tp)
+	}
+}
+
+func TestRunSessionDefaults(t *testing.T) {
+	ds, err := GenerateDataset("OMDB", 180, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	injected, err := InjectErrors(ds.Rel, ds.ExactFDs, 0.1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunSession(SessionConfig{
+		Relation:   injected.Rel,
+		Space:      ds.Space(3, 38),
+		Iterations: 15,
+		Seed:       6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) != 15 {
+		t.Fatalf("iterations = %d", len(res.Iterations))
+	}
+	if res.FinalMAE() >= res.Iterations[0].MAE {
+		t.Fatalf("session did not converge: %v → %v", res.Iterations[0].MAE, res.FinalMAE())
+	}
+}
+
+func TestRunSessionValidation(t *testing.T) {
+	if _, err := RunSession(SessionConfig{}); err == nil {
+		t.Fatal("nil relation should error")
+	}
+	rel := table1(t)
+	if _, err := RunSession(SessionConfig{Relation: rel, Method: "bogus"}); err == nil {
+		t.Fatal("unknown method should error")
+	}
+	// Nil space enumerates a default one.
+	res, err := RunSession(SessionConfig{Relation: rel, Iterations: 2, K: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Iterations) == 0 {
+		t.Fatal("no iterations ran")
+	}
+}
+
+func TestRunExperimentFacade(t *testing.T) {
+	res, err := RunExperiment(ExperimentConfig{
+		Dataset:      "OMDB",
+		Rows:         120,
+		Degree:       0.1,
+		TrainerPrior: PriorSpec{Kind: PriorRandom},
+		LearnerPrior: PriorSpec{Kind: PriorDataEstimate},
+		Runs:         1,
+		Iterations:   5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Methods) != 4 {
+		t.Fatalf("methods = %d", len(res.Methods))
+	}
+}
+
+func TestSimulateStudyFacade(t *testing.T) {
+	study, err := SimulateStudy(StudyConfig{Participants: 2, Rows: 80, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(study.Trajectories) != 10 {
+		t.Fatalf("trajectories = %d", len(study.Trajectories))
+	}
+}
+
+func TestDefaultGammaMatchesPaper(t *testing.T) {
+	if DefaultGamma != 0.5 {
+		t.Fatalf("DefaultGamma = %v, want 0.5 (§C.1)", DefaultGamma)
+	}
+}
+
+func TestSchemaHelper(t *testing.T) {
+	s, err := NewSchema("a", "b")
+	if err != nil || s.Arity() != 2 {
+		t.Fatalf("NewSchema: %v", err)
+	}
+	if _, err := NewSchema(); err == nil {
+		t.Fatal("empty schema should error")
+	}
+	if !strings.Contains(strings.Join(s.Names(), ","), "a") {
+		t.Fatal("Names missing attribute")
+	}
+}

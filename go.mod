@@ -1,0 +1,3 @@
+module exptrain
+
+go 1.22

@@ -1,0 +1,92 @@
+package agents
+
+import (
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/sampling"
+	"exptrain/internal/stats"
+)
+
+// Learner is the active-learning side of the game: a Bayesian (FP)
+// prediction model over the hypothesis space plus a pluggable response
+// strategy. Each interaction the game calls Present (response model
+// R^L: pick examples under the current belief) and then Incorporate
+// (prediction model P^L: update the belief from the trainer's labels).
+type Learner struct {
+	belief  *belief.Belief
+	sampler sampling.Sampler
+	rng     *stats.RNG
+	// ForgetRate, when in (0, 1), geometrically discounts the belief's
+	// accumulated evidence before each update — discounted fictitious
+	// play, which tracks a drifting annotator more closely than plain
+	// averaging (Young 2004). Zero disables forgetting.
+	ForgetRate float64
+	// history remembers the last labeling incorporated for each pair so
+	// that revisions (an annotator correcting an earlier label, Yan et
+	// al. 2016) can reverse the old evidence exactly.
+	history map[dataset.Pair]belief.Labeling
+}
+
+// NewLearner assembles a learner from its prior belief, response
+// strategy and RNG.
+func NewLearner(prior *belief.Belief, sampler sampling.Sampler, rng *stats.RNG) *Learner {
+	return &Learner{
+		belief:  prior,
+		sampler: sampler,
+		rng:     rng,
+		history: make(map[dataset.Pair]belief.Labeling),
+	}
+}
+
+// Name identifies the learner by its response strategy, matching the
+// paper's method names.
+func (l *Learner) Name() string { return l.sampler.Name() }
+
+// Present implements the response model: select k pairs from the pool
+// under the current belief.
+func (l *Learner) Present(rel *dataset.Relation, pool []dataset.Pair, k int) []dataset.Pair {
+	return l.sampler.Select(rel, pool, l.belief, k, l.rng)
+}
+
+// Incorporate implements the prediction model: Bayesian/FP update from
+// the trainer's cell-level annotations. With a ForgetRate set, the
+// existing evidence is discounted first.
+func (l *Learner) Incorporate(rel *dataset.Relation, labeled []belief.Labeling) {
+	if len(labeled) == 0 {
+		return
+	}
+	if l.ForgetRate > 0 && l.ForgetRate < 1 {
+		l.belief.Decay(1 - l.ForgetRate)
+	}
+	l.belief.UpdateFromLabelings(rel, labeled, 1)
+	for _, lp := range labeled {
+		l.history[lp.Pair] = lp
+	}
+}
+
+// Revise handles an annotator correcting earlier labels (the relabeling
+// setting of Yan et al. 2016): for each revised pair the previous
+// labeling's evidence is reversed exactly — the conjugate update is
+// additive, so subtraction undoes it — and the new labeling is applied.
+// Pairs never labeled before are incorporated normally.
+func (l *Learner) Revise(rel *dataset.Relation, revised []belief.Labeling) {
+	for _, lp := range revised {
+		if old, ok := l.history[lp.Pair]; ok {
+			if old == lp {
+				continue
+			}
+			l.belief.RemoveLabelings(rel, []belief.Labeling{old}, 1)
+		}
+		l.belief.UpdateFromLabelings(rel, []belief.Labeling{lp}, 1)
+		l.history[lp.Pair] = lp
+	}
+}
+
+// LabelHistory returns the learner's last-seen labeling for a pair.
+func (l *Learner) LabelHistory(p dataset.Pair) (belief.Labeling, bool) {
+	lp, ok := l.history[p]
+	return lp, ok
+}
+
+// Belief exposes the learner's current belief.
+func (l *Learner) Belief() *belief.Belief { return l.belief }

@@ -1,0 +1,129 @@
+package agents
+
+import (
+	"sort"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+)
+
+// AbstainingTrainer wraps another trainer and abstains from labeling
+// pairs it is too uncertain about — the weak-annotator setting of the
+// related work (Zhang & Chaudhuri 2015): rather than guessing, the
+// annotator declines, and abstained labelings carry no evidence.
+type AbstainingTrainer struct {
+	// Inner produces the underlying labelings.
+	Inner Trainer
+	// Margin is the half-width of the abstention band around 1/2: the
+	// trainer abstains when its dirty-probability for the pair lies in
+	// (1/2 − Margin, 1/2 + Margin). Zero never abstains.
+	Margin float64
+}
+
+// NewAbstainingTrainer wraps inner with the given abstention margin.
+func NewAbstainingTrainer(inner Trainer, margin float64) *AbstainingTrainer {
+	return &AbstainingTrainer{Inner: inner, Margin: margin}
+}
+
+// Name implements Trainer.
+func (t *AbstainingTrainer) Name() string { return t.Inner.Name() + "+Abstain" }
+
+// Observe implements Trainer.
+func (t *AbstainingTrainer) Observe(rel *dataset.Relation, pairs []dataset.Pair) {
+	t.Inner.Observe(rel, pairs)
+}
+
+// Label implements Trainer: delegate, then blank out labelings whose
+// dirty probability falls inside the uncertainty band.
+func (t *AbstainingTrainer) Label(rel *dataset.Relation, pairs []dataset.Pair) []belief.Labeling {
+	out := t.Inner.Label(rel, pairs)
+	if t.Margin <= 0 {
+		return out
+	}
+	b := t.Inner.Belief()
+	for i := range out {
+		pd := b.PDirty(rel, out[i].Pair)
+		if pd > 0.5-t.Margin && pd < 0.5+t.Margin {
+			out[i] = belief.Labeling{Pair: out[i].Pair, Abstained: true}
+		}
+	}
+	return out
+}
+
+// Belief implements Trainer.
+func (t *AbstainingTrainer) Belief() *belief.Belief { return t.Inner.Belief() }
+
+// Relabeler is a trainer that, after its belief changes, can revise
+// labels it issued earlier (the relabeling setting of Yan et al. 2016).
+// The game loop, when it detects this capability, forwards revisions to
+// the learner's Revise method.
+type Relabeler interface {
+	Trainer
+	// Revisions returns corrected labelings for previously labeled
+	// pairs whose best-response label changed under the trainer's
+	// current belief. Each pair is reported at most once per call.
+	Revisions(rel *dataset.Relation) []belief.Labeling
+}
+
+// RelabelingTrainer is an FPTrainer that remembers what it labeled and
+// re-issues corrected labelings as its belief evolves.
+type RelabelingTrainer struct {
+	*FPTrainer
+	issued map[dataset.Pair]belief.Labeling
+	// MaxRevisionsPerRound bounds how many corrections the annotator is
+	// willing to make per interaction (humans revisit only a few
+	// earlier judgments); 0 means 3.
+	MaxRevisionsPerRound int
+}
+
+// NewRelabelingTrainer wraps a fictitious-play trainer with relabeling.
+func NewRelabelingTrainer(inner *FPTrainer) *RelabelingTrainer {
+	return &RelabelingTrainer{
+		FPTrainer: inner,
+		issued:    make(map[dataset.Pair]belief.Labeling),
+	}
+}
+
+// Name implements Trainer.
+func (t *RelabelingTrainer) Name() string { return "FP+Relabel" }
+
+// Label implements Trainer, recording what was issued.
+func (t *RelabelingTrainer) Label(rel *dataset.Relation, pairs []dataset.Pair) []belief.Labeling {
+	out := t.FPTrainer.Label(rel, pairs)
+	for _, lp := range out {
+		t.issued[lp.Pair] = lp
+	}
+	return out
+}
+
+// Revisions implements Relabeler: re-run the best-response marking over
+// previously labeled pairs and report those whose labeling changed,
+// most recent belief first, capped at MaxRevisionsPerRound.
+func (t *RelabelingTrainer) Revisions(rel *dataset.Relation) []belief.Labeling {
+	cap := t.MaxRevisionsPerRound
+	if cap <= 0 {
+		cap = 3
+	}
+	pairs := make([]dataset.Pair, 0, len(t.issued))
+	for p := range t.issued {
+		pairs = append(pairs, p)
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	fresh := t.Belief().MarkPairs(rel, pairs, 0.5)
+	var out []belief.Labeling
+	for _, lp := range fresh {
+		if len(out) == cap {
+			break
+		}
+		if old := t.issued[lp.Pair]; old != lp {
+			t.issued[lp.Pair] = lp
+			out = append(out, lp)
+		}
+	}
+	return out
+}

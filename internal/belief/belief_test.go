@@ -1,0 +1,320 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// table1 is the paper's Table 1 instance.
+func table1() *dataset.Relation {
+	rel := dataset.New(dataset.MustSchema("Player", "Team", "City", "Role", "Apps"))
+	for _, row := range [][]string{
+		{"Carter", "Lakers", "L.A.", "C", "4"},
+		{"Jordan", "Lakers", "Chicago", "PF", "4"},
+		{"Smith", "Bulls", "Chicago", "PF", "4"},
+		{"Black", "Bulls", "Chicago", "C", "3"},
+		{"Miller", "Clippers", "L.A.", "PG", "3"},
+	} {
+		rel.MustAppend(dataset.Tuple(row))
+	}
+	return rel
+}
+
+func smallSpace() *fd.Space {
+	// Hypotheses over Team(1), City(2), Role(3): six single-LHS FDs.
+	return fd.MustNewSpace(fd.MustEnumerate(fd.SpaceConfig{
+		Arity: 5, MaxLHS: 1, Attrs: []int{1, 2, 3},
+	}))
+}
+
+func uniformBeta() stats.Beta { return stats.NewBeta(1, 1) }
+
+func TestNewBeliefUniform(t *testing.T) {
+	s := smallSpace()
+	b := New(s, uniformBeta())
+	if b.Size() != s.Size() {
+		t.Fatalf("Size = %d, want %d", b.Size(), s.Size())
+	}
+	for i := 0; i < b.Size(); i++ {
+		if b.Confidence(i) != 0.5 {
+			t.Fatalf("prior confidence %v, want 0.5", b.Confidence(i))
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	b := New(smallSpace(), uniformBeta())
+	c := b.Clone()
+	c.SetDist(0, stats.NewBeta(10, 1))
+	if b.Confidence(0) != 0.5 {
+		t.Fatal("Clone shares distribution storage")
+	}
+}
+
+func TestMAEIdenticalIsZero(t *testing.T) {
+	b := New(smallSpace(), uniformBeta())
+	if got := b.MAE(b.Clone()); got != 0 {
+		t.Fatalf("MAE of identical beliefs = %v", got)
+	}
+}
+
+func TestMAEKnownValue(t *testing.T) {
+	s := smallSpace()
+	a := New(s, stats.NewBeta(1, 1)) // all 0.5
+	b := New(s, stats.NewBeta(3, 1)) // all 0.75
+	if got := a.MAE(b); math.Abs(got-0.25) > 1e-12 {
+		t.Fatalf("MAE = %v, want 0.25", got)
+	}
+}
+
+// TestDirtyProbabilityPaperExample reproduces Example 2: with the FD
+// Team→City at g₁-style measure m = 0.04 (confidence 0.96), the
+// violating pair (t1, t2) is dirty with probability 0.96.
+func TestDirtyProbabilityPaperExample(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.NewBeta(1e-9, 1)) // everything ≈ 0
+	teamCity := fd.MustParse("Team->City", rel.Schema())
+	idx, ok := s.Index(teamCity)
+	if !ok {
+		t.Fatal("Team->City not in space")
+	}
+	b.SetDist(idx, stats.MustBetaFromMoments(0.96, 0.01))
+	p := b.PDirty(rel, dataset.NewPair(0, 1))
+	if math.Abs(p-0.96) > 1e-9 {
+		t.Fatalf("PDirty(t1,t2) = %v, want 0.96", p)
+	}
+	// The compliant pair (t3, t4) violates nothing believed: PDirty far
+	// below the violating pair's.
+	if q := b.PDirty(rel, dataset.NewPair(2, 3)); q >= 0.5 {
+		t.Fatalf("PDirty(t3,t4) = %v, want < 0.5", q)
+	}
+}
+
+func TestPredictLabelThreshold(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.NewBeta(1e-9, 1))
+	teamCity := fd.MustParse("Team->City", rel.Schema())
+	idx, _ := s.Index(teamCity)
+
+	b.SetDist(idx, stats.MustBetaFromMoments(0.9, 0.05))
+	if got := b.PredictLabel(rel, dataset.NewPair(0, 1)); got != Dirty {
+		t.Fatalf("high-confidence violation labeled %v", got)
+	}
+	b.SetDist(idx, stats.MustBetaFromMoments(0.1, 0.05))
+	if got := b.PredictLabel(rel, dataset.NewPair(0, 1)); got != Clean {
+		t.Fatalf("low-confidence violation labeled %v", got)
+	}
+}
+
+func TestUpdateFromDataMovesConfidences(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, uniformBeta())
+	pairs := dataset.AllPairs(rel.NumRows())
+	b.UpdateFromData(rel, pairs, 1)
+
+	// Team→City: 1 compliant + 1 violating → Beta(2,2) → 0.5.
+	teamCity, _ := s.Index(fd.MustParse("Team->City", rel.Schema()))
+	if got := b.Confidence(teamCity); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Team→City confidence %v, want 0.5", got)
+	}
+	// City→Team: agreeing pairs (t1,t5) L.A. violating, (t2,t3),(t2,t4),
+	// (t3,t4) Chicago: t2 Lakers vs t3,t4 Bulls → 2 violating, 1
+	// compliant. Beta(1+1, 1+3) → 2/6.
+	cityTeam, _ := s.Index(fd.MustParse("City->Team", rel.Schema()))
+	if got := b.Confidence(cityTeam); math.Abs(got-2.0/6.0) > 1e-12 {
+		t.Errorf("City→Team confidence %v, want 1/3", got)
+	}
+}
+
+func TestUpdateFromDataNeutralPairsNoEffect(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, uniformBeta())
+	// (t1, t5): Lakers vs Clippers — neutral for Team→City.
+	b.UpdateFromData(rel, []dataset.Pair{dataset.NewPair(0, 4)}, 1)
+	teamCity, _ := s.Index(fd.MustParse("Team->City", rel.Schema()))
+	d := b.Dist(teamCity)
+	if d.Alpha != 1 || d.Beta != 1 {
+		t.Fatalf("neutral pair changed distribution to Beta(%v,%v)", d.Alpha, d.Beta)
+	}
+}
+
+func TestUpdateFromLabelingsSemantics(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	teamCity := fd.MustParse("Team->City", rel.Schema())
+	idx, _ := s.Index(teamCity)
+	city := rel.Schema().MustIndex("City")
+	viol := dataset.NewPair(0, 1) // violates Team→City
+	comp := dataset.NewPair(2, 3) // complies with Team→City
+
+	// Violating, RHS unmarked → β increment (genuine counter-evidence).
+	b := New(s, uniformBeta())
+	b.UpdateFromLabelings(rel, []Labeling{{Pair: viol}}, 1)
+	if d := b.Dist(idx); d.Alpha != 1 || d.Beta != 2 {
+		t.Fatalf("violating unmarked → Beta(%v,%v), want Beta(1,2)", d.Alpha, d.Beta)
+	}
+
+	// Violating, RHS marked → no update (error explains the violation).
+	b = New(s, uniformBeta())
+	b.UpdateFromLabelings(rel, []Labeling{{Pair: viol, Marked: fd.NewAttrSet(city)}}, 1)
+	if d := b.Dist(idx); d.Alpha != 1 || d.Beta != 1 {
+		t.Fatalf("violating marked → Beta(%v,%v), want unchanged", d.Alpha, d.Beta)
+	}
+
+	// Compliant, unmarked → α increment.
+	b = New(s, uniformBeta())
+	b.UpdateFromLabelings(rel, []Labeling{{Pair: comp}}, 1)
+	if d := b.Dist(idx); d.Alpha != 2 || d.Beta != 1 {
+		t.Fatalf("compliant unmarked → Beta(%v,%v), want Beta(2,1)", d.Alpha, d.Beta)
+	}
+
+	// Compliant but RHS marked (suspected error) → no update.
+	b = New(s, uniformBeta())
+	b.UpdateFromLabelings(rel, []Labeling{{Pair: comp, Marked: fd.NewAttrSet(city)}}, 1)
+	if d := b.Dist(idx); d.Alpha != 1 || d.Beta != 1 {
+		t.Fatalf("compliant marked → Beta(%v,%v), want unchanged", d.Alpha, d.Beta)
+	}
+
+	// A mark on a different attribute does not shield the hypothesis.
+	role := rel.Schema().MustIndex("Role")
+	b = New(s, uniformBeta())
+	b.UpdateFromLabelings(rel, []Labeling{{Pair: viol, Marked: fd.NewAttrSet(role)}}, 1)
+	if d := b.Dist(idx); d.Alpha != 1 || d.Beta != 2 {
+		t.Fatalf("violating with unrelated mark → Beta(%v,%v), want Beta(1,2)", d.Alpha, d.Beta)
+	}
+}
+
+func TestMarkPairsBestResponse(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	teamCity := fd.MustParse("Team->City", rel.Schema())
+	idx, _ := s.Index(teamCity)
+	city := rel.Schema().MustIndex("City")
+
+	// Believe only Team→City.
+	b := New(s, stats.MustBetaFromMoments(0.1, 0.05))
+	b.SetDist(idx, stats.MustBetaFromMoments(0.9, 0.05))
+
+	labeled := b.MarkPairs(rel, []dataset.Pair{
+		dataset.NewPair(0, 1), // violates Team→City
+		dataset.NewPair(2, 3), // complies
+		dataset.NewPair(0, 4), // neutral
+	}, 0.5)
+	if !labeled[0].Marked.Has(city) || labeled[0].Marked.Count() != 1 {
+		t.Fatalf("violation marking = %v, want City only", labeled[0].Marked)
+	}
+	if labeled[1].Dirty() || labeled[2].Dirty() {
+		t.Fatal("clean pairs were marked")
+	}
+	if labeled[0].Label() != Dirty || labeled[1].Label() != Clean {
+		t.Fatal("binary labels inconsistent with marks")
+	}
+}
+
+func TestUpdatePanicsOnBadWeight(t *testing.T) {
+	rel := table1()
+	b := New(smallSpace(), uniformBeta())
+	for name, fn := range map[string]func(){
+		"data zero":    func() { b.UpdateFromData(rel, nil, 0) },
+		"labels minus": func() { b.UpdateFromLabelings(rel, nil, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestLabelPayoffComplement(t *testing.T) {
+	rel := table1()
+	b := New(smallSpace(), uniformBeta())
+	p := dataset.NewPair(0, 1)
+	sum := b.LabelPayoff(rel, p, Dirty) + b.LabelPayoff(rel, p, Clean)
+	if math.Abs(sum-1) > 1e-12 {
+		t.Fatalf("payoffs sum to %v, want 1", sum)
+	}
+}
+
+func TestSelfPayoffAndUncertaintyRelation(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, uniformBeta())
+	for _, p := range dataset.AllPairs(rel.NumRows()) {
+		sp := b.SelfPayoff(rel, p)
+		if sp < 0.5 || sp > 1 {
+			t.Fatalf("SelfPayoff out of [0.5,1]: %v", sp)
+		}
+		// Uncertainty is maximal exactly where self payoff is minimal.
+		u := b.Uncertainty(rel, p)
+		if u < 0 || u > math.Ln2+1e-12 {
+			t.Fatalf("Uncertainty out of range: %v", u)
+		}
+	}
+}
+
+func TestBelievedFDs(t *testing.T) {
+	s := smallSpace()
+	b := New(s, stats.MustBetaFromMoments(0.2, 0.05))
+	b.SetDist(2, stats.MustBetaFromMoments(0.9, 0.05))
+	got := b.BelievedFDs(0.5)
+	if len(got) != 1 || got[0] != s.FD(2) {
+		t.Fatalf("BelievedFDs = %v", got)
+	}
+	if all := b.BelievedFDs(0.0); len(all) != s.Size() {
+		t.Fatalf("threshold 0 should return all, got %d", len(all))
+	}
+}
+
+func TestTopKOrdering(t *testing.T) {
+	s := smallSpace()
+	b := New(s, stats.MustBetaFromMoments(0.3, 0.05))
+	b.SetDist(4, stats.MustBetaFromMoments(0.95, 0.02))
+	b.SetDist(1, stats.MustBetaFromMoments(0.7, 0.05))
+	top := b.TopK(3)
+	if len(top) != 3 {
+		t.Fatalf("TopK returned %d", len(top))
+	}
+	if top[0] != 4 || top[1] != 1 {
+		t.Fatalf("TopK order = %v, want [4 1 ...]", top)
+	}
+	// k larger than space clamps.
+	if got := b.TopK(100); len(got) != s.Size() {
+		t.Fatalf("clamped TopK length = %d", len(got))
+	}
+	// Ties broken by canonical index order.
+	tie := New(s, stats.MustBetaFromMoments(0.5, 0.05))
+	topTie := tie.TopK(s.Size())
+	for i := 1; i < len(topTie); i++ {
+		if topTie[i] <= topTie[i-1] {
+			t.Fatalf("tie break not canonical: %v", topTie)
+		}
+	}
+}
+
+func TestUpdateConvergesToEmpiricalRate(t *testing.T) {
+	// Feeding the full pair set repeatedly drives confidence to the
+	// syntactic compliance rate regardless of the prior.
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.MustBetaFromMoments(0.9, 0.05))
+	pairs := dataset.AllPairs(rel.NumRows())
+	for it := 0; it < 200; it++ {
+		b.UpdateFromData(rel, pairs, 1)
+	}
+	teamCity, _ := s.Index(fd.MustParse("Team->City", rel.Schema()))
+	if got := b.Confidence(teamCity); math.Abs(got-0.5) > 0.05 {
+		t.Fatalf("confidence %v did not converge to empirical 0.5", got)
+	}
+}

@@ -1,0 +1,154 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+func TestDecayPreservesMeanShrinksEvidence(t *testing.T) {
+	s := smallSpace()
+	b := New(s, stats.NewBeta(40, 10)) // mean 0.8, strong
+	b.Decay(0.5)
+	d := b.Dist(0)
+	if d.Alpha != 20 || d.Beta != 5 {
+		t.Fatalf("decayed to Beta(%v,%v), want Beta(20,5)", d.Alpha, d.Beta)
+	}
+	if math.Abs(d.Mean()-0.8) > 1e-12 {
+		t.Fatalf("decay changed the mean: %v", d.Mean())
+	}
+	if d.Variance() <= stats.NewBeta(40, 10).Variance() {
+		t.Fatal("decay should increase variance (weaker evidence)")
+	}
+}
+
+func TestDecayNoopAtOne(t *testing.T) {
+	b := New(smallSpace(), stats.NewBeta(3, 7))
+	b.Decay(1)
+	if d := b.Dist(0); d.Alpha != 3 || d.Beta != 7 {
+		t.Fatalf("λ=1 changed distribution: %+v", d)
+	}
+}
+
+func TestDecayFloorsParameters(t *testing.T) {
+	b := New(smallSpace(), stats.NewBeta(1e-3, 1e-3))
+	b.Decay(0.5)
+	d := b.Dist(0)
+	if d.Alpha <= 0 || d.Beta <= 0 {
+		t.Fatalf("decay produced invalid Beta(%v,%v)", d.Alpha, d.Beta)
+	}
+}
+
+func TestDecayPanicsOnBadLambda(t *testing.T) {
+	b := New(smallSpace(), stats.NewBeta(1, 1))
+	for _, lambda := range []float64{0, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("Decay(%v) did not panic", lambda)
+				}
+			}()
+			b.Decay(lambda)
+		}()
+	}
+}
+
+func TestDecayTracksNonStationaryEvidence(t *testing.T) {
+	// A belief with forgetting adapts to a regime change faster than one
+	// without: feed compliant evidence, then switch to violating.
+	rel := table1()
+	s := smallSpace()
+	teamCity, _ := s.Index(fd.MustParse("Team->City", rel.Schema()))
+	comp := []dataset.Pair{dataset.NewPair(2, 3)} // compliant
+	viol := []dataset.Pair{dataset.NewPair(0, 1)} // violating
+
+	plain := New(s, stats.NewBeta(1, 1))
+	forgetting := New(s, stats.NewBeta(1, 1))
+	for i := 0; i < 50; i++ {
+		plain.UpdateFromData(rel, comp, 1)
+		forgetting.Decay(0.9)
+		forgetting.UpdateFromData(rel, comp, 1)
+	}
+	for i := 0; i < 20; i++ {
+		plain.UpdateFromData(rel, viol, 1)
+		forgetting.Decay(0.9)
+		forgetting.UpdateFromData(rel, viol, 1)
+	}
+	if forgetting.Confidence(teamCity) >= plain.Confidence(teamCity) {
+		t.Fatalf("forgetting belief (%v) should adapt below plain FP (%v) after the regime change",
+			forgetting.Confidence(teamCity), plain.Confidence(teamCity))
+	}
+}
+
+func TestRemoveLabelingsInvertsUpdate(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.NewBeta(2, 3))
+	before := make([]stats.Beta, b.Size())
+	for i := range before {
+		before[i] = b.Dist(i)
+	}
+	labeled := []Labeling{
+		{Pair: dataset.NewPair(0, 1)},
+		{Pair: dataset.NewPair(2, 3)},
+		{Pair: dataset.NewPair(0, 4), Marked: fd.NewAttrSet(2)},
+	}
+	b.UpdateFromLabelings(rel, labeled, 1)
+	b.RemoveLabelings(rel, labeled, 1)
+	for i := range before {
+		d := b.Dist(i)
+		if math.Abs(d.Alpha-before[i].Alpha) > 1e-9 || math.Abs(d.Beta-before[i].Beta) > 1e-9 {
+			t.Fatalf("hypothesis %d not restored: Beta(%v,%v) vs Beta(%v,%v)",
+				i, d.Alpha, d.Beta, before[i].Alpha, before[i].Beta)
+		}
+	}
+}
+
+func TestRemoveLabelingsFloors(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.NewBeta(0.01, 0.01))
+	labeled := []Labeling{{Pair: dataset.NewPair(0, 1)}}
+	// Removing evidence that was never added must not drive parameters
+	// non-positive.
+	b.RemoveLabelings(rel, labeled, 1)
+	for i := 0; i < b.Size(); i++ {
+		d := b.Dist(i)
+		if d.Alpha <= 0 || d.Beta <= 0 {
+			t.Fatalf("hypothesis %d invalid after floor: Beta(%v,%v)", i, d.Alpha, d.Beta)
+		}
+	}
+}
+
+func TestAbstainedLabelingsCarryNoEvidence(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := New(s, stats.NewBeta(1, 1))
+	b.UpdateFromLabelings(rel, []Labeling{
+		{Pair: dataset.NewPair(0, 1), Abstained: true},
+		{Pair: dataset.NewPair(2, 3), Abstained: true},
+	}, 1)
+	for i := 0; i < b.Size(); i++ {
+		if d := b.Dist(i); d.Alpha != 1 || d.Beta != 1 {
+			t.Fatalf("abstained labeling moved hypothesis %d to Beta(%v,%v)", i, d.Alpha, d.Beta)
+		}
+	}
+}
+
+func TestConfidentFDsRequiresEvidence(t *testing.T) {
+	s := smallSpace()
+	// High-mean but wide prior: believed by mean, excluded by spread.
+	b := New(s, stats.MustBetaFromMoments(0.8, 0.15))
+	if got := b.ConfidentFDs(0.5, 0.1); len(got) != 0 {
+		t.Fatalf("prior-only hypotheses exported: %v", got)
+	}
+	// Tighten one with evidence.
+	b.SetDist(2, stats.NewBeta(80, 20)) // mean 0.8, σ ≈ 0.04
+	got := b.ConfidentFDs(0.5, 0.1)
+	if len(got) != 1 || got[0] != s.FD(2) {
+		t.Fatalf("ConfidentFDs = %v", got)
+	}
+}

@@ -1,0 +1,180 @@
+package belief
+
+import (
+	"math"
+	"testing"
+
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+func TestUniformPrior(t *testing.T) {
+	s := smallSpace()
+	b := UniformPrior(s, 0.9, DefaultPriorSigma)
+	for i := 0; i < b.Size(); i++ {
+		if got := b.Confidence(i); math.Abs(got-0.9) > 1e-9 {
+			t.Fatalf("Uniform-0.9 confidence %v", got)
+		}
+	}
+}
+
+func TestUniformPriorExtremesClamped(t *testing.T) {
+	s := smallSpace()
+	for _, d := range []float64{0, 1} {
+		b := UniformPrior(s, d, DefaultPriorSigma)
+		for i := 0; i < b.Size(); i++ {
+			c := b.Confidence(i)
+			if c <= 0 || c >= 1 {
+				t.Fatalf("Uniform-%v produced boundary confidence %v", d, c)
+			}
+		}
+	}
+}
+
+func TestRandomPriorVariesAndDeterministic(t *testing.T) {
+	s := smallSpace()
+	a := RandomPrior(s, stats.NewRNG(1), DefaultPriorSigma)
+	b := RandomPrior(s, stats.NewRNG(1), DefaultPriorSigma)
+	if a.MAE(b) != 0 {
+		t.Fatal("same seed produced different random priors")
+	}
+	c := RandomPrior(s, stats.NewRNG(2), DefaultPriorSigma)
+	if a.MAE(c) == 0 {
+		t.Fatal("different seeds produced identical random priors")
+	}
+	// Confidences should actually vary across hypotheses.
+	confs := a.Confidences()
+	allSame := true
+	for _, v := range confs[1:] {
+		if v != confs[0] {
+			allSame = false
+		}
+	}
+	if allSame {
+		t.Fatal("random prior degenerate: all confidences equal")
+	}
+}
+
+func TestDataEstimatePriorTracksData(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	b := DataEstimatePrior(s, rel, DefaultPriorSigma)
+	teamCity, _ := s.Index(fd.MustParse("Team->City", rel.Schema()))
+	// Confidence(Team→City) on Table 1 is 0.5.
+	if got := b.Confidence(teamCity); math.Abs(got-0.5) > 1e-9 {
+		t.Fatalf("data-estimate confidence %v, want 0.5", got)
+	}
+}
+
+func TestUserSpecifiedPriorPaperConfig(t *testing.T) {
+	// Space over attrs 1,2,3 with LHS up to 2 so related FDs exist.
+	rel := table1()
+	s := fd.MustNewSpace(fd.MustEnumerate(fd.SpaceConfig{
+		Arity: 5, MaxLHS: 2, Attrs: []int{1, 2, 3},
+	}))
+	user := fd.MustParse("Team->City", rel.Schema())
+
+	// Config 1: no related treatment — user's FD at 0.85, rest at 0.15.
+	b, err := UserSpecifiedPrior(s, user, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uIdx, _ := s.Index(user)
+	if got := b.Confidence(uIdx); math.Abs(got-0.85) > 1e-9 {
+		t.Errorf("user FD confidence %v, want 0.85", got)
+	}
+	for i := 0; i < s.Size(); i++ {
+		if i == uIdx {
+			continue
+		}
+		if got := b.Confidence(i); math.Abs(got-0.15) > 1e-9 {
+			t.Errorf("other FD %v confidence %v, want 0.15", s.FD(i), got)
+		}
+	}
+
+	// Config 2: related FDs at 0.8.
+	b2, err := UserSpecifiedPrior(s, user, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	related := s.Related(user)
+	if len(related) == 0 {
+		t.Fatal("setup: no related FDs in space")
+	}
+	for _, i := range related {
+		if got := b2.Confidence(i); math.Abs(got-0.8) > 1e-9 {
+			t.Errorf("related FD %v confidence %v, want 0.8", s.FD(i), got)
+		}
+	}
+	// Standard deviations all 0.05 per §A.2.
+	for i := 0; i < b2.Size(); i++ {
+		if got := b2.Dist(i).StdDev(); math.Abs(got-0.05) > 1e-9 {
+			t.Errorf("FD %v prior σ = %v, want 0.05", s.FD(i), got)
+		}
+	}
+}
+
+func TestUserSpecifiedPriorUnknownFD(t *testing.T) {
+	s := smallSpace()
+	unknown := fd.MustNew(fd.NewAttrSet(0), 4)
+	if _, err := UserSpecifiedPrior(s, unknown, false); err == nil {
+		t.Fatal("unknown user FD should error")
+	}
+}
+
+func TestPriorSpecBuild(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	rng := stats.NewRNG(3)
+
+	u, err := PriorSpec{Kind: PriorUniform, D: 0.9}.Build(s, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(u.Confidence(0)-0.9) > 1e-9 {
+		t.Errorf("uniform spec confidence %v", u.Confidence(0))
+	}
+
+	if _, err := (PriorSpec{Kind: PriorUniform, D: 1.5}).Build(s, nil, nil); err == nil {
+		t.Error("out-of-range d should error")
+	}
+	if _, err := (PriorSpec{Kind: PriorRandom}).Build(s, nil, nil); err == nil {
+		t.Error("random without rng should error")
+	}
+	if _, err := (PriorSpec{Kind: PriorRandom}).Build(s, nil, rng); err != nil {
+		t.Errorf("random with rng errored: %v", err)
+	}
+	if _, err := (PriorSpec{Kind: PriorDataEstimate}).Build(s, nil, nil); err == nil {
+		t.Error("data-estimate without relation should error")
+	}
+	if _, err := (PriorSpec{Kind: PriorDataEstimate}).Build(s, rel, nil); err != nil {
+		t.Errorf("data-estimate with relation errored: %v", err)
+	}
+	if _, err := (PriorSpec{Kind: "bogus"}).Build(s, rel, rng); err == nil {
+		t.Error("unknown kind should error")
+	}
+}
+
+func TestPriorSpecString(t *testing.T) {
+	cases := map[string]PriorSpec{
+		"Uniform-0.9":   {Kind: PriorUniform, D: 0.9},
+		"Random":        {Kind: PriorRandom},
+		"Data-estimate": {Kind: PriorDataEstimate},
+	}
+	for want, spec := range cases {
+		if got := spec.String(); got != want {
+			t.Errorf("String() = %q, want %q", got, want)
+		}
+	}
+}
+
+func TestClampMeanFeasibility(t *testing.T) {
+	for _, mu := range []float64{-1, 0, 0.01, 0.5, 0.99, 1, 2} {
+		for _, sigma := range []float64{0.01, 0.05, 0.2, 0.4} {
+			m := clampMean(mu, sigma)
+			if sigma*sigma >= m*(1-m) {
+				t.Errorf("clampMean(%v, %v) = %v infeasible", mu, sigma, m)
+			}
+		}
+	}
+}

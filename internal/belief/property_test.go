@@ -1,0 +1,124 @@
+package belief
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// TestUpdateBatchingEquivalence: the conjugate update is additive, so
+// incorporating labelings one at a time equals incorporating them as a
+// batch — the property that makes Session.Submit order-insensitive
+// within a round.
+func TestUpdateBatchingEquivalence(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	rng := stats.NewRNG(99)
+	f := func(seedRaw uint8) bool {
+		n := 1 + int(seedRaw%8)
+		labeled := make([]Labeling, n)
+		for i := range labeled {
+			a := rng.Intn(rel.NumRows())
+			b := rng.Intn(rel.NumRows())
+			if a == b {
+				b = (b + 1) % rel.NumRows()
+			}
+			l := Labeling{Pair: dataset.NewPair(a, b)}
+			if rng.Float64() < 0.3 {
+				l.Marked = fd.NewAttrSet(1 + rng.Intn(3))
+			}
+			if rng.Float64() < 0.1 {
+				l = Labeling{Pair: l.Pair, Abstained: true}
+			}
+			labeled[i] = l
+		}
+		batch := New(s, stats.NewBeta(2, 2))
+		batch.UpdateFromLabelings(rel, labeled, 1)
+		oneByOne := New(s, stats.NewBeta(2, 2))
+		for _, lp := range labeled {
+			oneByOne.UpdateFromLabelings(rel, []Labeling{lp}, 1)
+		}
+		for i := 0; i < s.Size(); i++ {
+			a, b := batch.Dist(i), oneByOne.Dist(i)
+			if math.Abs(a.Alpha-b.Alpha) > 1e-9 || math.Abs(a.Beta-b.Beta) > 1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpdateWeightLinearity: updating with weight w equals w identical
+// unit updates.
+func TestUpdateWeightLinearity(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	labeled := []Labeling{{Pair: dataset.NewPair(0, 1)}, {Pair: dataset.NewPair(2, 3)}}
+
+	weighted := New(s, stats.NewBeta(1, 1))
+	weighted.UpdateFromLabelings(rel, labeled, 3)
+	repeated := New(s, stats.NewBeta(1, 1))
+	for i := 0; i < 3; i++ {
+		repeated.UpdateFromLabelings(rel, labeled, 1)
+	}
+	for i := 0; i < s.Size(); i++ {
+		a, b := weighted.Dist(i), repeated.Dist(i)
+		if math.Abs(a.Alpha-b.Alpha) > 1e-9 || math.Abs(a.Beta-b.Beta) > 1e-9 {
+			t.Fatalf("hypothesis %d: weight-3 Beta(%v,%v) != 3×unit Beta(%v,%v)",
+				i, a.Alpha, a.Beta, b.Alpha, b.Beta)
+		}
+	}
+}
+
+// TestConfidencesAlwaysInUnitInterval under arbitrary update sequences.
+func TestConfidencesAlwaysInUnitInterval(t *testing.T) {
+	rel := table1()
+	s := smallSpace()
+	rng := stats.NewRNG(123)
+	b := New(s, stats.NewBeta(0.5, 0.5))
+	pairs := dataset.AllPairs(rel.NumRows())
+	for step := 0; step < 500; step++ {
+		switch rng.Intn(4) {
+		case 0:
+			b.UpdateFromData(rel, []dataset.Pair{pairs[rng.Intn(len(pairs))]}, 1)
+		case 1:
+			b.UpdateFromLabelings(rel, []Labeling{{Pair: pairs[rng.Intn(len(pairs))]}}, 1)
+		case 2:
+			b.RemoveLabelings(rel, []Labeling{{Pair: pairs[rng.Intn(len(pairs))]}}, 1)
+		case 3:
+			b.Decay(0.7 + 0.3*rng.Float64())
+		}
+		for i := 0; i < b.Size(); i++ {
+			c := b.Confidence(i)
+			if c < 0 || c > 1 || math.IsNaN(c) {
+				t.Fatalf("step %d: confidence %v out of range", step, c)
+			}
+			d := b.Dist(i)
+			if d.Alpha <= 0 || d.Beta <= 0 {
+				t.Fatalf("step %d: invalid Beta(%v,%v)", step, d.Alpha, d.Beta)
+			}
+		}
+	}
+}
+
+// TestMAESymmetryAndBounds over random belief pairs.
+func TestMAESymmetryAndBounds(t *testing.T) {
+	s := smallSpace()
+	rng := stats.NewRNG(321)
+	f := func(_ uint8) bool {
+		a := RandomPrior(s, rng.Split(), 0.1)
+		b := RandomPrior(s, rng.Split(), 0.1)
+		d := a.MAE(b)
+		return d >= 0 && d <= 1 && math.Abs(d-b.MAE(a)) < 1e-12 && a.MAE(a) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,425 @@
+// Package datagen generates the synthetic stand-ins for the paper's four
+// evaluation datasets. The real OMDB, Alaska AIRPORT, Hospital and Tax
+// data are not distributable, so each generator produces a clean
+// relation with the same *FD structure* the paper relies on: the
+// scenario target FDs of Table 2 hold exactly, plausible alternative FDs
+// hold with natural exceptions, and the remaining attributes are
+// independent fillers. Experiments then dirty the clean relations with
+// internal/errgen exactly as the paper does with BART.
+//
+// All generation is deterministic for a given seed.
+package datagen
+
+import (
+	"fmt"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// Dataset bundles a generated relation with its FD ground truth.
+type Dataset struct {
+	// Name matches the paper's dataset name.
+	Name string
+	// Rel is the clean generated relation.
+	Rel *dataset.Relation
+	// ExactFDs are the dependencies that hold with zero violations on
+	// the clean relation (the injection targets).
+	ExactFDs []fd.FD
+	// SpaceAttrs are the attribute positions over which experiments
+	// build the hypothesis space (§C.1 uses 38-FD spaces; restricting to
+	// the scenario-relevant attributes keeps the space meaningful).
+	SpaceAttrs []int
+}
+
+// Space builds the experiment hypothesis space for the dataset: the
+// ground-truth exact FDs first (they must be learnable), then FDs of up
+// to maxLHS attributes over SpaceAttrs in canonical order, truncated to
+// maxFDs total (§C.1 uses 38-FD spaces).
+func (d *Dataset) Space(maxLHS, maxFDs int) *fd.Space {
+	if maxFDs > 0 && len(d.ExactFDs) > maxFDs {
+		panic(fmt.Sprintf("datagen: %s has %d targets, more than maxFDs=%d", d.Name, len(d.ExactFDs), maxFDs))
+	}
+	seen := make(map[fd.FD]struct{}, maxFDs)
+	fds := make([]fd.FD, 0, maxFDs)
+	for _, f := range d.ExactFDs {
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		fds = append(fds, f)
+	}
+	for _, f := range fd.MustEnumerate(fd.SpaceConfig{
+		Arity:  d.Rel.Schema().Arity(),
+		MaxLHS: maxLHS,
+		Attrs:  d.SpaceAttrs,
+	}) {
+		if maxFDs > 0 && len(fds) >= maxFDs {
+			break
+		}
+		if _, dup := seen[f]; dup {
+			continue
+		}
+		seen[f] = struct{}{}
+		fds = append(fds, f)
+	}
+	return fd.MustNewSpace(fds)
+}
+
+// Generator produces a dataset of about n rows from a seed.
+type Generator func(n int, seed uint64) *Dataset
+
+// ByName returns the generator for a paper dataset name.
+func ByName(name string) (Generator, error) {
+	switch name {
+	case "OMDB":
+		return OMDB, nil
+	case "AIRPORT", "Airport":
+		return Airport, nil
+	case "Hospital":
+		return Hospital, nil
+	case "Tax":
+		return Tax, nil
+	default:
+		return nil, fmt.Errorf("datagen: unknown dataset %q", name)
+	}
+}
+
+// AllNames lists the four paper datasets in presentation order.
+func AllNames() []string { return []string{"OMDB", "AIRPORT", "Hospital", "Tax"} }
+
+// pick returns a deterministic pseudo-random element of vals.
+func pick(rng *stats.RNG, vals []string) string { return vals[rng.Intn(len(vals))] }
+
+// OMDB generates a movie relation over (title, year, genre, type,
+// rating, language, runtime). Structure (Table 2 scenarios 4 and 5):
+//
+//   - (title, year) → genre and (title, year) → type hold exactly;
+//   - rating → type holds exactly (type is a function of the rating
+//     band, e.g. TV ratings imply series);
+//   - title → year/type/genre (the alternatives) hold with exceptions:
+//     some titles are remade in a second year with a different genre or
+//     type.
+func OMDB(n int, seed uint64) *Dataset {
+	rng := stats.NewRNG(seed ^ 0x00DBA5A5)
+	schema := dataset.MustSchema("title", "year", "genre", "type", "rating", "language", "runtime")
+
+	genres := []string{"Drama", "Comedy", "Action", "Horror", "Sci-Fi", "Romance", "Thriller", "Documentary"}
+	ratings := []string{"G", "PG", "PG-13", "R", "TV-14", "TV-MA"}
+	languages := []string{"English", "French", "Spanish", "German"}
+	typeOf := func(rating string) string {
+		if rating == "TV-14" || rating == "TV-MA" {
+			return "series"
+		}
+		return "movie"
+	}
+
+	// World: ~n/6 titles; ~30% of titles have a remake in a second year.
+	numTitles := n / 6
+	if numTitles < 8 {
+		numTitles = 8
+	}
+	type release struct{ title, year, genre, rating string }
+	var releases []release
+	for t := 0; t < numTitles; t++ {
+		title := fmt.Sprintf("Movie-%03d", t)
+		year := fmt.Sprint(1960 + rng.Intn(60))
+		releases = append(releases, release{title, year, pick(rng, genres), pick(rng, ratings)})
+		if rng.Float64() < 0.3 {
+			year2 := fmt.Sprint(1960 + rng.Intn(60))
+			if year2 != year {
+				// A remake: same title, new year, independent genre and
+				// rating — this is what breaks title → genre/type/year.
+				releases = append(releases, release{title, year2, pick(rng, genres), pick(rng, ratings)})
+			}
+		}
+	}
+
+	rel := dataset.New(schema)
+	for i := 0; i < n; i++ {
+		r := releases[rng.Intn(len(releases))]
+		rel.MustAppend(dataset.Tuple{
+			r.title, r.year, r.genre, typeOf(r.rating), r.rating,
+			pick(rng, languages), fmt.Sprint(60 + rng.Intn(4)*30),
+		})
+	}
+	return &Dataset{
+		Name: "OMDB",
+		Rel:  rel,
+		ExactFDs: []fd.FD{
+			fd.MustParse("title,year->genre", schema),
+			fd.MustParse("title,year->type", schema),
+			fd.MustParse("rating->type", schema),
+		},
+		SpaceAttrs: []int{
+			schema.MustIndex("title"), schema.MustIndex("year"),
+			schema.MustIndex("genre"), schema.MustIndex("type"),
+			schema.MustIndex("rating"),
+		},
+	}
+}
+
+// Airport generates an Alaska-airport-like relation over (sitenumber,
+// facilityname, type, owner, manager, city, use). Structure (Table 2
+// scenarios 1-3):
+//
+//   - sitenumber → facilityname/owner/manager hold exactly (sitenumber
+//     identifies a facility);
+//   - (facilityname, type) → manager holds exactly;
+//   - manager → owner holds exactly;
+//   - facilityname → type/manager/owner (the alternatives) break on
+//     facilities sharing a name with different types (an airport and a
+//     heliport named after the same town).
+func Airport(n int, seed uint64) *Dataset {
+	rng := stats.NewRNG(seed ^ 0xA1A90A7)
+	schema := dataset.MustSchema("sitenumber", "facilityname", "type", "owner", "manager", "city", "use")
+
+	types := []string{"AIRPORT", "HELIPORT", "SEAPLANE BASE"}
+	cities := []string{"ANCHORAGE", "FAIRBANKS", "JUNEAU", "NOME", "BETHEL", "KODIAK"}
+	uses := []string{"PU", "PR"}
+
+	numNames := n / 10
+	if numNames < 6 {
+		numNames = 6
+	}
+	// manager is a function of (facilityname, type); owner of manager.
+	managerOf := func(name, typ string) string {
+		return fmt.Sprintf("MGR-%s-%s", name[len(name)-3:], typ[:2])
+	}
+	ownerOf := func(manager string) string {
+		return "OWN-" + manager[4:]
+	}
+
+	type facility struct{ site, name, typ string }
+	var facilities []facility
+	site := 50000
+	for f := 0; f < numNames; f++ {
+		name := fmt.Sprintf("FACILITY-%03d", f)
+		typ := pick(rng, types)
+		facilities = append(facilities, facility{fmt.Sprintf("%d.%d*A", site, f), name, typ})
+		site++
+		if rng.Float64() < 0.35 {
+			// Same name, different type — breaks facilityname → type.
+			typ2 := pick(rng, types)
+			if typ2 != typ {
+				facilities = append(facilities, facility{fmt.Sprintf("%d.%d*H", site, f), name, typ2})
+				site++
+			}
+		}
+	}
+
+	rel := dataset.New(schema)
+	for i := 0; i < n; i++ {
+		fa := facilities[rng.Intn(len(facilities))]
+		mgr := managerOf(fa.name, fa.typ)
+		rel.MustAppend(dataset.Tuple{
+			fa.site, fa.name, fa.typ, ownerOf(mgr), mgr,
+			pick(rng, cities), pick(rng, uses),
+		})
+	}
+	return &Dataset{
+		Name: "AIRPORT",
+		Rel:  rel,
+		ExactFDs: []fd.FD{
+			fd.MustParse("sitenumber->facilityname", schema),
+			fd.MustParse("sitenumber->owner", schema),
+			fd.MustParse("sitenumber->manager", schema),
+			fd.MustParse("facilityname,type->manager", schema),
+			fd.MustParse("manager->owner", schema),
+		},
+		SpaceAttrs: []int{
+			schema.MustIndex("sitenumber"), schema.MustIndex("facilityname"),
+			schema.MustIndex("type"), schema.MustIndex("owner"),
+			schema.MustIndex("manager"),
+		},
+	}
+}
+
+// Hospital generates a 19-attribute relation with six exact FDs,
+// matching the shape the paper reports for the Hospital benchmark
+// (§C.1: real-world dataset, 19 attributes, six exact FDs):
+//
+//	zip → city, zip → state, zip → county,
+//	provider → hospitalname, provider → phone,
+//	measurecode → measurename.
+func Hospital(n int, seed uint64) *Dataset {
+	rng := stats.NewRNG(seed ^ 0x4059174A1)
+	schema := dataset.MustSchema(
+		"provider", "hospitalname", "address", "city", "state", "zip",
+		"county", "phone", "hospitaltype", "ownership", "emergency",
+		"condition", "measurecode", "measurename", "score", "sample",
+		"stateavg", "quarter", "source",
+	)
+
+	states := []string{"AL", "AK", "AZ", "CA", "TX", "NY"}
+	counties := []string{"JEFFERSON", "MOBILE", "HOUSTON", "MARSHALL", "DALE", "BALDWIN"}
+	cities := []string{"BIRMINGHAM", "DOTHAN", "SHEFFIELD", "OZARK", "GADSDEN", "FLORENCE", "BOAZ", "CULLMAN"}
+	conditions := []string{"heart attack", "heart failure", "pneumonia", "surgical infection"}
+
+	// zip world: zip determines city, state, county.
+	numZips := n / 12
+	if numZips < 5 {
+		numZips = 5
+	}
+	type zipInfo struct{ zip, city, state, county string }
+	zips := make([]zipInfo, numZips)
+	for i := range zips {
+		zips[i] = zipInfo{
+			zip:    fmt.Sprintf("%05d", 35000+i),
+			city:   pick(rng, cities),
+			state:  pick(rng, states),
+			county: pick(rng, counties),
+		}
+	}
+	// provider world: provider determines hospital name and phone.
+	numProviders := n / 8
+	if numProviders < 5 {
+		numProviders = 5
+	}
+	hospitalTypes := []string{"Acute Care", "Critical Access", "Childrens", "Psychiatric"}
+	type providerInfo struct{ id, name, phone, typ string }
+	providers := make([]providerInfo, numProviders)
+	for i := range providers {
+		providers[i] = providerInfo{
+			id:    fmt.Sprintf("%06d", 10001+i),
+			name:  fmt.Sprintf("HOSPITAL-%03d", i),
+			phone: fmt.Sprintf("205%07d", 5550000+i),
+			typ:   pick(rng, hospitalTypes),
+		}
+	}
+	// measure world: code determines name.
+	measures := []struct{ code, name string }{
+		{"AMI-1", "aspirin at arrival"},
+		{"AMI-2", "aspirin at discharge"},
+		{"HF-1", "discharge instructions"},
+		{"HF-2", "lvs assessment"},
+		{"PN-2", "pneumococcal vaccination"},
+		{"PN-3B", "blood culture before antibiotic"},
+		{"SCIP-1", "prophylactic antibiotic"},
+	}
+
+	rel := dataset.New(schema)
+	for i := 0; i < n; i++ {
+		z := zips[rng.Intn(len(zips))]
+		p := providers[rng.Intn(len(providers))]
+		m := measures[rng.Intn(len(measures))]
+		rel.MustAppend(dataset.Tuple{
+			p.id, p.name,
+			fmt.Sprintf("%d MAIN ST", 100+rng.Intn(900)),
+			z.city, z.state, z.zip, z.county, p.phone,
+			p.typ, pick(rng, []string{"Government", "Voluntary", "Proprietary"}),
+			pick(rng, []string{"Yes", "No"}),
+			pick(rng, conditions), m.code, m.name,
+			fmt.Sprint(rng.Intn(100)), fmt.Sprint(rng.Intn(500)),
+			fmt.Sprintf("%d%%", rng.Intn(100)), fmt.Sprint(1 + rng.Intn(4)),
+			pick(rng, []string{"survey", "claims"}),
+		})
+	}
+	return &Dataset{
+		Name: "Hospital",
+		Rel:  rel,
+		ExactFDs: []fd.FD{
+			fd.MustParse("zip->city", schema),
+			fd.MustParse("zip->state", schema),
+			fd.MustParse("zip->county", schema),
+			fd.MustParse("provider->hospitalname", schema),
+			fd.MustParse("provider->phone", schema),
+			fd.MustParse("measurecode->measurename", schema),
+		},
+		SpaceAttrs: []int{
+			schema.MustIndex("provider"), schema.MustIndex("hospitalname"),
+			schema.MustIndex("city"), schema.MustIndex("state"),
+			schema.MustIndex("zip"), schema.MustIndex("county"),
+			schema.MustIndex("phone"), schema.MustIndex("measurecode"),
+			schema.MustIndex("measurename"),
+		},
+	}
+}
+
+// Tax generates a 15-attribute relation with four exact FDs, matching
+// the shape the paper reports for the synthetic Tax benchmark (§C.1: 15
+// attributes, four exact FDs):
+//
+//	zip → city, zip → state, areacode → state, state → singleexemp.
+func Tax(n int, seed uint64) *Dataset {
+	rng := stats.NewRNG(seed ^ 0x7A8)
+	schema := dataset.MustSchema(
+		"fname", "lname", "gender", "areacode", "phone", "city", "state",
+		"zip", "maritalstatus", "haschild", "salary", "rate",
+		"singleexemp", "marriedexemp", "childexemp",
+	)
+
+	firstNames := []string{"JAMES", "MARY", "JOHN", "LINDA", "ROBERT", "SUSAN", "DAVID", "KAREN"}
+	lastNames := []string{"SMITH", "JOHNSON", "BROWN", "DAVIS", "WILSON", "MOORE", "TAYLOR"}
+	cities := []string{"SEATTLE", "PORTLAND", "DENVER", "AUSTIN", "BOSTON", "ATLANTA", "MIAMI", "RENO"}
+
+	// Geography: state determines exemption; zip determines city and
+	// state; area code determines state.
+	states := []string{"WA", "OR", "CO", "TX", "MA", "GA", "FL", "NV"}
+	exempOf := func(state string) string {
+		return fmt.Sprint(2000 + 250*(int(state[0])+int(state[1]))%3000)
+	}
+	numZips := n / 15
+	if numZips < 4 {
+		numZips = 4
+	}
+	type zipInfo struct{ zip, city, state string }
+	zips := make([]zipInfo, numZips)
+	for i := range zips {
+		zips[i] = zipInfo{
+			zip:   fmt.Sprintf("%05d", 80000+i),
+			city:  pick(rng, cities),
+			state: states[rng.Intn(len(states))],
+		}
+	}
+	// Area codes: each belongs to one state, and every state gets at
+	// least one code (round-robin) so zip → state and areacode → state
+	// can hold simultaneously.
+	numCodes := 2 * len(states)
+	type codeInfo struct{ code, state string }
+	codes := make([]codeInfo, numCodes)
+	for i := range codes {
+		codes[i] = codeInfo{code: fmt.Sprint(201 + 11*i), state: states[i%len(states)]}
+	}
+
+	rel := dataset.New(schema)
+	for i := 0; i < n; i++ {
+		z := zips[rng.Intn(len(zips))]
+		// The area code must agree with the zip's state so that
+		// areacode → state holds exactly alongside zip → state; the
+		// round-robin assignment above guarantees a match exists.
+		matching := codes[:0:0]
+		for _, c := range codes {
+			if c.state == z.state {
+				matching = append(matching, c)
+			}
+		}
+		code := matching[rng.Intn(len(matching))]
+		marital := pick(rng, []string{"S", "M"})
+		salary := fmt.Sprint(20000 + 5000*rng.Intn(17))
+		rel.MustAppend(dataset.Tuple{
+			pick(rng, firstNames), pick(rng, lastNames), pick(rng, []string{"M", "F"}),
+			code.code, fmt.Sprintf("%s-%07d", code.code, rng.Intn(10000000)),
+			z.city, z.state, z.zip, marital,
+			pick(rng, []string{"Y", "N"}), salary,
+			fmt.Sprintf("%d%%", 3+rng.Intn(5)),
+			exempOf(z.state), fmt.Sprint(4000 + 100*rng.Intn(10)), fmt.Sprint(1000 + 50*rng.Intn(8)),
+		})
+	}
+	return &Dataset{
+		Name: "Tax",
+		Rel:  rel,
+		ExactFDs: []fd.FD{
+			fd.MustParse("zip->city", schema),
+			fd.MustParse("zip->state", schema),
+			fd.MustParse("areacode->state", schema),
+			fd.MustParse("state->singleexemp", schema),
+		},
+		SpaceAttrs: []int{
+			schema.MustIndex("areacode"), schema.MustIndex("city"),
+			schema.MustIndex("state"), schema.MustIndex("zip"),
+			schema.MustIndex("singleexemp"), schema.MustIndex("maritalstatus"),
+		},
+	}
+}

@@ -1,0 +1,161 @@
+package datagen
+
+import (
+	"testing"
+
+	"exptrain/internal/fd"
+)
+
+func allGenerators() []Generator {
+	return []Generator{OMDB, Airport, Hospital, Tax}
+}
+
+func TestExactFDsHoldOnCleanData(t *testing.T) {
+	for _, gen := range allGenerators() {
+		ds := gen(300, 1)
+		for _, f := range ds.ExactFDs {
+			if g := fd.G1(f, ds.Rel); g != 0 {
+				t.Errorf("%s: exact FD %v has g1=%v on clean data",
+					ds.Name, f.Render(ds.Rel.Schema().Names()), g)
+			}
+		}
+	}
+}
+
+func TestExactFDsHaveEvidence(t *testing.T) {
+	// An exact FD with no agreeing pairs is vacuous; the generators must
+	// produce duplicates so the FDs are actually supported (and
+	// violable by the error generator).
+	for _, gen := range allGenerators() {
+		ds := gen(300, 2)
+		for _, f := range ds.ExactFDs {
+			st := fd.ComputeStats(f, ds.Rel)
+			if st.Agreeing < 20 {
+				t.Errorf("%s: exact FD %v has only %d agreeing pairs",
+					ds.Name, f.Render(ds.Rel.Schema().Names()), st.Agreeing)
+			}
+		}
+	}
+}
+
+func TestDatasetShapesMatchPaper(t *testing.T) {
+	// Hospital: 19 attributes, six exact FDs; Tax: 15 attributes, four
+	// exact FDs (§C.1).
+	h := Hospital(200, 3)
+	if got := h.Rel.Schema().Arity(); got != 19 {
+		t.Errorf("Hospital arity = %d, want 19", got)
+	}
+	if got := len(h.ExactFDs); got != 6 {
+		t.Errorf("Hospital exact FDs = %d, want 6", got)
+	}
+	x := Tax(200, 3)
+	if got := x.Rel.Schema().Arity(); got != 15 {
+		t.Errorf("Tax arity = %d, want 15", got)
+	}
+	if got := len(x.ExactFDs); got != 4 {
+		t.Errorf("Tax exact FDs = %d, want 4", got)
+	}
+}
+
+func TestRowCounts(t *testing.T) {
+	for _, gen := range allGenerators() {
+		for _, n := range []int{50, 300} {
+			ds := gen(n, 4)
+			if ds.Rel.NumRows() != n {
+				t.Errorf("%s(%d) produced %d rows", ds.Name, n, ds.Rel.NumRows())
+			}
+		}
+	}
+}
+
+func TestDeterministicForSeed(t *testing.T) {
+	for _, gen := range allGenerators() {
+		a := gen(150, 7)
+		b := gen(150, 7)
+		for i := 0; i < a.Rel.NumRows(); i++ {
+			for j := 0; j < a.Rel.Schema().Arity(); j++ {
+				if a.Rel.Value(i, j) != b.Rel.Value(i, j) {
+					t.Fatalf("%s: same seed diverged at (%d,%d)", a.Name, i, j)
+				}
+			}
+		}
+		c := gen(150, 8)
+		same := true
+		for i := 0; i < a.Rel.NumRows() && same; i++ {
+			for j := 0; j < a.Rel.Schema().Arity(); j++ {
+				if a.Rel.Value(i, j) != c.Rel.Value(i, j) {
+					same = false
+					break
+				}
+			}
+		}
+		if same {
+			t.Errorf("%s: different seeds produced identical data", a.Name)
+		}
+	}
+}
+
+func TestSpaceBuilds38FDs(t *testing.T) {
+	for _, gen := range allGenerators() {
+		ds := gen(200, 5)
+		space := ds.Space(3, 38)
+		if space.Size() != 38 {
+			t.Errorf("%s: space size %d, want 38", ds.Name, space.Size())
+		}
+		for _, f := range ds.ExactFDs {
+			if !space.Contains(f) {
+				t.Errorf("%s: space missing target %v", ds.Name, f)
+			}
+		}
+		// Every FD respects the four-attribute bound of §C.1.
+		for i := 0; i < space.Size(); i++ {
+			if space.FD(i).Attrs().Count() > 4 {
+				t.Errorf("%s: FD %v exceeds 4 attributes", ds.Name, space.FD(i))
+			}
+		}
+	}
+}
+
+func TestOMDBAlternativesImperfect(t *testing.T) {
+	// Table 2's alternatives must hold with exceptions on clean data:
+	// title → year/type/genre break on remakes.
+	ds := OMDB(400, 6)
+	schema := ds.Rel.Schema()
+	for _, alt := range []string{"title->year", "title->genre", "title->type"} {
+		f := fd.MustParse(alt, schema)
+		if fd.G1(f, ds.Rel) == 0 {
+			t.Errorf("OMDB alternative %s holds exactly; remakes missing", alt)
+		}
+	}
+}
+
+func TestAirportAlternativesImperfect(t *testing.T) {
+	ds := Airport(400, 6)
+	schema := ds.Rel.Schema()
+	for _, alt := range []string{"facilityname->type", "facilityname->manager"} {
+		f := fd.MustParse(alt, schema)
+		if fd.G1(f, ds.Rel) == 0 {
+			t.Errorf("AIRPORT alternative %s holds exactly; shared names missing", alt)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range AllNames() {
+		gen, err := ByName(name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		ds := gen(60, 1)
+		if ds.Name != name {
+			t.Errorf("ByName(%q) generated %q", name, ds.Name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name should error")
+	}
+	// Airport accepts both spellings.
+	if _, err := ByName("Airport"); err != nil {
+		t.Errorf("ByName(Airport): %v", err)
+	}
+}

@@ -1,0 +1,285 @@
+// Package dataset implements the in-memory relational substrate the
+// exploratory-training framework operates on: schemas, relations,
+// tuple projection and comparison, CSV interchange, deterministic
+// sampling, and the train/test splitting used by the evaluation
+// (§C.1 holds out 30% of every dataset for F1 measurement).
+//
+// Functional dependencies only ever compare cell values for equality, so
+// cells are stored as strings; numeric data keeps its textual form. This
+// matches how FD discovery systems (TANE, CORDS) treat relations.
+package dataset
+
+import (
+	"fmt"
+	"strings"
+
+	"exptrain/internal/stats"
+)
+
+// Schema is an ordered list of attribute names with O(1) name→position
+// lookup. Attribute positions are stable for the lifetime of a relation;
+// the FD machinery identifies attributes by position and renders them by
+// name.
+type Schema struct {
+	names []string
+	index map[string]int
+}
+
+// NewSchema builds a schema from attribute names. It returns an error if
+// names is empty, contains an empty name, or contains duplicates.
+func NewSchema(names ...string) (*Schema, error) {
+	if len(names) == 0 {
+		return nil, fmt.Errorf("dataset: schema needs at least one attribute")
+	}
+	s := &Schema{
+		names: append([]string(nil), names...),
+		index: make(map[string]int, len(names)),
+	}
+	for i, n := range names {
+		if n == "" {
+			return nil, fmt.Errorf("dataset: empty attribute name at position %d", i)
+		}
+		if _, dup := s.index[n]; dup {
+			return nil, fmt.Errorf("dataset: duplicate attribute %q", n)
+		}
+		s.index[n] = i
+	}
+	return s, nil
+}
+
+// MustSchema is NewSchema that panics on error, for statically valid
+// schemas (tests, generators).
+func MustSchema(names ...string) *Schema {
+	s, err := NewSchema(names...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Arity returns the number of attributes.
+func (s *Schema) Arity() int { return len(s.names) }
+
+// Names returns a copy of the attribute names in schema order.
+func (s *Schema) Names() []string { return append([]string(nil), s.names...) }
+
+// Name returns the attribute name at position i.
+func (s *Schema) Name(i int) string { return s.names[i] }
+
+// Index returns the position of the named attribute and whether it
+// exists.
+func (s *Schema) Index(name string) (int, bool) {
+	i, ok := s.index[name]
+	return i, ok
+}
+
+// MustIndex is Index that panics when the attribute is unknown.
+func (s *Schema) MustIndex(name string) int {
+	i, ok := s.index[name]
+	if !ok {
+		panic(fmt.Sprintf("dataset: unknown attribute %q", name))
+	}
+	return i
+}
+
+// Equal reports whether two schemas have identical attribute lists.
+func (s *Schema) Equal(o *Schema) bool {
+	if s.Arity() != o.Arity() {
+		return false
+	}
+	for i, n := range s.names {
+		if o.names[i] != n {
+			return false
+		}
+	}
+	return true
+}
+
+// Tuple is one row; len(Tuple) equals the schema arity.
+type Tuple []string
+
+// Clone returns a deep copy of the tuple.
+func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
+
+// Relation is a schema plus rows. Rows are identified by their index,
+// which the game, sampling, and error-generation layers use as stable
+// tuple IDs.
+type Relation struct {
+	schema *Schema
+	rows   []Tuple
+}
+
+// New returns an empty relation over the given schema.
+func New(schema *Schema) *Relation {
+	return &Relation{schema: schema}
+}
+
+// Schema returns the relation's schema.
+func (r *Relation) Schema() *Schema { return r.schema }
+
+// NumRows returns the number of tuples.
+func (r *Relation) NumRows() int { return len(r.rows) }
+
+// Append adds a tuple, validating its arity.
+func (r *Relation) Append(t Tuple) error {
+	if len(t) != r.schema.Arity() {
+		return fmt.Errorf("dataset: tuple arity %d does not match schema arity %d", len(t), r.schema.Arity())
+	}
+	r.rows = append(r.rows, t)
+	return nil
+}
+
+// MustAppend is Append that panics on error.
+func (r *Relation) MustAppend(t Tuple) {
+	if err := r.Append(t); err != nil {
+		panic(err)
+	}
+}
+
+// Row returns the tuple at index i. The returned slice is the live row;
+// callers that mutate it (the error generator does, deliberately) own
+// the consequences.
+func (r *Relation) Row(i int) Tuple { return r.rows[i] }
+
+// Value returns the cell at row i, attribute position j.
+func (r *Relation) Value(i, j int) string { return r.rows[i][j] }
+
+// SetValue overwrites one cell; used by the error generator.
+func (r *Relation) SetValue(i, j int, v string) { r.rows[i][j] = v }
+
+// Clone returns a deep copy sharing the (immutable) schema.
+func (r *Relation) Clone() *Relation {
+	c := &Relation{schema: r.schema, rows: make([]Tuple, len(r.rows))}
+	for i, t := range r.rows {
+		c.rows[i] = t.Clone()
+	}
+	return c
+}
+
+// ProjectKey returns the concatenation of the row's values at the given
+// attribute positions, suitable as a map key for grouping rows by an
+// attribute-set value (the core operation behind g₁ computation).
+// A unit separator keeps ("ab","c") distinct from ("a","bc").
+func (r *Relation) ProjectKey(row int, attrs []int) string {
+	var b strings.Builder
+	for k, a := range attrs {
+		if k > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(r.rows[row][a])
+	}
+	return b.String()
+}
+
+// EqualOn reports whether rows i and j agree on every attribute position
+// in attrs.
+func (r *Relation) EqualOn(i, j int, attrs []int) bool {
+	for _, a := range attrs {
+		if r.rows[i][a] != r.rows[j][a] {
+			return false
+		}
+	}
+	return true
+}
+
+// Project returns a new relation over the named attributes (in the
+// given order), copying every row's projection. It errors on unknown
+// attribute names. The user-study scenarios present participants with a
+// projection of the full dataset (Table 2 lists per-scenario attribute
+// subsets).
+func (r *Relation) Project(names ...string) (*Relation, error) {
+	schema, err := NewSchema(names...)
+	if err != nil {
+		return nil, err
+	}
+	attrs := make([]int, len(names))
+	for i, n := range names {
+		j, ok := r.schema.Index(n)
+		if !ok {
+			return nil, fmt.Errorf("dataset: projecting unknown attribute %q", n)
+		}
+		attrs[i] = j
+	}
+	out := New(schema)
+	for i := 0; i < r.NumRows(); i++ {
+		t := make(Tuple, len(attrs))
+		for k, a := range attrs {
+			t[k] = r.rows[i][a]
+		}
+		out.rows = append(out.rows, t)
+	}
+	return out, nil
+}
+
+// Subset returns a new relation holding copies of the rows at the given
+// indices, in the given order.
+func (r *Relation) Subset(rowIdx []int) *Relation {
+	sub := &Relation{schema: r.schema, rows: make([]Tuple, len(rowIdx))}
+	for k, i := range rowIdx {
+		sub.rows[k] = r.rows[i].Clone()
+	}
+	return sub
+}
+
+// Sample returns k distinct row indices drawn uniformly without
+// replacement.
+func (r *Relation) Sample(rng *stats.RNG, k int) []int {
+	if k > r.NumRows() {
+		k = r.NumRows()
+	}
+	return rng.SampleWithoutReplacement(r.NumRows(), k)
+}
+
+// Split partitions the row indices into a train set of the given
+// fraction and a test set with the remainder, shuffled by rng. The paper
+// separates 30% of each dataset as the test set (§C.1), i.e.
+// Split(rng, 0.7).
+func (r *Relation) Split(rng *stats.RNG, trainFrac float64) (train, test []int) {
+	if trainFrac < 0 {
+		trainFrac = 0
+	}
+	if trainFrac > 1 {
+		trainFrac = 1
+	}
+	perm := rng.Perm(r.NumRows())
+	cut := int(float64(r.NumRows()) * trainFrac)
+	return perm[:cut], perm[cut:]
+}
+
+// Pair identifies an unordered pair of distinct tuples by row index with
+// A < B. FD violations are defined over tuple pairs, so pairs are the
+// unit the samplers present and the trainer labels.
+type Pair struct {
+	A, B int
+}
+
+// NewPair returns the canonical (sorted) form of the pair {a, b}. It
+// panics if a == b: a violation needs two distinct tuples.
+func NewPair(a, b int) Pair {
+	if a == b {
+		panic("dataset: pair of identical rows")
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return Pair{A: a, B: b}
+}
+
+// String renders the pair for logs and error messages.
+func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
+
+// AllPairs enumerates every unordered pair over n rows, in lexicographic
+// order. Quadratic; intended for the small relations in tests and for
+// exact g₁ computation on modest data.
+func AllPairs(n int) []Pair {
+	if n < 2 {
+		return nil
+	}
+	out := make([]Pair, 0, n*(n-1)/2)
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			out = append(out, Pair{A: i, B: j})
+		}
+	}
+	return out
+}

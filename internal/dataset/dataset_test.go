@@ -1,0 +1,365 @@
+package dataset
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exptrain/internal/stats"
+)
+
+// paperRelation builds Table 1 from the paper: the 5-tuple basketball
+// instance used by Examples 1 and 2.
+func paperRelation(t *testing.T) *Relation {
+	t.Helper()
+	rel := New(MustSchema("Player", "Team", "City", "Role", "Apps"))
+	for _, row := range [][]string{
+		{"Carter", "Lakers", "L.A.", "C", "4"},
+		{"Jordan", "Lakers", "Chicago", "PF", "4"},
+		{"Smith", "Bulls", "Chicago", "PF", "4"},
+		{"Black", "Bulls", "Chicago", "C", "3"},
+		{"Miller", "Clippers", "L.A.", "PG", "3"},
+	} {
+		rel.MustAppend(Tuple(row))
+	}
+	return rel
+}
+
+func TestNewSchemaValidation(t *testing.T) {
+	if _, err := NewSchema(); err == nil {
+		t.Error("empty schema should error")
+	}
+	if _, err := NewSchema("a", ""); err == nil {
+		t.Error("empty attribute name should error")
+	}
+	if _, err := NewSchema("a", "b", "a"); err == nil {
+		t.Error("duplicate attribute should error")
+	}
+	s, err := NewSchema("a", "b")
+	if err != nil {
+		t.Fatalf("valid schema errored: %v", err)
+	}
+	if s.Arity() != 2 {
+		t.Errorf("Arity = %d, want 2", s.Arity())
+	}
+}
+
+func TestSchemaIndex(t *testing.T) {
+	s := MustSchema("x", "y", "z")
+	if i, ok := s.Index("y"); !ok || i != 1 {
+		t.Errorf("Index(y) = %d,%v", i, ok)
+	}
+	if _, ok := s.Index("w"); ok {
+		t.Error("Index(w) should not exist")
+	}
+	if s.MustIndex("z") != 2 {
+		t.Error("MustIndex(z) != 2")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MustIndex on unknown attribute did not panic")
+		}
+	}()
+	s.MustIndex("nope")
+}
+
+func TestSchemaEqual(t *testing.T) {
+	a := MustSchema("x", "y")
+	b := MustSchema("x", "y")
+	c := MustSchema("y", "x")
+	d := MustSchema("x", "y", "z")
+	if !a.Equal(b) {
+		t.Error("identical schemas not Equal")
+	}
+	if a.Equal(c) {
+		t.Error("order matters: a should not equal c")
+	}
+	if a.Equal(d) {
+		t.Error("different arity should not be Equal")
+	}
+}
+
+func TestSchemaNamesIsCopy(t *testing.T) {
+	s := MustSchema("x", "y")
+	names := s.Names()
+	names[0] = "mutated"
+	if s.Name(0) != "x" {
+		t.Error("Names() leaked internal slice")
+	}
+}
+
+func TestAppendArityCheck(t *testing.T) {
+	r := New(MustSchema("a", "b"))
+	if err := r.Append(Tuple{"1"}); err == nil {
+		t.Error("short tuple should error")
+	}
+	if err := r.Append(Tuple{"1", "2", "3"}); err == nil {
+		t.Error("long tuple should error")
+	}
+	if err := r.Append(Tuple{"1", "2"}); err != nil {
+		t.Errorf("valid tuple errored: %v", err)
+	}
+	if r.NumRows() != 1 {
+		t.Errorf("NumRows = %d, want 1", r.NumRows())
+	}
+}
+
+func TestProjectKeySeparatorSafety(t *testing.T) {
+	// ("ab","c") must not collide with ("a","bc").
+	r := New(MustSchema("x", "y"))
+	r.MustAppend(Tuple{"ab", "c"})
+	r.MustAppend(Tuple{"a", "bc"})
+	attrs := []int{0, 1}
+	if r.ProjectKey(0, attrs) == r.ProjectKey(1, attrs) {
+		t.Fatal("ProjectKey collided on adversarial values")
+	}
+}
+
+func TestEqualOn(t *testing.T) {
+	rel := paperRelation(t)
+	team := rel.Schema().MustIndex("Team")
+	city := rel.Schema().MustIndex("City")
+	if !rel.EqualOn(0, 1, []int{team}) {
+		t.Error("t1 and t2 share Team=Lakers")
+	}
+	if rel.EqualOn(0, 1, []int{city}) {
+		t.Error("t1 and t2 differ on City")
+	}
+	if !rel.EqualOn(0, 1, nil) {
+		t.Error("every pair agrees on the empty attribute set")
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	rel := paperRelation(t)
+	c := rel.Clone()
+	c.SetValue(0, 0, "Changed")
+	if rel.Value(0, 0) != "Carter" {
+		t.Error("Clone shares row storage with original")
+	}
+}
+
+func TestSubset(t *testing.T) {
+	rel := paperRelation(t)
+	sub := rel.Subset([]int{4, 0})
+	if sub.NumRows() != 2 {
+		t.Fatalf("Subset rows = %d, want 2", sub.NumRows())
+	}
+	if sub.Value(0, 0) != "Miller" || sub.Value(1, 0) != "Carter" {
+		t.Error("Subset did not preserve requested order")
+	}
+	sub.SetValue(0, 0, "X")
+	if rel.Value(4, 0) != "Miller" {
+		t.Error("Subset shares storage with original")
+	}
+}
+
+func TestSampleDistinctAndBounded(t *testing.T) {
+	rel := paperRelation(t)
+	rng := stats.NewRNG(1)
+	idx := rel.Sample(rng, 3)
+	if len(idx) != 3 {
+		t.Fatalf("Sample returned %d rows", len(idx))
+	}
+	seen := map[int]bool{}
+	for _, i := range idx {
+		if i < 0 || i >= rel.NumRows() || seen[i] {
+			t.Fatalf("bad sample %v", idx)
+		}
+		seen[i] = true
+	}
+	// Requesting more than available clamps.
+	if got := rel.Sample(rng, 100); len(got) != rel.NumRows() {
+		t.Fatalf("oversized Sample returned %d rows", len(got))
+	}
+}
+
+func TestSplitFractions(t *testing.T) {
+	r := New(MustSchema("a"))
+	for i := 0; i < 100; i++ {
+		r.MustAppend(Tuple{string(rune('a' + i%26))})
+	}
+	rng := stats.NewRNG(2)
+	train, test := r.Split(rng, 0.7)
+	if len(train) != 70 || len(test) != 30 {
+		t.Fatalf("Split sizes = %d/%d, want 70/30", len(train), len(test))
+	}
+	seen := map[int]bool{}
+	for _, i := range append(append([]int{}, train...), test...) {
+		if seen[i] {
+			t.Fatal("Split duplicated a row index")
+		}
+		seen[i] = true
+	}
+	if len(seen) != 100 {
+		t.Fatalf("Split covered %d rows, want 100", len(seen))
+	}
+}
+
+func TestSplitClamped(t *testing.T) {
+	r := New(MustSchema("a"))
+	for i := 0; i < 10; i++ {
+		r.MustAppend(Tuple{"v"})
+	}
+	rng := stats.NewRNG(3)
+	train, test := r.Split(rng, 1.5)
+	if len(train) != 10 || len(test) != 0 {
+		t.Fatalf("clamped Split = %d/%d", len(train), len(test))
+	}
+	train, test = r.Split(rng, -0.5)
+	if len(train) != 0 || len(test) != 10 {
+		t.Fatalf("clamped Split = %d/%d", len(train), len(test))
+	}
+}
+
+func TestNewPairCanonical(t *testing.T) {
+	p := NewPair(5, 2)
+	if p.A != 2 || p.B != 5 {
+		t.Fatalf("NewPair(5,2) = %v, want (2,5)", p)
+	}
+	if NewPair(2, 5) != p {
+		t.Fatal("pair canonical form not order independent")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewPair(i,i) did not panic")
+		}
+	}()
+	NewPair(3, 3)
+}
+
+func TestAllPairsCount(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw % 40)
+		ps := AllPairs(n)
+		want := 0
+		if n >= 2 {
+			want = n * (n - 1) / 2
+		}
+		if len(ps) != want {
+			return false
+		}
+		seen := map[Pair]bool{}
+		for _, p := range ps {
+			if p.A >= p.B || p.B >= n || seen[p] {
+				return false
+			}
+			seen[p] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	rel := paperRelation(t)
+	var sb strings.Builder
+	if err := rel.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Schema().Equal(rel.Schema()) {
+		t.Fatal("round trip changed schema")
+	}
+	if back.NumRows() != rel.NumRows() {
+		t.Fatalf("round trip changed row count: %d vs %d", back.NumRows(), rel.NumRows())
+	}
+	for i := 0; i < rel.NumRows(); i++ {
+		for j := 0; j < rel.Schema().Arity(); j++ {
+			if back.Value(i, j) != rel.Value(i, j) {
+				t.Fatalf("round trip changed cell (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCSVRoundTripWithCommasAndQuotes(t *testing.T) {
+	rel := New(MustSchema("a", "b"))
+	rel.MustAppend(Tuple{`has,comma`, `has"quote`})
+	rel.MustAppend(Tuple{"has\nnewline", ""})
+	var sb strings.Builder
+	if err := rel.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(strings.NewReader(sb.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Value(0, 0) != `has,comma` || back.Value(0, 1) != `has"quote` {
+		t.Fatal("quoting lost on round trip")
+	}
+	if back.Value(1, 0) != "has\nnewline" {
+		t.Fatal("newline lost on round trip")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Error("empty input should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,b\n1\n")); err == nil {
+		t.Error("ragged row should error")
+	}
+	if _, err := ReadCSV(strings.NewReader("a,a\n1,2\n")); err == nil {
+		t.Error("duplicate header should error")
+	}
+}
+
+func TestCSVFileRoundTrip(t *testing.T) {
+	rel := paperRelation(t)
+	path := t.TempDir() + "/rel.csv"
+	if err := rel.WriteCSVFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSVFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NumRows() != rel.NumRows() {
+		t.Fatal("file round trip changed row count")
+	}
+	if _, err := ReadCSVFile(path + ".missing"); err == nil {
+		t.Error("missing file should error")
+	}
+}
+
+func TestProject(t *testing.T) {
+	rel := paperRelation(t)
+	proj, err := rel.Project("City", "Team")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proj.Schema().Arity() != 2 {
+		t.Fatalf("projected arity = %d", proj.Schema().Arity())
+	}
+	if proj.NumRows() != rel.NumRows() {
+		t.Fatalf("projected rows = %d", proj.NumRows())
+	}
+	// Order follows the requested names, not the source schema.
+	if proj.Value(0, 0) != "L.A." || proj.Value(0, 1) != "Lakers" {
+		t.Fatalf("projection wrong: %v %v", proj.Value(0, 0), proj.Value(0, 1))
+	}
+	// Deep copy: mutating the projection leaves the source intact.
+	proj.SetValue(0, 0, "X")
+	if rel.Value(0, 2) != "L.A." {
+		t.Fatal("projection shares storage with source")
+	}
+}
+
+func TestProjectErrors(t *testing.T) {
+	rel := paperRelation(t)
+	if _, err := rel.Project("Team", "Nope"); err == nil {
+		t.Error("unknown attribute should error")
+	}
+	if _, err := rel.Project(); err == nil {
+		t.Error("empty projection should error")
+	}
+	if _, err := rel.Project("Team", "Team"); err == nil {
+		t.Error("duplicate attributes should error")
+	}
+}

@@ -1,0 +1,277 @@
+// Package errgen is a BART-style error generator (Arocena et al. 2015):
+// it scrambles cell values with respect to target functional dependencies
+// so that the dirtied relation contains a controlled number of violating
+// tuple pairs, and it keeps the ground truth (which rows and cells were
+// corrupted) that the evaluation's F1 metric is scored against.
+//
+// The paper uses it in two modes, both provided here:
+//
+//   - ratio mode (§A.2): per m violations injected for the target FD(s),
+//     inject n violations for each alternative FD — the user-study
+//     scenarios use ratios 1/3 and 2/3;
+//   - degree mode (§C.1): inject until the fraction of violating pairs
+//     reaches a desired degree d (the evaluation sweeps d < 35%).
+package errgen
+
+import (
+	"fmt"
+	"sort"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// Change records one cell corruption.
+type Change struct {
+	Row, Attr int
+	Old, New  string
+}
+
+// Result is a dirtied relation plus its ground truth.
+type Result struct {
+	// Rel is the dirtied copy; the input relation is never modified.
+	Rel *dataset.Relation
+	// DirtyRows is the set of rows containing at least one corrupted
+	// cell. The evaluation's error-detection F1 is computed against this
+	// set.
+	DirtyRows map[int]struct{}
+	// DirtyCells is the set of corrupted cells.
+	DirtyCells map[fd.Cell]struct{}
+	// Log lists every corruption in injection order.
+	Log []Change
+}
+
+// CleanRows returns the complement of DirtyRows: the ground-truth clean
+// set c_g of §A.2.
+func (r *Result) CleanRows() map[int]struct{} {
+	clean := make(map[int]struct{})
+	for i := 0; i < r.Rel.NumRows(); i++ {
+		if _, dirty := r.DirtyRows[i]; !dirty {
+			clean[i] = struct{}{}
+		}
+	}
+	return clean
+}
+
+func newResult(rel *dataset.Relation) *Result {
+	return &Result{
+		Rel:        rel.Clone(),
+		DirtyRows:  make(map[int]struct{}),
+		DirtyCells: make(map[fd.Cell]struct{}),
+	}
+}
+
+func (r *Result) record(c Change) {
+	r.Log = append(r.Log, c)
+	r.DirtyRows[c.Row] = struct{}{}
+	r.DirtyCells[fd.Cell{Row: c.Row, Attr: c.Attr}] = struct{}{}
+}
+
+// domain returns the sorted distinct values of attribute a in rel.
+func domain(rel *dataset.Relation, a int) []string {
+	seen := make(map[string]struct{})
+	for i := 0; i < rel.NumRows(); i++ {
+		seen[rel.Value(i, a)] = struct{}{}
+	}
+	vals := make([]string, 0, len(seen))
+	for v := range seen {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return vals
+}
+
+// injectOne scrambles the RHS value of one row so that the row newly
+// violates f against at least one other row agreeing on f's LHS. It
+// returns false when the relation has no multi-row LHS group left to
+// corrupt. Rows already dirty are preferred last so corruption spreads.
+func injectOne(res *Result, f fd.FD, rng *stats.RNG) bool {
+	rel := res.Rel
+	lhs := f.LHS.Attrs()
+
+	groups := make(map[string][]int)
+	var keys []string
+	for i := 0; i < rel.NumRows(); i++ {
+		key := rel.ProjectKey(i, lhs)
+		if _, ok := groups[key]; !ok {
+			keys = append(keys, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	sort.Strings(keys)
+
+	// Candidate rows: members of groups of size ≥ 2 whose RHS currently
+	// agrees with at least one group mate (so changing it creates a new
+	// violation). Prefer rows that are still clean.
+	var cleanCand, dirtyCand []int
+	for _, key := range keys {
+		rows := groups[key]
+		if len(rows) < 2 {
+			continue
+		}
+		counts := make(map[string]int)
+		for _, r := range rows {
+			counts[rel.Value(r, f.RHS)]++
+		}
+		for _, r := range rows {
+			if counts[rel.Value(r, f.RHS)] >= 2 {
+				if _, dirty := res.DirtyRows[r]; dirty {
+					dirtyCand = append(dirtyCand, r)
+				} else {
+					cleanCand = append(cleanCand, r)
+				}
+			}
+		}
+	}
+	cand := cleanCand
+	if len(cand) == 0 {
+		cand = dirtyCand
+	}
+	if len(cand) == 0 {
+		return false
+	}
+	row := cand[rng.Intn(len(cand))]
+	old := rel.Value(row, f.RHS)
+
+	// New value: a different value from the attribute domain, or a
+	// synthesized typo when the domain is degenerate.
+	dom := domain(rel, f.RHS)
+	var choices []string
+	for _, v := range dom {
+		if v != old {
+			choices = append(choices, v)
+		}
+	}
+	var newVal string
+	if len(choices) > 0 {
+		newVal = choices[rng.Intn(len(choices))]
+	} else {
+		newVal = old + "~err"
+	}
+	rel.SetValue(row, f.RHS, newVal)
+	res.record(Change{Row: row, Attr: f.RHS, Old: old, New: newVal})
+	return true
+}
+
+// InjectCount corrupts the relation with respect to f until `count` new
+// corruptions have been applied (or no further corruption is possible).
+// It returns the number actually injected.
+func InjectCount(res *Result, f fd.FD, count int, rng *stats.RNG) int {
+	injected := 0
+	for injected < count {
+		if !injectOne(res, f, rng) {
+			break
+		}
+		injected++
+	}
+	return injected
+}
+
+// RatioConfig drives the user-study scenario generation of §A.2.
+type RatioConfig struct {
+	// Target is the FD(s) the scenario designates as ground truth.
+	Target []fd.FD
+	// Alternatives are the distractor FDs a participant might plausibly
+	// believe.
+	Alternatives []fd.FD
+	// TargetViolations is m: the number of violations injected per
+	// target FD.
+	TargetViolations int
+	// Ratio is n/m: violations injected per alternative FD for every m
+	// target violations. The paper uses 1/3 and 2/3.
+	Ratio float64
+	// Seed drives the injection RNG.
+	Seed uint64
+}
+
+// InjectRatio dirties rel per the scenario configuration and returns the
+// result with ground truth. It errors when the configuration is invalid.
+func InjectRatio(rel *dataset.Relation, cfg RatioConfig) (*Result, error) {
+	if len(cfg.Target) == 0 {
+		return nil, fmt.Errorf("errgen: no target FDs")
+	}
+	if cfg.TargetViolations <= 0 {
+		return nil, fmt.Errorf("errgen: TargetViolations must be positive, got %d", cfg.TargetViolations)
+	}
+	if cfg.Ratio < 0 {
+		return nil, fmt.Errorf("errgen: negative ratio %v", cfg.Ratio)
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	res := newResult(rel)
+	for _, f := range cfg.Target {
+		InjectCount(res, f, cfg.TargetViolations, rng)
+	}
+	altCount := int(float64(cfg.TargetViolations)*cfg.Ratio + 0.5)
+	for _, f := range cfg.Alternatives {
+		InjectCount(res, f, altCount, rng)
+	}
+	return res, nil
+}
+
+// ViolationDegree measures the degree of violation of the FDs over rel:
+// the mean, over the FDs, of the fraction of LHS-agreeing pairs that are
+// violations. FDs with no agreeing pairs contribute 0.
+func ViolationDegree(rel *dataset.Relation, fds []fd.FD) float64 {
+	if len(fds) == 0 {
+		return 0
+	}
+	var total float64
+	for _, f := range fds {
+		st := fd.ComputeStats(f, rel)
+		if st.Agreeing > 0 {
+			total += float64(st.Violating) / float64(st.Agreeing)
+		}
+	}
+	return total / float64(len(fds))
+}
+
+// DegreeConfig drives degree-targeted injection (§C.1).
+type DegreeConfig struct {
+	// FDs are the dependencies whose violation degree is controlled.
+	FDs []fd.FD
+	// Degree is the desired mean violating-pair fraction in (0, 1).
+	Degree float64
+	// MaxChanges bounds the total corruptions (0 means rows/2).
+	MaxChanges int
+	// Seed drives the injection RNG.
+	Seed uint64
+}
+
+// InjectDegree corrupts rel until ViolationDegree reaches cfg.Degree (or
+// corruption stalls / MaxChanges is hit). Round-robin over the FDs keeps
+// the degrees balanced across them.
+func InjectDegree(rel *dataset.Relation, cfg DegreeConfig) (*Result, error) {
+	if len(cfg.FDs) == 0 {
+		return nil, fmt.Errorf("errgen: no FDs")
+	}
+	if cfg.Degree <= 0 || cfg.Degree >= 1 {
+		return nil, fmt.Errorf("errgen: degree %v out of (0,1)", cfg.Degree)
+	}
+	maxChanges := cfg.MaxChanges
+	if maxChanges <= 0 {
+		maxChanges = rel.NumRows() / 2
+		if maxChanges < 1 {
+			maxChanges = 1
+		}
+	}
+	rng := stats.NewRNG(cfg.Seed)
+	res := newResult(rel)
+	changes := 0
+	for changes < maxChanges && ViolationDegree(res.Rel, cfg.FDs) < cfg.Degree {
+		progressed := false
+		for _, f := range cfg.FDs {
+			if changes >= maxChanges || ViolationDegree(res.Rel, cfg.FDs) >= cfg.Degree {
+				break
+			}
+			if injectOne(res, f, rng) {
+				changes++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,266 @@
+package errgen
+
+import (
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// cleanRelation builds a relation where b = f(a) and d = g(c) hold
+// exactly, with enough rows for meaningful injection.
+func cleanRelation(n int) *dataset.Relation {
+	rel := dataset.New(dataset.MustSchema("a", "b", "c", "d"))
+	for i := 0; i < n; i++ {
+		a := string(rune('0' + i%5))
+		c := string(rune('A' + i%4))
+		rel.MustAppend(dataset.Tuple{a, "fb" + a, c, "gd" + c})
+	}
+	return rel
+}
+
+func fdAB() fd.FD { return fd.MustNew(fd.NewAttrSet(0), 1) }
+func fdCD() fd.FD { return fd.MustNew(fd.NewAttrSet(2), 3) }
+
+func TestInjectCountCreatesViolations(t *testing.T) {
+	rel := cleanRelation(50)
+	f := fdAB()
+	if fd.G1(f, rel) != 0 {
+		t.Fatal("setup: relation not clean")
+	}
+	res := newResult(rel)
+	rng := stats.NewRNG(1)
+	n := InjectCount(res, f, 5, rng)
+	if n != 5 {
+		t.Fatalf("injected %d, want 5", n)
+	}
+	if fd.G1(f, res.Rel) == 0 {
+		t.Fatal("no violations created")
+	}
+	if len(res.DirtyRows) == 0 || len(res.DirtyCells) == 0 || len(res.Log) != 5 {
+		t.Fatalf("ground truth incomplete: rows=%d cells=%d log=%d",
+			len(res.DirtyRows), len(res.DirtyCells), len(res.Log))
+	}
+}
+
+func TestInjectDoesNotMutateInput(t *testing.T) {
+	rel := cleanRelation(30)
+	orig := rel.Clone()
+	res, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: 0.1, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Log) == 0 {
+		t.Fatal("nothing injected")
+	}
+	for i := 0; i < rel.NumRows(); i++ {
+		for j := 0; j < rel.Schema().Arity(); j++ {
+			if rel.Value(i, j) != orig.Value(i, j) {
+				t.Fatalf("input relation mutated at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestGroundTruthMatchesLog(t *testing.T) {
+	rel := cleanRelation(40)
+	res, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB(), fdCD()}, Degree: 0.15, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Log {
+		if _, ok := res.DirtyRows[c.Row]; !ok {
+			t.Errorf("row %d in log but not DirtyRows", c.Row)
+		}
+		if _, ok := res.DirtyCells[fd.Cell{Row: c.Row, Attr: c.Attr}]; !ok {
+			t.Errorf("cell (%d,%d) in log but not DirtyCells", c.Row, c.Attr)
+		}
+		if res.Rel.Value(c.Row, c.Attr) == c.Old && c.Old != c.New {
+			// A later change may have overwritten; only flag when the log
+			// entry is the final change for that cell.
+			final := true
+			for _, later := range res.Log {
+				if later.Row == c.Row && later.Attr == c.Attr && later != c {
+					final = false
+				}
+			}
+			if final {
+				t.Errorf("cell (%d,%d) value not changed", c.Row, c.Attr)
+			}
+		}
+	}
+}
+
+func TestCleanRowsComplement(t *testing.T) {
+	rel := cleanRelation(30)
+	res, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: 0.1, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean := res.CleanRows()
+	if len(clean)+len(res.DirtyRows) != rel.NumRows() {
+		t.Fatalf("clean %d + dirty %d != rows %d", len(clean), len(res.DirtyRows), rel.NumRows())
+	}
+	for r := range clean {
+		if _, dirty := res.DirtyRows[r]; dirty {
+			t.Fatalf("row %d both clean and dirty", r)
+		}
+	}
+}
+
+func TestInjectDegreeReachesTarget(t *testing.T) {
+	for _, degree := range []float64{0.05, 0.1, 0.2} {
+		rel := cleanRelation(100)
+		res, err := InjectDegree(rel, DegreeConfig{
+			FDs: []fd.FD{fdAB()}, Degree: degree, Seed: 5, MaxChanges: 90,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := ViolationDegree(res.Rel, []fd.FD{fdAB()})
+		if got < degree {
+			t.Errorf("degree %v: reached only %v", degree, got)
+		}
+		// Should not wildly overshoot: one injection adds a bounded
+		// number of violating pairs.
+		if got > degree+0.15 {
+			t.Errorf("degree %v: overshot to %v", degree, got)
+		}
+	}
+}
+
+func TestInjectDegreeConfigValidation(t *testing.T) {
+	rel := cleanRelation(10)
+	if _, err := InjectDegree(rel, DegreeConfig{Degree: 0.1}); err == nil {
+		t.Error("no FDs should error")
+	}
+	for _, d := range []float64{0, 1, -0.5, 1.5} {
+		if _, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: d}); err == nil {
+			t.Errorf("degree %v should error", d)
+		}
+	}
+}
+
+func TestInjectRatio(t *testing.T) {
+	rel := cleanRelation(80)
+	res, err := InjectRatio(rel, RatioConfig{
+		Target:           []fd.FD{fdAB()},
+		Alternatives:     []fd.FD{fdCD()},
+		TargetViolations: 9,
+		Ratio:            1.0 / 3.0,
+		Seed:             6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 9 target + round(9/3)=3 alternative corruptions.
+	if len(res.Log) != 12 {
+		t.Fatalf("log has %d changes, want 12", len(res.Log))
+	}
+	targetChanges, altChanges := 0, 0
+	for _, c := range res.Log {
+		switch c.Attr {
+		case 1:
+			targetChanges++
+		case 3:
+			altChanges++
+		}
+	}
+	if targetChanges != 9 || altChanges != 3 {
+		t.Fatalf("changes target=%d alt=%d, want 9/3", targetChanges, altChanges)
+	}
+	// The target FD should now have more violations than the alternative.
+	tStats := fd.ComputeStats(fdAB(), res.Rel)
+	aStats := fd.ComputeStats(fdCD(), res.Rel)
+	if tStats.Violating <= aStats.Violating {
+		t.Errorf("target violations %d not above alternative %d", tStats.Violating, aStats.Violating)
+	}
+}
+
+func TestInjectRatioValidation(t *testing.T) {
+	rel := cleanRelation(10)
+	if _, err := InjectRatio(rel, RatioConfig{TargetViolations: 1}); err == nil {
+		t.Error("no target should error")
+	}
+	if _, err := InjectRatio(rel, RatioConfig{Target: []fd.FD{fdAB()}}); err == nil {
+		t.Error("zero TargetViolations should error")
+	}
+	if _, err := InjectRatio(rel, RatioConfig{Target: []fd.FD{fdAB()}, TargetViolations: 1, Ratio: -1}); err == nil {
+		t.Error("negative ratio should error")
+	}
+}
+
+func TestInjectDeterministicForSeed(t *testing.T) {
+	rel := cleanRelation(60)
+	a, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: 0.1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: 0.1, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Log) != len(b.Log) {
+		t.Fatalf("same seed produced different change counts: %d vs %d", len(a.Log), len(b.Log))
+	}
+	for i := range a.Log {
+		if a.Log[i] != b.Log[i] {
+			t.Fatalf("same seed diverged at change %d: %+v vs %+v", i, a.Log[i], b.Log[i])
+		}
+	}
+	c, err := InjectDegree(rel, DegreeConfig{FDs: []fd.FD{fdAB()}, Degree: 0.1, Seed: 43})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := len(c.Log) == len(a.Log)
+	if same {
+		for i := range a.Log {
+			if a.Log[i] != c.Log[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical injection")
+	}
+}
+
+func TestInjectOneStallsGracefully(t *testing.T) {
+	// A two-row relation with distinct LHS values offers nothing to
+	// corrupt for a→b.
+	rel := dataset.New(dataset.MustSchema("a", "b"))
+	rel.MustAppend(dataset.Tuple{"1", "x"})
+	rel.MustAppend(dataset.Tuple{"2", "y"})
+	res := newResult(rel)
+	if injectOne(res, fdAB(), stats.NewRNG(1)) {
+		t.Fatal("injection should stall with no agreeing groups")
+	}
+	if n := InjectCount(res, fdAB(), 5, stats.NewRNG(1)); n != 0 {
+		t.Fatalf("InjectCount injected %d on impossible input", n)
+	}
+}
+
+func TestViolationDegreeEmptyFDs(t *testing.T) {
+	rel := cleanRelation(10)
+	if got := ViolationDegree(rel, nil); got != 0 {
+		t.Fatalf("empty FD list degree = %v", got)
+	}
+}
+
+func TestInjectDegenerateDomainSynthesizesTypo(t *testing.T) {
+	// All rows share the same RHS value: the generator must synthesize a
+	// new value rather than loop forever.
+	rel := dataset.New(dataset.MustSchema("a", "b"))
+	for i := 0; i < 6; i++ {
+		rel.MustAppend(dataset.Tuple{"k", "same"})
+	}
+	res := newResult(rel)
+	if !injectOne(res, fdAB(), stats.NewRNG(1)) {
+		t.Fatal("injection failed on degenerate domain")
+	}
+	if fd.G1(fdAB(), res.Rel) == 0 {
+		t.Fatal("no violation created on degenerate domain")
+	}
+}

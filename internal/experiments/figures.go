@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+
+	"exptrain/internal/belief"
+)
+
+// Standard priors of §C.1.
+var (
+	priorRandom       = belief.PriorSpec{Kind: belief.PriorRandom}
+	priorDataEstimate = belief.PriorSpec{Kind: belief.PriorDataEstimate}
+	priorUniform09    = belief.PriorSpec{Kind: belief.PriorUniform, D: 0.9}
+)
+
+// Figure1 — MAE between trainer and learner models on OMDB with ≈10%
+// violations; trainer prior Random, learner prior Data-estimate.
+func Figure1(baseSeed uint64, runs int) (*Result, error) {
+	return Run(Config{
+		Dataset:      "OMDB",
+		Degree:       0.10,
+		TrainerPrior: priorRandom,
+		LearnerPrior: priorDataEstimate,
+		Runs:         runs,
+		BaseSeed:     baseSeed,
+	})
+}
+
+// Figure3 — same condition as Figure 1 but the learner's prior is not
+// informed by the data (Uniform-0.9).
+func Figure3(baseSeed uint64, runs int) (*Result, error) {
+	return Run(Config{
+		Dataset:      "OMDB",
+		Degree:       0.10,
+		TrainerPrior: priorRandom,
+		LearnerPrior: priorUniform09,
+		Runs:         runs,
+		BaseSeed:     baseSeed,
+	})
+}
+
+// Figure4 — MAE for all four datasets at ≈20% violations; trainer prior
+// Random, learner prior Data-estimate.
+func Figure4(baseSeed uint64, runs int) ([]*Result, error) {
+	return allDatasets(Config{
+		Degree:       0.20,
+		TrainerPrior: priorRandom,
+		LearnerPrior: priorDataEstimate,
+		Runs:         runs,
+		BaseSeed:     baseSeed,
+	})
+}
+
+// Figure5 — MAE for all four datasets at ≈20% violations; learner prior
+// Uniform-0.9.
+func Figure5(baseSeed uint64, runs int) ([]*Result, error) {
+	return allDatasets(Config{
+		Degree:       0.20,
+		TrainerPrior: priorRandom,
+		LearnerPrior: priorUniform09,
+		Runs:         runs,
+		BaseSeed:     baseSeed,
+	})
+}
+
+// Figure6 — MAE on OMDB at violation degrees ≈5%, ≈15% and ≈25%;
+// trainer prior Random, learner prior Uniform-0.9. One Result per
+// degree, in that order.
+func Figure6(baseSeed uint64, runs int) ([]*Result, error) {
+	var out []*Result
+	for _, degree := range []float64{0.05, 0.15, 0.25} {
+		res, err := Run(Config{
+			Dataset:      "OMDB",
+			Degree:       degree,
+			TrainerPrior: priorRandom,
+			LearnerPrior: priorUniform09,
+			Runs:         runs,
+			BaseSeed:     baseSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 6 degree %v: %w", degree, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure7 — error-detection F1 of the learner's model per iteration on
+// OMDB, Hospital and Tax at ≈20% violations; both priors Random.
+func Figure7(baseSeed uint64, runs int) ([]*Result, error) {
+	var out []*Result
+	for _, name := range []string{"OMDB", "Hospital", "Tax"} {
+		res, err := Run(Config{
+			Dataset:      name,
+			Degree:       0.20,
+			TrainerPrior: priorRandom,
+			LearnerPrior: priorRandom,
+			Runs:         runs,
+			BaseSeed:     baseSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 7 %s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// Figure6Agreement is the companion the paper describes in prose next
+// to Figure 6: when the trainer's and learner's prior models agree, the
+// violation degree stops mattering — the MAE curves stay flat across
+// degrees. One Result per degree (≈5/15/25%), each with SharedPrior.
+func Figure6Agreement(baseSeed uint64, runs int) ([]*Result, error) {
+	var out []*Result
+	for _, degree := range []float64{0.05, 0.15, 0.25} {
+		res, err := Run(Config{
+			Dataset:      "OMDB",
+			Degree:       degree,
+			TrainerPrior: priorRandom,
+			LearnerPrior: priorRandom, // overridden by SharedPrior
+			SharedPrior:  true,
+			Runs:         runs,
+			BaseSeed:     baseSeed,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("figure 6 agreement degree %v: %w", degree, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+func allDatasets(template Config) ([]*Result, error) {
+	var out []*Result
+	for _, name := range []string{"OMDB", "AIRPORT", "Hospital", "Tax"} {
+		cfg := template
+		cfg.Dataset = name
+		res, err := Run(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", name, err)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

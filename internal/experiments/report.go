@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteMAETable renders a condition's MAE series as an aligned text
+// table: one row per iteration, one column per method — the textual
+// equivalent of the paper's MAE figures.
+func WriteMAETable(w io.Writer, res *Result) error {
+	return writeSeriesTable(w, res, func(m MethodSeries) []float64 { return m.MAE })
+}
+
+// WriteF1Table renders a condition's detection-F1 series (Figure 7's
+// textual equivalent).
+func WriteF1Table(w io.Writer, res *Result) error {
+	return writeSeriesTable(w, res, func(m MethodSeries) []float64 { return m.F1 })
+}
+
+func writeSeriesTable(w io.Writer, res *Result, pick func(MethodSeries) []float64) error {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("# dataset=%s degree=%.0f%% trainer=%s learner=%s\n",
+		res.Config.Dataset, res.Config.Degree*100,
+		res.Config.TrainerPrior, res.Config.LearnerPrior))
+	b.WriteString(fmt.Sprintf("%-5s", "iter"))
+	maxLen := 0
+	for _, m := range res.Methods {
+		b.WriteString(fmt.Sprintf(" %14s", m.Method))
+		if n := len(pick(m)); n > maxLen {
+			maxLen = n
+		}
+	}
+	b.WriteByte('\n')
+	for i := 0; i < maxLen; i++ {
+		b.WriteString(fmt.Sprintf("%-5d", i+1))
+		for _, m := range res.Methods {
+			series := pick(m)
+			if i < len(series) {
+				b.WriteString(fmt.Sprintf(" %14.4f", series[i]))
+			} else {
+				b.WriteString(fmt.Sprintf(" %14s", "-"))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSummary renders one line per method with the convergence and
+// accuracy summaries (mean/final MAE, final F1 with precision/recall) —
+// the numbers EXPERIMENTS.md records per figure.
+func WriteSummary(w io.Writer, res *Result) error {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("# dataset=%s degree=%.0f%% trainer=%s learner=%s\n",
+		res.Config.Dataset, res.Config.Degree*100,
+		res.Config.TrainerPrior, res.Config.LearnerPrior))
+	b.WriteString(fmt.Sprintf("%-14s %9s %9s %8s %8s %8s\n",
+		"method", "meanMAE", "finalMAE", "finalF1", "finalP", "finalR"))
+	for _, m := range res.Methods {
+		lastP, lastR := 0.0, 0.0
+		if n := len(m.Precision); n > 0 {
+			lastP = m.Precision[n-1]
+		}
+		if n := len(m.Recall); n > 0 {
+			lastR = m.Recall[n-1]
+		}
+		b.WriteString(fmt.Sprintf("%-14s %9.4f %9.4f %8.4f %8.4f %8.4f\n",
+			m.Method, m.MeanMAE(), m.FinalMAE(), m.FinalF1(), lastP, lastR))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteSeriesCSV renders a condition's per-iteration series as CSV with
+// one column per method — directly loadable by plotting tools. pick
+// selects the series (use MAE or F1 via the exported wrappers).
+func WriteSeriesCSV(w io.Writer, res *Result, pick func(MethodSeries) []float64) error {
+	var b strings.Builder
+	b.WriteString("iteration")
+	maxLen := 0
+	for _, m := range res.Methods {
+		b.WriteByte(',')
+		b.WriteString(m.Method)
+		if n := len(pick(m)); n > maxLen {
+			maxLen = n
+		}
+	}
+	b.WriteByte('\n')
+	for i := 0; i < maxLen; i++ {
+		b.WriteString(fmt.Sprint(i + 1))
+		for _, m := range res.Methods {
+			b.WriteByte(',')
+			series := pick(m)
+			if i < len(series) {
+				b.WriteString(fmt.Sprintf("%.6f", series[i]))
+			}
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// MAEOf and F1Of are the series selectors for WriteSeriesCSV.
+func MAEOf(m MethodSeries) []float64 { return m.MAE }
+func F1Of(m MethodSeries) []float64  { return m.F1 }

@@ -1,0 +1,150 @@
+// Package fd implements the approximate functional-dependency substrate:
+// attribute-set algebra, the FD type, the scaled g₁ approximation
+// measure, violating pair/cell detection, hypothesis-space enumeration,
+// TANE-style partition refinement, and approximate-FD discovery.
+//
+// Terminology follows the paper (§A.1): FDs are minimal, nontrivial and
+// normalized (single-attribute RHS); an FD X→Z is a *superset* of XY→Z
+// (it implies it), and XY→Z is a *subset* of X→Z.
+package fd
+
+import (
+	"fmt"
+	"math/bits"
+	"sort"
+	"strings"
+)
+
+// AttrSet is a set of attribute positions encoded as a bitmask. The
+// framework never needs more than 64 attributes (the paper's widest
+// dataset, Hospital, has 19).
+type AttrSet uint64
+
+// MaxAttrs is the largest attribute position an AttrSet can hold.
+const MaxAttrs = 64
+
+// NewAttrSet builds a set from attribute positions. It panics on
+// positions outside [0, MaxAttrs).
+func NewAttrSet(attrs ...int) AttrSet {
+	var s AttrSet
+	for _, a := range attrs {
+		s = s.Add(a)
+	}
+	return s
+}
+
+// Add returns the set with attribute a included.
+func (s AttrSet) Add(a int) AttrSet {
+	if a < 0 || a >= MaxAttrs {
+		panic(fmt.Sprintf("fd: attribute position %d out of range", a))
+	}
+	return s | 1<<uint(a)
+}
+
+// Remove returns the set with attribute a excluded.
+func (s AttrSet) Remove(a int) AttrSet {
+	if a < 0 || a >= MaxAttrs {
+		panic(fmt.Sprintf("fd: attribute position %d out of range", a))
+	}
+	return s &^ (1 << uint(a))
+}
+
+// Has reports whether attribute a is in the set.
+func (s AttrSet) Has(a int) bool {
+	return a >= 0 && a < MaxAttrs && s&(1<<uint(a)) != 0
+}
+
+// Count returns the cardinality of the set.
+func (s AttrSet) Count() int { return bits.OnesCount64(uint64(s)) }
+
+// IsEmpty reports whether the set has no attributes.
+func (s AttrSet) IsEmpty() bool { return s == 0 }
+
+// Union returns s ∪ o.
+func (s AttrSet) Union(o AttrSet) AttrSet { return s | o }
+
+// Intersect returns s ∩ o.
+func (s AttrSet) Intersect(o AttrSet) AttrSet { return s & o }
+
+// Minus returns s \ o.
+func (s AttrSet) Minus(o AttrSet) AttrSet { return s &^ o }
+
+// IsSubsetOf reports whether every attribute of s is in o.
+func (s AttrSet) IsSubsetOf(o AttrSet) bool { return s&^o == 0 }
+
+// IsProperSubsetOf reports whether s ⊂ o strictly.
+func (s AttrSet) IsProperSubsetOf(o AttrSet) bool { return s != o && s.IsSubsetOf(o) }
+
+// Attrs returns the attribute positions in ascending order.
+func (s AttrSet) Attrs() []int {
+	out := make([]int, 0, s.Count())
+	for v := uint64(s); v != 0; {
+		a := bits.TrailingZeros64(v)
+		out = append(out, a)
+		v &= v - 1
+	}
+	return out
+}
+
+// String renders the set as {i,j,...} using positions; use Render with a
+// schema for names.
+func (s AttrSet) String() string {
+	parts := make([]string, 0, s.Count())
+	for _, a := range s.Attrs() {
+		parts = append(parts, fmt.Sprint(a))
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// Render renders the set using the given attribute names, in schema
+// order, e.g. "Team,City".
+func (s AttrSet) Render(names []string) string {
+	parts := make([]string, 0, s.Count())
+	for _, a := range s.Attrs() {
+		if a < len(names) {
+			parts = append(parts, names[a])
+		} else {
+			parts = append(parts, fmt.Sprintf("#%d", a))
+		}
+	}
+	return strings.Join(parts, ",")
+}
+
+// Subsets calls fn for every non-empty proper subset of s, in increasing
+// bitmask order. It is used by minimality pruning in FD discovery.
+func (s AttrSet) Subsets(fn func(AttrSet) bool) {
+	// Standard submask enumeration: iterate sub = (sub-1) & s.
+	for sub := (uint64(s) - 1) & uint64(s); sub != 0; sub = (sub - 1) & uint64(s) {
+		if !fn(AttrSet(sub)) {
+			return
+		}
+	}
+}
+
+// AllSubsetsOfSize returns every subset of the attribute universe
+// [0, arity) with exactly k attributes, in deterministic lexicographic
+// order of the underlying combination.
+func AllSubsetsOfSize(arity, k int) []AttrSet {
+	if k < 0 || k > arity {
+		return nil
+	}
+	var out []AttrSet
+	comb := make([]int, k)
+	var rec func(start, depth int)
+	rec = func(start, depth int) {
+		if depth == k {
+			out = append(out, NewAttrSet(comb...))
+			return
+		}
+		for a := start; a < arity; a++ {
+			comb[depth] = a
+			rec(a+1, depth+1)
+		}
+	}
+	if k == 0 {
+		return []AttrSet{0}
+	}
+	rec(0, 0)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

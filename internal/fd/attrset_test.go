@@ -1,0 +1,184 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAttrSetBasics(t *testing.T) {
+	s := NewAttrSet(0, 3, 5)
+	if s.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", s.Count())
+	}
+	for _, a := range []int{0, 3, 5} {
+		if !s.Has(a) {
+			t.Errorf("missing attribute %d", a)
+		}
+	}
+	for _, a := range []int{1, 2, 4, 63} {
+		if s.Has(a) {
+			t.Errorf("spurious attribute %d", a)
+		}
+	}
+	if s.Has(-1) || s.Has(64) {
+		t.Error("out-of-range Has should be false")
+	}
+}
+
+func TestAttrSetAddRemove(t *testing.T) {
+	s := NewAttrSet(1).Add(2).Remove(1)
+	if !s.Has(2) || s.Has(1) {
+		t.Fatalf("Add/Remove wrong: %v", s)
+	}
+	// Add is idempotent.
+	if NewAttrSet(2).Add(2) != NewAttrSet(2) {
+		t.Error("Add not idempotent")
+	}
+	// Remove of absent attr is a no-op.
+	if NewAttrSet(2).Remove(5) != NewAttrSet(2) {
+		t.Error("Remove of absent attr changed set")
+	}
+}
+
+func TestAttrSetPanicsOutOfRange(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"Add(-1)":    func() { AttrSet(0).Add(-1) },
+		"Add(64)":    func() { AttrSet(0).Add(64) },
+		"Remove(64)": func() { AttrSet(0).Remove(64) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestAttrSetAlgebra(t *testing.T) {
+	a := NewAttrSet(0, 1, 2)
+	b := NewAttrSet(2, 3)
+	if got := a.Union(b); got != NewAttrSet(0, 1, 2, 3) {
+		t.Errorf("Union = %v", got)
+	}
+	if got := a.Intersect(b); got != NewAttrSet(2) {
+		t.Errorf("Intersect = %v", got)
+	}
+	if got := a.Minus(b); got != NewAttrSet(0, 1) {
+		t.Errorf("Minus = %v", got)
+	}
+}
+
+func TestSubsetRelations(t *testing.T) {
+	a := NewAttrSet(0, 1)
+	b := NewAttrSet(0, 1, 2)
+	if !a.IsSubsetOf(b) || !a.IsProperSubsetOf(b) {
+		t.Error("a ⊂ b not detected")
+	}
+	if !a.IsSubsetOf(a) {
+		t.Error("a ⊆ a must hold")
+	}
+	if a.IsProperSubsetOf(a) {
+		t.Error("a ⊄ a strictly")
+	}
+	if b.IsSubsetOf(a) {
+		t.Error("b ⊆ a must not hold")
+	}
+	if !AttrSet(0).IsSubsetOf(a) {
+		t.Error("∅ ⊆ a must hold")
+	}
+}
+
+func TestAttrsRoundTrip(t *testing.T) {
+	f := func(raw uint64) bool {
+		s := AttrSet(raw)
+		attrs := s.Attrs()
+		if len(attrs) != s.Count() {
+			return false
+		}
+		// Ascending and reconstructible.
+		var back AttrSet
+		prev := -1
+		for _, a := range attrs {
+			if a <= prev {
+				return false
+			}
+			prev = a
+			back = back.Add(a)
+		}
+		return back == s
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSubsetsEnumeratesAllProper(t *testing.T) {
+	s := NewAttrSet(0, 2, 5)
+	var got []AttrSet
+	s.Subsets(func(sub AttrSet) bool {
+		got = append(got, sub)
+		return true
+	})
+	// 2³ − 2 = 6 non-empty proper subsets.
+	if len(got) != 6 {
+		t.Fatalf("got %d subsets, want 6: %v", len(got), got)
+	}
+	seen := map[AttrSet]bool{}
+	for _, sub := range got {
+		if sub == 0 || sub == s || !sub.IsSubsetOf(s) || seen[sub] {
+			t.Fatalf("bad subset %v of %v", sub, s)
+		}
+		seen[sub] = true
+	}
+}
+
+func TestSubsetsEarlyStop(t *testing.T) {
+	s := NewAttrSet(0, 1, 2)
+	count := 0
+	s.Subsets(func(AttrSet) bool {
+		count++
+		return count < 2
+	})
+	if count != 2 {
+		t.Fatalf("early stop visited %d, want 2", count)
+	}
+}
+
+func TestAllSubsetsOfSize(t *testing.T) {
+	// C(5, 2) = 10.
+	subs := AllSubsetsOfSize(5, 2)
+	if len(subs) != 10 {
+		t.Fatalf("got %d subsets, want 10", len(subs))
+	}
+	seen := map[AttrSet]bool{}
+	for _, s := range subs {
+		if s.Count() != 2 || seen[s] {
+			t.Fatalf("bad subset %v", s)
+		}
+		seen[s] = true
+	}
+	// Edge cases.
+	if got := AllSubsetsOfSize(3, 0); len(got) != 1 || got[0] != 0 {
+		t.Errorf("size 0: %v", got)
+	}
+	if got := AllSubsetsOfSize(3, 4); got != nil {
+		t.Errorf("k > n: %v", got)
+	}
+	if got := AllSubsetsOfSize(3, -1); got != nil {
+		t.Errorf("negative k: %v", got)
+	}
+}
+
+func TestRenderWithNames(t *testing.T) {
+	names := []string{"Team", "City", "Role"}
+	if got := NewAttrSet(0, 2).Render(names); got != "Team,Role" {
+		t.Fatalf("Render = %q", got)
+	}
+	// Out-of-range positions degrade gracefully.
+	if got := NewAttrSet(5).Render(names); got != "#5" {
+		t.Fatalf("Render out of range = %q", got)
+	}
+}

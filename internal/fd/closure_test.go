@@ -1,0 +1,192 @@
+package fd
+
+import (
+	"testing"
+	"testing/quick"
+
+	"exptrain/internal/stats"
+)
+
+func TestClosureTextbook(t *testing.T) {
+	// Classic example: F = {A→B, B→C}; A⁺ = {A,B,C}.
+	fds := []FD{
+		MustNew(NewAttrSet(0), 1),
+		MustNew(NewAttrSet(1), 2),
+	}
+	got := Closure(NewAttrSet(0), fds)
+	if got != NewAttrSet(0, 1, 2) {
+		t.Fatalf("A+ = %v, want {0,1,2}", got)
+	}
+	// C⁺ = {C}: nothing is determined by C.
+	if got := Closure(NewAttrSet(2), fds); got != NewAttrSet(2) {
+		t.Fatalf("C+ = %v, want {2}", got)
+	}
+}
+
+func TestClosureCompositeLHS(t *testing.T) {
+	// F = {AB→C, C→D}; AB⁺ = {A,B,C,D}, A⁺ = {A}.
+	fds := []FD{
+		MustNew(NewAttrSet(0, 1), 2),
+		MustNew(NewAttrSet(2), 3),
+	}
+	if got := Closure(NewAttrSet(0, 1), fds); got != NewAttrSet(0, 1, 2, 3) {
+		t.Fatalf("AB+ = %v", got)
+	}
+	if got := Closure(NewAttrSet(0), fds); got != NewAttrSet(0) {
+		t.Fatalf("A+ = %v", got)
+	}
+}
+
+func TestImpliesTransitivity(t *testing.T) {
+	fds := []FD{
+		MustNew(NewAttrSet(0), 1),
+		MustNew(NewAttrSet(1), 2),
+	}
+	// Transitivity: A→C follows.
+	if !Implies(fds, MustNew(NewAttrSet(0), 2)) {
+		t.Fatal("A→C should be implied")
+	}
+	// Augmentation: AD→C follows.
+	if !Implies(fds, MustNew(NewAttrSet(0, 3), 2)) {
+		t.Fatal("AD→C should be implied")
+	}
+	// B→A does not follow.
+	if Implies(fds, MustNew(NewAttrSet(1), 0)) {
+		t.Fatal("B→A should not be implied")
+	}
+}
+
+func TestMinimalCoverDropsImplied(t *testing.T) {
+	// A→B, B→C, A→C: the last is redundant.
+	fds := []FD{
+		MustNew(NewAttrSet(0), 1),
+		MustNew(NewAttrSet(1), 2),
+		MustNew(NewAttrSet(0), 2),
+	}
+	cover := MinimalCover(fds)
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 FDs", cover)
+	}
+	if !Equivalent(cover, fds) {
+		t.Fatal("cover not equivalent to input")
+	}
+}
+
+func TestMinimalCoverLeftReduces(t *testing.T) {
+	// A→B plus AB→C: the second left-reduces to A→C (B ∈ A⁺).
+	fds := []FD{
+		MustNew(NewAttrSet(0), 1),
+		MustNew(NewAttrSet(0, 1), 2),
+	}
+	cover := MinimalCover(fds)
+	want := MustNew(NewAttrSet(0), 2)
+	found := false
+	for _, f := range cover {
+		if f == want {
+			found = true
+		}
+		if f.LHS.Count() > 1 {
+			t.Fatalf("cover retains unreduced FD %v", f)
+		}
+	}
+	if !found {
+		t.Fatalf("cover %v missing reduced A→C", cover)
+	}
+	if !Equivalent(cover, fds) {
+		t.Fatal("cover not equivalent to input")
+	}
+}
+
+func TestMinimalCoverHandlesDuplicates(t *testing.T) {
+	f := MustNew(NewAttrSet(0), 1)
+	cover := MinimalCover([]FD{f, f, f})
+	if len(cover) != 1 || cover[0] != f {
+		t.Fatalf("cover = %v", cover)
+	}
+}
+
+func TestMinimalCoverEmpty(t *testing.T) {
+	if got := MinimalCover(nil); len(got) != 0 {
+		t.Fatalf("cover of nothing = %v", got)
+	}
+}
+
+func TestMinimalCoverOrderIndependent(t *testing.T) {
+	fds := []FD{
+		MustNew(NewAttrSet(0), 1),
+		MustNew(NewAttrSet(1), 2),
+		MustNew(NewAttrSet(0), 2),
+		MustNew(NewAttrSet(2), 3),
+		MustNew(NewAttrSet(0, 2), 3),
+	}
+	a := MinimalCover(fds)
+	rev := make([]FD, len(fds))
+	for i, f := range fds {
+		rev[len(fds)-1-i] = f
+	}
+	b := MinimalCover(rev)
+	if len(a) != len(b) {
+		t.Fatalf("covers differ by order: %v vs %v", a, b)
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("covers differ by order: %v vs %v", a, b)
+		}
+	}
+}
+
+func TestMinimalCoverEquivalenceProperty(t *testing.T) {
+	// Property: for random FD sets, MinimalCover is equivalent to the
+	// input and contains no FD implied by the others.
+	rng := stats.NewRNG(31337)
+	f := func(nRaw uint8) bool {
+		n := 1 + int(nRaw%8)
+		fds := make([]FD, 0, n)
+		for i := 0; i < n; i++ {
+			var lhs AttrSet
+			for lhs.IsEmpty() {
+				for a := 0; a < 5; a++ {
+					if rng.Float64() < 0.4 {
+						lhs = lhs.Add(a)
+					}
+				}
+			}
+			rhs := rng.Intn(5)
+			if lhs.Has(rhs) {
+				lhs = lhs.Remove(rhs)
+				if lhs.IsEmpty() {
+					continue
+				}
+			}
+			fds = append(fds, FD{LHS: lhs, RHS: rhs})
+		}
+		if len(fds) == 0 {
+			return true
+		}
+		cover := MinimalCover(fds)
+		if !Equivalent(cover, fds) {
+			return false
+		}
+		for i := range cover {
+			rest := append(append([]FD{}, cover[:i]...), cover[i+1:]...)
+			if Implies(rest, cover[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEquivalentDetectsDifference(t *testing.T) {
+	a := []FD{MustNew(NewAttrSet(0), 1)}
+	b := []FD{MustNew(NewAttrSet(1), 0)}
+	if Equivalent(a, b) {
+		t.Fatal("A→B and B→A are not equivalent")
+	}
+	if !Equivalent(a, a) {
+		t.Fatal("a set is equivalent to itself")
+	}
+}

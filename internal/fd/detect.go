@@ -1,0 +1,80 @@
+package fd
+
+import (
+	"sort"
+
+	"exptrain/internal/dataset"
+)
+
+// minorityFraction bounds how large an RHS value class may be, relative
+// to its LHS group, and still be flagged as erroneous. Injected errors
+// are rare deviations (usually a single scrambled cell), whereas an
+// approximate FD's structural exceptions (a remake of a movie, two
+// facilities sharing a name) come in balanced classes; the threshold
+// separates the two.
+const minorityFraction = 0.25
+
+// MinorityRows returns the rows flagged as erroneous by f under the
+// standard FD-repair heuristic (Chu et al. 2013; Rekatsinas et al.
+// 2017): within each group of rows agreeing on f's LHS, the plurality
+// RHS value is presumed clean and rows holding a *rare* deviating value
+// (a class no larger than minorityFraction of the group, and never the
+// plurality itself) are flagged. Groups with a single distinct RHS
+// value flag nothing. Ties for the plurality are broken toward the
+// lexicographically smallest value so detection is deterministic.
+func MinorityRows(f FD, rel *dataset.Relation) map[int]struct{} {
+	lhs := f.LHS.Attrs()
+	groups := make(map[string][]int)
+	for i := 0; i < rel.NumRows(); i++ {
+		key := rel.ProjectKey(i, lhs)
+		groups[key] = append(groups[key], i)
+	}
+	flagged := make(map[int]struct{})
+	for _, rows := range groups {
+		if len(rows) < 2 {
+			continue
+		}
+		counts := make(map[string]int)
+		for _, r := range rows {
+			counts[rel.Value(r, f.RHS)]++
+		}
+		if len(counts) < 2 {
+			continue
+		}
+		// Plurality value, ties toward the smallest value.
+		vals := make([]string, 0, len(counts))
+		for v := range counts {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		majority := vals[0]
+		for _, v := range vals[1:] {
+			if counts[v] > counts[majority] {
+				majority = v
+			}
+		}
+		maxClass := int(minorityFraction * float64(len(rows)))
+		if maxClass < 1 {
+			maxClass = 1
+		}
+		for _, r := range rows {
+			v := rel.Value(r, f.RHS)
+			if v != majority && counts[v] <= maxClass {
+				flagged[r] = struct{}{}
+			}
+		}
+	}
+	return flagged
+}
+
+// DetectErrors unions MinorityRows over a set of believed FDs: the rows
+// the model predicts to be dirty.
+func DetectErrors(fds []FD, rel *dataset.Relation) map[int]struct{} {
+	out := make(map[int]struct{})
+	for _, f := range fds {
+		for r := range MinorityRows(f, rel) {
+			out[r] = struct{}{}
+		}
+	}
+	return out
+}

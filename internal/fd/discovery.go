@@ -1,0 +1,124 @@
+package fd
+
+import (
+	"fmt"
+	"sort"
+
+	"exptrain/internal/dataset"
+)
+
+// DiscoveryConfig controls approximate-FD discovery.
+type DiscoveryConfig struct {
+	// MaxG1 is the approximation threshold: an FD is reported when its
+	// scaled g₁ measure is at most MaxG1. Zero discovers exact FDs.
+	MaxG1 float64
+	// MaxLHS bounds the LHS size explored (default 3 when zero, matching
+	// the paper's ≤4-attribute FDs).
+	MaxLHS int
+	// MinConfidence additionally requires the pair-conditional
+	// compliance rate to reach this level. The scaled g₁ measure divides
+	// by |r|², so an FD whose LHS is nearly a key always has a tiny g₁
+	// no matter how often its few agreeing pairs disagree; a confidence
+	// floor screens those out. Zero disables the filter.
+	MinConfidence float64
+	// MinSupport requires at least this many LHS-agreeing pairs, so
+	// vacuous near-key FDs with no real evidence are not reported. Zero
+	// disables the filter.
+	MinSupport int
+}
+
+// Discover finds all minimal, nontrivial, normalized FDs X → A over rel
+// with g₁(X→A) ≤ cfg.MaxG1, using a level-wise lattice walk with
+// TANE-style stripped-partition refinement. Minimality follows the exact
+// definition (§A.1): X → A is reported only if no proper subset of X
+// determines A at the threshold.
+func Discover(rel *dataset.Relation, cfg DiscoveryConfig) ([]FD, error) {
+	arity := rel.Schema().Arity()
+	if arity < 2 {
+		return nil, fmt.Errorf("fd: discovery needs at least two attributes")
+	}
+	if cfg.MaxG1 < 0 {
+		return nil, fmt.Errorf("fd: negative g1 threshold %v", cfg.MaxG1)
+	}
+	maxLHS := cfg.MaxLHS
+	if maxLHS <= 0 {
+		maxLHS = 3
+	}
+	if maxLHS > arity-1 {
+		maxLHS = arity - 1
+	}
+
+	// holds[X→A] records LHS sets already known to determine A, for
+	// minimality pruning at deeper levels.
+	holds := make(map[int][]AttrSet, arity)
+	var found []FD
+
+	// Level 1 partitions seed the refinement cache.
+	partitions := make(map[AttrSet]*Partition)
+	for a := 0; a < arity; a++ {
+		partitions[NewAttrSet(a)] = PartitionOn(rel, NewAttrSet(a))
+	}
+
+	determinedByKnown := func(lhs AttrSet, rhs int) bool {
+		for _, known := range holds[rhs] {
+			if known.IsSubsetOf(lhs) {
+				return true
+			}
+		}
+		return false
+	}
+
+	level := AllSubsetsOfSize(arity, 1)
+	for size := 1; size <= maxLHS; size++ {
+		for _, lhs := range level {
+			part, ok := partitions[lhs]
+			if !ok {
+				// Refine the cached partition on lhs minus its highest
+				// attribute; fall back to direct partitioning.
+				attrs := lhs.Attrs()
+				last := attrs[len(attrs)-1]
+				parent, ok := partitions[lhs.Remove(last)]
+				if ok {
+					part = parent.Refine(rel, last)
+				} else {
+					part = PartitionOn(rel, lhs)
+				}
+				partitions[lhs] = part
+			}
+			for rhs := 0; rhs < arity; rhs++ {
+				if lhs.Has(rhs) {
+					continue
+				}
+				if determinedByKnown(lhs, rhs) {
+					continue // a subset already determines rhs → not minimal
+				}
+				st := part.StatsFor(rel, rhs)
+				if st.G1() > cfg.MaxG1 {
+					continue
+				}
+				if cfg.MinConfidence > 0 && st.Confidence() < cfg.MinConfidence {
+					continue
+				}
+				if st.Agreeing < cfg.MinSupport {
+					continue
+				}
+				found = append(found, FD{LHS: lhs, RHS: rhs})
+				holds[rhs] = append(holds[rhs], lhs)
+			}
+		}
+		if size < maxLHS {
+			level = AllSubsetsOfSize(arity, size+1)
+		}
+	}
+
+	sort.Slice(found, func(i, j int) bool {
+		if found[i].LHS.Count() != found[j].LHS.Count() {
+			return found[i].LHS.Count() < found[j].LHS.Count()
+		}
+		if found[i].LHS != found[j].LHS {
+			return found[i].LHS < found[j].LHS
+		}
+		return found[i].RHS < found[j].RHS
+	})
+	return found, nil
+}

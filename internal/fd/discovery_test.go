@@ -1,0 +1,193 @@
+package fd
+
+import (
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+func TestDiscoverExactOnCleanData(t *testing.T) {
+	// Construct data where b is a function of a, and c is free.
+	rel := dataset.New(dataset.MustSchema("a", "b", "c"))
+	fn := map[string]string{"1": "x", "2": "y", "3": "x"}
+	rng := stats.NewRNG(7)
+	keys := []string{"1", "2", "3"}
+	vocabC := []string{"p", "q", "r", "s"}
+	for i := 0; i < 60; i++ {
+		k := keys[rng.Intn(3)]
+		rel.MustAppend(dataset.Tuple{k, fn[k], vocabC[rng.Intn(4)]})
+	}
+	found, err := Discover(rel, DiscoveryConfig{MaxG1: 0, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := MustNew(NewAttrSet(0), 1) // a→b
+	hasWant := false
+	for _, f := range found {
+		if f == want {
+			hasWant = true
+		}
+		// Every reported FD must actually hold exactly.
+		if g := G1(f, rel); g != 0 {
+			t.Errorf("reported FD %v has g1=%v", f, g)
+		}
+	}
+	if !hasWant {
+		t.Fatalf("a→b not discovered; found %v", found)
+	}
+	// c→b should not hold (c is random over 4 values, b over 2; with 60
+	// rows a violation is essentially certain).
+	for _, f := range found {
+		if f == MustNew(NewAttrSet(2), 1) {
+			t.Errorf("spurious FD c→b discovered")
+		}
+	}
+}
+
+func TestDiscoverMinimality(t *testing.T) {
+	// a→b holds, so {a,c}→b must be pruned as non-minimal.
+	rel := dataset.New(dataset.MustSchema("a", "b", "c"))
+	for i := 0; i < 40; i++ {
+		k := string(rune('0' + i%4))
+		rel.MustAppend(dataset.Tuple{k, "f" + k, string(rune('a' + i%3))})
+	}
+	found, err := Discover(rel, DiscoveryConfig{MaxG1: 0, MaxLHS: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range found {
+		if f.RHS == 1 && f.LHS.Count() > 1 && f.LHS.Has(0) {
+			t.Fatalf("non-minimal FD %v reported alongside a→b", f)
+		}
+	}
+}
+
+func TestDiscoverApproximateThreshold(t *testing.T) {
+	// b is a function of a except for a few scrambled rows; exact
+	// discovery misses it, approximate discovery at a loose threshold
+	// finds it.
+	rel := dataset.New(dataset.MustSchema("a", "b"))
+	for i := 0; i < 50; i++ {
+		k := string(rune('0' + i%5))
+		rel.MustAppend(dataset.Tuple{k, "f" + k})
+	}
+	// Scramble two rows.
+	rel.SetValue(0, 1, "junk1")
+	rel.SetValue(25, 1, "junk2")
+	f := MustNew(NewAttrSet(0), 1)
+	g := G1(f, rel)
+	if g <= 0 {
+		t.Fatal("setup: scrambling produced no violations")
+	}
+
+	exact, err := Discover(rel, DiscoveryConfig{MaxG1: 0, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, got := range exact {
+		if got == f {
+			t.Fatal("exact discovery should not report a broken FD")
+		}
+	}
+
+	approx, err := Discover(rel, DiscoveryConfig{MaxG1: g, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hasF := false
+	for _, got := range approx {
+		if got == f {
+			hasF = true
+		}
+	}
+	if !hasF {
+		t.Fatalf("approximate discovery at threshold %v missed a→b; found %v", g, approx)
+	}
+}
+
+func TestDiscoverAgainstBruteForce(t *testing.T) {
+	// Cross-check the lattice walk against naive enumeration + minimality
+	// filtering on random relations.
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 25; trial++ {
+		n := 8 + rng.Intn(25)
+		rel := dataset.New(dataset.MustSchema("a", "b", "c", "d"))
+		vocab := []string{"0", "1", "2"}
+		for i := 0; i < n; i++ {
+			rel.MustAppend(dataset.Tuple{
+				vocab[rng.Intn(2)], vocab[rng.Intn(2)], vocab[rng.Intn(3)], vocab[rng.Intn(2)],
+			})
+		}
+		const maxG1 = 0.01
+		got, err := Discover(rel, DiscoveryConfig{MaxG1: maxG1, MaxLHS: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gotSet := map[FD]bool{}
+		for _, f := range got {
+			gotSet[f] = true
+		}
+
+		// Brute force: all FDs with g1 ≤ maxG1 whose proper LHS subsets
+		// do not determine the RHS at the threshold.
+		all := MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 3})
+		wantSet := map[FD]bool{}
+		for _, f := range all {
+			if G1(f, rel) > maxG1 {
+				continue
+			}
+			minimal := true
+			f.LHS.Subsets(func(sub AttrSet) bool {
+				if G1(FD{LHS: sub, RHS: f.RHS}, rel) <= maxG1 {
+					minimal = false
+					return false
+				}
+				return true
+			})
+			if minimal {
+				wantSet[f] = true
+			}
+		}
+		for f := range wantSet {
+			if !gotSet[f] {
+				t.Fatalf("trial %d: Discover missed %v", trial, f)
+			}
+		}
+		for f := range gotSet {
+			if !wantSet[f] {
+				t.Fatalf("trial %d: Discover reported non-minimal or failing %v", trial, f)
+			}
+		}
+	}
+}
+
+func TestDiscoverErrors(t *testing.T) {
+	rel := dataset.New(dataset.MustSchema("only"))
+	if _, err := Discover(rel, DiscoveryConfig{}); err == nil {
+		t.Error("single-attribute relation should error")
+	}
+	rel2 := dataset.New(dataset.MustSchema("a", "b"))
+	if _, err := Discover(rel2, DiscoveryConfig{MaxG1: -0.1}); err == nil {
+		t.Error("negative threshold should error")
+	}
+}
+
+func TestDiscoverTable1(t *testing.T) {
+	rel := table1()
+	// At threshold 0.04, Team→City holds (Example 1) and should be found.
+	found, err := Discover(rel, DiscoveryConfig{MaxG1: 0.04, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	teamCity := MustParse("Team->City", rel.Schema())
+	has := false
+	for _, f := range found {
+		if f == teamCity {
+			has = true
+		}
+	}
+	if !has {
+		t.Fatalf("Team→City not found at g1 ≤ 0.04; found %v", found)
+	}
+}

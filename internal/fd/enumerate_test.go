@@ -1,0 +1,135 @@
+package fd
+
+import (
+	"testing"
+)
+
+func TestEnumerateCountsSmall(t *testing.T) {
+	// Arity 3, MaxLHS 2: LHS size 1 → 3 sets × 2 RHS = 6; size 2 → 3 sets
+	// × 1 RHS = 3; total 9.
+	fds := MustEnumerate(SpaceConfig{Arity: 3, MaxLHS: 2})
+	if len(fds) != 9 {
+		t.Fatalf("got %d FDs, want 9", len(fds))
+	}
+	seen := map[FD]bool{}
+	for _, f := range fds {
+		if f.LHS.IsEmpty() || f.LHS.Has(f.RHS) || seen[f] {
+			t.Fatalf("invalid or duplicate FD %v", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestEnumerateCanonicalOrder(t *testing.T) {
+	fds := MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 3})
+	for i := 1; i < len(fds); i++ {
+		a, b := fds[i-1], fds[i]
+		if a.LHS.Count() > b.LHS.Count() {
+			t.Fatalf("order broken at %d: %v before %v", i, a, b)
+		}
+		if a.LHS.Count() == b.LHS.Count() && a.LHS > b.LHS {
+			t.Fatalf("LHS order broken at %d: %v before %v", i, a, b)
+		}
+		if a.LHS == b.LHS && a.RHS >= b.RHS {
+			t.Fatalf("RHS order broken at %d: %v before %v", i, a, b)
+		}
+	}
+}
+
+func TestEnumerateMaxFDsTruncation(t *testing.T) {
+	// §C.1 uses a 38-FD hypothesis space.
+	fds := MustEnumerate(SpaceConfig{Arity: 6, MaxLHS: 3, MaxFDs: 38})
+	if len(fds) != 38 {
+		t.Fatalf("got %d FDs, want 38", len(fds))
+	}
+}
+
+func TestEnumerateRestrictedAttrs(t *testing.T) {
+	fds := MustEnumerate(SpaceConfig{Arity: 10, MaxLHS: 1, Attrs: []int{2, 7}})
+	if len(fds) != 2 {
+		t.Fatalf("got %d FDs, want 2", len(fds))
+	}
+	for _, f := range fds {
+		for _, a := range f.Attrs().Attrs() {
+			if a != 2 && a != 7 {
+				t.Fatalf("FD %v uses attribute outside restriction", f)
+			}
+		}
+	}
+}
+
+func TestEnumerateMaxLHSClamped(t *testing.T) {
+	// MaxLHS larger than arity−1 is clamped, not an error.
+	fds := MustEnumerate(SpaceConfig{Arity: 3, MaxLHS: 10})
+	for _, f := range fds {
+		if f.LHS.Count() > 2 {
+			t.Fatalf("FD %v exceeds clamped MaxLHS", f)
+		}
+	}
+}
+
+func TestEnumerateErrors(t *testing.T) {
+	if _, err := Enumerate(SpaceConfig{Arity: 1, MaxLHS: 1}); err == nil {
+		t.Error("arity 1 should error")
+	}
+	if _, err := Enumerate(SpaceConfig{Arity: 3, MaxLHS: 0}); err == nil {
+		t.Error("MaxLHS 0 should error")
+	}
+	if _, err := Enumerate(SpaceConfig{Arity: 3, MaxLHS: 1, Attrs: []int{5}}); err == nil {
+		t.Error("out-of-range restricted attr should error")
+	}
+}
+
+func TestSpaceIndexing(t *testing.T) {
+	fds := MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 2})
+	s := MustNewSpace(fds)
+	if s.Size() != len(fds) {
+		t.Fatalf("Size = %d, want %d", s.Size(), len(fds))
+	}
+	for i, f := range fds {
+		if s.FD(i) != f {
+			t.Fatalf("FD(%d) mismatch", i)
+		}
+		j, ok := s.Index(f)
+		if !ok || j != i {
+			t.Fatalf("Index(%v) = %d,%v", f, j, ok)
+		}
+		if !s.Contains(f) {
+			t.Fatalf("Contains(%v) = false", f)
+		}
+	}
+	if s.Contains(MustNew(NewAttrSet(0, 1, 2), 3)) {
+		t.Error("space should not contain size-3 LHS")
+	}
+}
+
+func TestSpaceRejectsDuplicates(t *testing.T) {
+	f := MustNew(NewAttrSet(0), 1)
+	if _, err := NewSpace([]FD{f, f}); err == nil {
+		t.Fatal("duplicate FDs should error")
+	}
+}
+
+func TestSpaceRelated(t *testing.T) {
+	fds := MustEnumerate(SpaceConfig{Arity: 3, MaxLHS: 2})
+	s := MustNewSpace(fds)
+	target := MustNew(NewAttrSet(0), 2) // a→c
+	related := s.Related(target)
+	// Only {a,b}→c is subset/superset related to a→c in this space.
+	if len(related) != 1 {
+		t.Fatalf("related = %v, want exactly one", related)
+	}
+	if s.FD(related[0]) != MustNew(NewAttrSet(0, 1), 2) {
+		t.Fatalf("related FD = %v", s.FD(related[0]))
+	}
+}
+
+func TestSpaceFDsIsCopy(t *testing.T) {
+	s := MustNewSpace(MustEnumerate(SpaceConfig{Arity: 3, MaxLHS: 1}))
+	before := s.FD(0)
+	fds := s.FDs()
+	fds[0] = MustNew(NewAttrSet(2), 0)
+	if s.FD(0) != before {
+		t.Error("FDs() leaked internal slice")
+	}
+}

@@ -1,0 +1,127 @@
+package fd
+
+import (
+	"testing"
+
+	"exptrain/internal/dataset"
+)
+
+// table1 builds the paper's Table 1 instance.
+func table1() *dataset.Relation {
+	rel := dataset.New(dataset.MustSchema("Player", "Team", "City", "Role", "Apps"))
+	for _, row := range [][]string{
+		{"Carter", "Lakers", "L.A.", "C", "4"},
+		{"Jordan", "Lakers", "Chicago", "PF", "4"},
+		{"Smith", "Bulls", "Chicago", "PF", "4"},
+		{"Black", "Bulls", "Chicago", "C", "3"},
+		{"Miller", "Clippers", "L.A.", "PG", "3"},
+	} {
+		rel.MustAppend(dataset.Tuple(row))
+	}
+	return rel
+}
+
+func TestNewFDValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("empty LHS should error")
+	}
+	if _, err := New(NewAttrSet(1), 1); err == nil {
+		t.Error("trivial FD should error")
+	}
+	if _, err := New(NewAttrSet(1), -1); err == nil {
+		t.Error("negative RHS should error")
+	}
+	if _, err := New(NewAttrSet(1), 64); err == nil {
+		t.Error("out-of-range RHS should error")
+	}
+	f, err := New(NewAttrSet(0, 1), 2)
+	if err != nil {
+		t.Fatalf("valid FD errored: %v", err)
+	}
+	if f.Attrs() != NewAttrSet(0, 1, 2) {
+		t.Errorf("Attrs = %v", f.Attrs())
+	}
+}
+
+func TestSupersetSubsetRelations(t *testing.T) {
+	// Paper §A.2: X→Z is a superset of XY→Z.
+	xToZ := MustNew(NewAttrSet(0), 2)
+	xyToZ := MustNew(NewAttrSet(0, 1), 2)
+	if !xToZ.IsSupersetOf(xyToZ) {
+		t.Error("X→Z should be a superset of XY→Z")
+	}
+	if !xyToZ.IsSubsetOf(xToZ) {
+		t.Error("XY→Z should be a subset of X→Z")
+	}
+	if xyToZ.IsSupersetOf(xToZ) {
+		t.Error("subset direction inverted")
+	}
+	if !xToZ.Related(xyToZ) || !xyToZ.Related(xToZ) {
+		t.Error("Related should hold in both directions")
+	}
+	// Different RHS → unrelated.
+	xToW := MustNew(NewAttrSet(0), 3)
+	if xToZ.Related(xToW) {
+		t.Error("different RHS should be unrelated")
+	}
+	// An FD is not its own superset.
+	if xToZ.IsSupersetOf(xToZ) {
+		t.Error("FD should not be a superset of itself")
+	}
+	// Disjoint LHS with same RHS → unrelated.
+	yToZ := MustNew(NewAttrSet(1), 2)
+	if xToZ.Related(yToZ) {
+		t.Error("incomparable LHS should be unrelated")
+	}
+}
+
+func TestParseAndRender(t *testing.T) {
+	rel := table1()
+	f, err := Parse("Team->City", rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.LHS != NewAttrSet(1) || f.RHS != 2 {
+		t.Fatalf("parsed %v", f)
+	}
+	if got := f.Render(rel.Schema().Names()); got != "Team->City" {
+		t.Fatalf("Render = %q", got)
+	}
+	multi, err := Parse(" Team , Role -> Apps ", rel.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if multi.LHS != NewAttrSet(1, 3) || multi.RHS != 4 {
+		t.Fatalf("parsed %v", multi)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	schema := table1().Schema()
+	for _, bad := range []string{
+		"Team City",      // no arrow
+		"Nope->City",     // unknown LHS
+		"Team->Nope",     // unknown RHS
+		"Team->Team",     // trivial
+		"->City",         // empty LHS
+		"Team,Bad->City", // unknown in list
+	} {
+		if _, err := Parse(bad, schema); err == nil {
+			t.Errorf("Parse(%q) should error", bad)
+		}
+	}
+}
+
+func TestParseAll(t *testing.T) {
+	schema := table1().Schema()
+	fds, err := ParseAll([]string{"Team->City", "Player->Team"}, schema)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fds) != 2 {
+		t.Fatalf("got %d FDs", len(fds))
+	}
+	if _, err := ParseAll([]string{"Team->City", "bad"}, schema); err == nil {
+		t.Error("ParseAll with a bad spec should error")
+	}
+}

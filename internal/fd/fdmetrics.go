@@ -1,0 +1,47 @@
+package fd
+
+import (
+	"exptrain/internal/dataset"
+	"exptrain/internal/metrics"
+)
+
+// CompliantRows returns c(f): the set of row indices not involved in any
+// violating pair of f over rel — the tuples f deems clean (§A.2).
+func CompliantRows(f FD, rel *dataset.Relation) map[int]struct{} {
+	dirty := make(map[int]struct{})
+	for _, p := range ViolatingPairs(f, rel) {
+		dirty[p.A] = struct{}{}
+		dirty[p.B] = struct{}{}
+	}
+	clean := make(map[int]struct{}, rel.NumRows()-len(dirty))
+	for i := 0; i < rel.NumRows(); i++ {
+		if _, bad := dirty[i]; !bad {
+			clean[i] = struct{}{}
+		}
+	}
+	return clean
+}
+
+// ScoreFD evaluates f as a clean-tuple predictor against the ground-truth
+// clean set cg (§A.2): precision = |c(f) ∩ c_g| / |c(f)| and
+// recall = |c(f) ∩ c_g| / |c_g|. (The paper prints recall as
+// |c(f)|/|c_g|, which can exceed 1; we use the standard intersection
+// form, which coincides whenever c(f) ⊆ c_g and keeps the score a true
+// recall.)
+func ScoreFD(f FD, rel *dataset.Relation, cg map[int]struct{}) metrics.PRF1 {
+	return metrics.FromSets(CompliantRows(f, rel), cg)
+}
+
+// F1Similarity returns 1 − |F1(a) − F1(b)|, the discount factor the "+"
+// evaluation variants apply when crediting a predicted FD that is a
+// subset or superset of the ground-truth FD (§A.2): semantically close
+// FDs with similar explanatory power are discounted little.
+func F1Similarity(a, b FD, rel *dataset.Relation, cg map[int]struct{}) float64 {
+	fa := ScoreFD(a, rel, cg).F1
+	fb := ScoreFD(b, rel, cg).F1
+	d := fa - fb
+	if d < 0 {
+		d = -d
+	}
+	return 1 - d
+}

@@ -1,0 +1,78 @@
+package fd
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCompliantRowsTable1(t *testing.T) {
+	rel := table1()
+	f := MustParse("Team->City", rel.Schema())
+	clean := CompliantRows(f, rel)
+	// t1,t2 are in the only violation; t3,t4,t5 are compliant.
+	if len(clean) != 3 {
+		t.Fatalf("compliant rows = %v, want 3", clean)
+	}
+	for _, r := range []int{2, 3, 4} {
+		if _, ok := clean[r]; !ok {
+			t.Errorf("row %d should be compliant", r)
+		}
+	}
+}
+
+func TestScoreFDPerfect(t *testing.T) {
+	rel := table1()
+	f := MustParse("Team->City", rel.Schema())
+	// Ground truth agrees exactly with the FD's clean set.
+	cg := CompliantRows(f, rel)
+	s := ScoreFD(f, rel, cg)
+	if s.Precision != 1 || s.Recall != 1 || s.F1 != 1 {
+		t.Fatalf("perfect agreement scored %+v", s)
+	}
+}
+
+func TestScoreFDPartial(t *testing.T) {
+	rel := table1()
+	f := MustParse("Team->City", rel.Schema())
+	// Ground truth says rows 2,3 are clean; FD predicts 2,3,4 clean.
+	cg := map[int]struct{}{2: {}, 3: {}}
+	s := ScoreFD(f, rel, cg)
+	if math.Abs(s.Precision-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v, want 2/3", s.Precision)
+	}
+	if s.Recall != 1 {
+		t.Errorf("recall = %v, want 1", s.Recall)
+	}
+	wantF1 := 2 * (2.0 / 3.0) * 1 / (2.0/3.0 + 1)
+	if math.Abs(s.F1-wantF1) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", s.F1, wantF1)
+	}
+}
+
+func TestScoreFDEmptyDenominators(t *testing.T) {
+	rel := table1()
+	f := MustParse("Team->City", rel.Schema())
+	s := ScoreFD(f, rel, map[int]struct{}{})
+	if s.Recall != 0 || s.F1 != 0 {
+		t.Fatalf("empty ground truth scored %+v", s)
+	}
+}
+
+func TestF1SimilarityBounds(t *testing.T) {
+	rel := table1()
+	a := MustParse("Team->City", rel.Schema())
+	b := MustParse("Team,Role->City", rel.Schema())
+	cg := CompliantRows(a, rel)
+	sim := F1Similarity(a, b, rel, cg)
+	if sim < 0 || sim > 1 {
+		t.Fatalf("similarity out of [0,1]: %v", sim)
+	}
+	// Self-similarity is exactly 1.
+	if got := F1Similarity(a, a, rel, cg); got != 1 {
+		t.Fatalf("self similarity = %v", got)
+	}
+	// Symmetry.
+	if F1Similarity(a, b, rel, cg) != F1Similarity(b, a, rel, cg) {
+		t.Fatal("similarity not symmetric")
+	}
+}

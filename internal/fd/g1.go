@@ -1,0 +1,209 @@
+package fd
+
+import (
+	"exptrain/internal/dataset"
+)
+
+// PairStatus classifies a tuple pair with respect to one FD.
+type PairStatus int
+
+const (
+	// Neutral: the pair disagrees on the LHS, so the FD says nothing
+	// about it.
+	Neutral PairStatus = iota
+	// Compliant: the pair agrees on the LHS and on the RHS.
+	Compliant
+	// Violating: the pair agrees on the LHS but disagrees on the RHS —
+	// a violation of the FD.
+	Violating
+)
+
+func (s PairStatus) String() string {
+	switch s {
+	case Neutral:
+		return "neutral"
+	case Compliant:
+		return "compliant"
+	case Violating:
+		return "violating"
+	default:
+		return "unknown"
+	}
+}
+
+// Status classifies pair p against f over rel.
+func Status(f FD, rel *dataset.Relation, p dataset.Pair) PairStatus {
+	lhs := f.LHS.Attrs()
+	if !rel.EqualOn(p.A, p.B, lhs) {
+		return Neutral
+	}
+	if rel.Value(p.A, f.RHS) == rel.Value(p.B, f.RHS) {
+		return Compliant
+	}
+	return Violating
+}
+
+// Stats holds the pair-level counts of an FD over a relation.
+type Stats struct {
+	// Agreeing is the number of unordered pairs that agree on the LHS.
+	Agreeing int
+	// Compliant is the number of unordered pairs that agree on the LHS
+	// and the RHS.
+	Compliant int
+	// Violating = Agreeing − Compliant.
+	Violating int
+	// Rows is the relation size the counts were computed over.
+	Rows int
+}
+
+// G1 returns the scaled g₁ measure of the paper: the number of
+// (unordered) violating pairs divided by |r|². The paper's Example 1
+// fixes the convention — g₁(Team→City) over Table 1's five tuples is
+// 1/25 = 0.04, i.e. the single violating pair counted once against n².
+func (s Stats) G1() float64 {
+	if s.Rows == 0 {
+		return 0
+	}
+	return float64(s.Violating) / float64(s.Rows*s.Rows)
+}
+
+// Confidence returns the fraction of LHS-agreeing pairs that comply with
+// the FD, i.e. 1 − (conditional violation rate). This is the
+// "confidence" the belief layer models per FD; an FD with no agreeing
+// pairs is vacuously satisfied and gets confidence 1.
+func (s Stats) Confidence() float64 {
+	if s.Agreeing == 0 {
+		return 1
+	}
+	return float64(s.Compliant) / float64(s.Agreeing)
+}
+
+// ComputeStats counts agreeing/compliant/violating pairs for f over rel
+// by grouping rows on the LHS key and, within each group, on the RHS
+// value: with group size g and RHS-class sizes c_i, the group contributes
+// C(g,2) agreeing and ΣC(c_i,2) compliant pairs. O(n·|LHS|) time.
+func ComputeStats(f FD, rel *dataset.Relation) Stats {
+	lhs := f.LHS.Attrs()
+	n := rel.NumRows()
+	groups := make(map[string]map[string]int)
+	sizes := make(map[string]int)
+	for i := 0; i < n; i++ {
+		key := rel.ProjectKey(i, lhs)
+		rhsVal := rel.Value(i, f.RHS)
+		cls := groups[key]
+		if cls == nil {
+			cls = make(map[string]int)
+			groups[key] = cls
+		}
+		cls[rhsVal]++
+		sizes[key]++
+	}
+	st := Stats{Rows: n}
+	for key, g := range sizes {
+		st.Agreeing += g * (g - 1) / 2
+		for _, c := range groups[key] {
+			st.Compliant += c * (c - 1) / 2
+		}
+	}
+	st.Violating = st.Agreeing - st.Compliant
+	return st
+}
+
+// G1 computes the scaled g₁ measure of f over rel.
+func G1(f FD, rel *dataset.Relation) float64 {
+	return ComputeStats(f, rel).G1()
+}
+
+// Confidence computes the pair-conditional compliance rate of f over rel.
+func Confidence(f FD, rel *dataset.Relation) float64 {
+	return ComputeStats(f, rel).Confidence()
+}
+
+// ViolatingPairs returns every unordered pair of rel that violates f, in
+// deterministic order (sorted by first then second row index).
+func ViolatingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
+	lhs := f.LHS.Attrs()
+	n := rel.NumRows()
+	groups := make(map[string][]int)
+	order := make([]string, 0)
+	for i := 0; i < n; i++ {
+		key := rel.ProjectKey(i, lhs)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	var out []dataset.Pair
+	for _, key := range order {
+		rows := groups[key]
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				if rel.Value(rows[a], f.RHS) != rel.Value(rows[b], f.RHS) {
+					out = append(out, dataset.NewPair(rows[a], rows[b]))
+				}
+			}
+		}
+	}
+	return out
+}
+
+// AgreeingPairs returns every unordered pair that agrees on f's LHS
+// (compliant and violating alike), in deterministic order. These are the
+// pairs that carry evidence about f.
+func AgreeingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
+	lhs := f.LHS.Attrs()
+	n := rel.NumRows()
+	groups := make(map[string][]int)
+	order := make([]string, 0)
+	for i := 0; i < n; i++ {
+		key := rel.ProjectKey(i, lhs)
+		if _, ok := groups[key]; !ok {
+			order = append(order, key)
+		}
+		groups[key] = append(groups[key], i)
+	}
+	var out []dataset.Pair
+	for _, key := range order {
+		rows := groups[key]
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				out = append(out, dataset.NewPair(rows[a], rows[b]))
+			}
+		}
+	}
+	return out
+}
+
+// Cell identifies one cell of a relation by row and attribute position.
+type Cell struct {
+	Row, Attr int
+}
+
+// ViolatingCells returns C_v for f over rel: the set of cells (LHS and
+// RHS attributes of both tuples) involved in at least one violation of f
+// (§A.1, "Detecting Errors"). The result is returned as a map for O(1)
+// membership tests.
+func ViolatingCells(f FD, rel *dataset.Relation) map[Cell]struct{} {
+	cells := make(map[Cell]struct{})
+	attrs := append(f.LHS.Attrs(), f.RHS)
+	for _, p := range ViolatingPairs(f, rel) {
+		for _, a := range attrs {
+			cells[Cell{Row: p.A, Attr: a}] = struct{}{}
+			cells[Cell{Row: p.B, Attr: a}] = struct{}{}
+		}
+	}
+	return cells
+}
+
+// ViolatingRows returns the set of row indices involved in at least one
+// violation of any of the given FDs.
+func ViolatingRows(fds []FD, rel *dataset.Relation) map[int]struct{} {
+	rows := make(map[int]struct{})
+	for _, f := range fds {
+		for _, p := range ViolatingPairs(f, rel) {
+			rows[p.A] = struct{}{}
+			rows[p.B] = struct{}{}
+		}
+	}
+	return rows
+}

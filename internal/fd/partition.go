@@ -1,0 +1,89 @@
+package fd
+
+import (
+	"sort"
+
+	"exptrain/internal/dataset"
+)
+
+// Partition is a stripped partition in the TANE sense: the equivalence
+// classes of rows under "agrees on attribute set X", with singleton
+// classes removed (they can never participate in an agreeing pair).
+// Classes and their members are kept sorted so operations are
+// deterministic.
+type Partition struct {
+	// Classes holds the equivalence classes with ≥2 rows.
+	Classes [][]int
+	// Rows is the relation size the partition was computed over.
+	Rows int
+}
+
+// PartitionOn computes the stripped partition of rel on attribute set X.
+func PartitionOn(rel *dataset.Relation, x AttrSet) *Partition {
+	attrs := x.Attrs()
+	groups := make(map[string][]int)
+	for i := 0; i < rel.NumRows(); i++ {
+		key := rel.ProjectKey(i, attrs)
+		groups[key] = append(groups[key], i)
+	}
+	p := &Partition{Rows: rel.NumRows()}
+	for _, rows := range groups {
+		if len(rows) >= 2 {
+			p.Classes = append(p.Classes, rows)
+		}
+	}
+	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i][0] < p.Classes[j][0] })
+	return p
+}
+
+// AgreeingPairCount returns Σ C(|class|, 2), the number of unordered
+// pairs agreeing on the partition's attribute set.
+func (p *Partition) AgreeingPairCount() int {
+	var total int
+	for _, c := range p.Classes {
+		total += len(c) * (len(c) - 1) / 2
+	}
+	return total
+}
+
+// Refine intersects the partition with the single attribute a, returning
+// the stripped partition on X ∪ {a}. This is the product-partition step
+// TANE uses to walk the lattice level by level without re-grouping from
+// scratch.
+func (p *Partition) Refine(rel *dataset.Relation, a int) *Partition {
+	out := &Partition{Rows: p.Rows}
+	for _, class := range p.Classes {
+		sub := make(map[string][]int)
+		for _, row := range class {
+			v := rel.Value(row, a)
+			sub[v] = append(sub[v], row)
+		}
+		for _, rows := range sub {
+			if len(rows) >= 2 {
+				out.Classes = append(out.Classes, rows)
+			}
+		}
+	}
+	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i][0] < out.Classes[j][0] })
+	return out
+}
+
+// StatsFor computes the pair counts of the FD (X → a) given the stripped
+// partition on X: within each X-class, rows are sub-grouped by the RHS
+// value; compliant pairs are the within-subgroup pairs.
+func (p *Partition) StatsFor(rel *dataset.Relation, a int) Stats {
+	st := Stats{Rows: p.Rows}
+	for _, class := range p.Classes {
+		g := len(class)
+		st.Agreeing += g * (g - 1) / 2
+		counts := make(map[string]int)
+		for _, row := range class {
+			counts[rel.Value(row, a)]++
+		}
+		for _, c := range counts {
+			st.Compliant += c * (c - 1) / 2
+		}
+	}
+	st.Violating = st.Agreeing - st.Compliant
+	return st
+}

@@ -1,0 +1,201 @@
+package fd
+
+import (
+	"fmt"
+
+	"exptrain/internal/dataset"
+)
+
+// Tracker maintains one FD's pair statistics incrementally under cell
+// updates. Recomputing g₁ after every change costs O(n); the tracker
+// updates in O(group) for LHS changes and O(1) for RHS changes, which
+// is what makes monitoring approximate FDs over *evolving* data
+// practical — the paper's introduction names rapid data evolution as a
+// reason annotators must keep re-learning.
+//
+// The tracker owns the write path: apply cell updates through
+// Tracker.Set (or MultiTracker.Set), which mutates the relation and
+// adjusts the counts consistently.
+type Tracker struct {
+	f   FD
+	rel *dataset.Relation
+	// counts[lhsKey][rhsValue] = number of rows.
+	counts map[string]map[string]int
+	// sizes[lhsKey] = group size.
+	sizes map[string]int
+	stats Stats
+}
+
+// NewTracker builds the tracker for f over rel in one pass.
+func NewTracker(f FD, rel *dataset.Relation) *Tracker {
+	t := &Tracker{
+		f:      f,
+		rel:    rel,
+		counts: make(map[string]map[string]int),
+		sizes:  make(map[string]int),
+	}
+	lhs := f.LHS.Attrs()
+	for i := 0; i < rel.NumRows(); i++ {
+		key := rel.ProjectKey(i, lhs)
+		t.add(key, rel.Value(i, f.RHS))
+	}
+	t.stats.Rows = rel.NumRows()
+	return t
+}
+
+// Stats returns the current pair statistics (same values ComputeStats
+// would produce from scratch).
+func (t *Tracker) Stats() Stats { return t.stats }
+
+// choose2 is C(n, 2).
+func choose2(n int) int { return n * (n - 1) / 2 }
+
+// add inserts one row into group key with the given RHS value,
+// adjusting the pair counts.
+func (t *Tracker) add(key, rhsVal string) {
+	g := t.sizes[key]
+	cls := t.counts[key]
+	if cls == nil {
+		cls = make(map[string]int)
+		t.counts[key] = cls
+	}
+	c := cls[rhsVal]
+	// New agreeing pairs: against every existing group member; new
+	// compliant pairs: against same-RHS members.
+	t.stats.Agreeing += g
+	t.stats.Compliant += c
+	cls[rhsVal] = c + 1
+	t.sizes[key] = g + 1
+	t.stats.Violating = t.stats.Agreeing - t.stats.Compliant
+}
+
+// remove deletes one row from group key with the given RHS value.
+func (t *Tracker) remove(key, rhsVal string) {
+	g := t.sizes[key]
+	cls := t.counts[key]
+	c := cls[rhsVal]
+	if g <= 0 || c <= 0 {
+		panic(fmt.Sprintf("fd: tracker underflow for key %q value %q", key, rhsVal))
+	}
+	t.stats.Agreeing -= g - 1
+	t.stats.Compliant -= c - 1
+	if c == 1 {
+		delete(cls, rhsVal)
+	} else {
+		cls[rhsVal] = c - 1
+	}
+	if g == 1 {
+		delete(t.sizes, key)
+		delete(t.counts, key)
+	} else {
+		t.sizes[key] = g - 1
+	}
+	t.stats.Violating = t.stats.Agreeing - t.stats.Compliant
+}
+
+// Set updates cell (row, attr) to val, mutating the relation and
+// adjusting the statistics. Cells on attributes the FD does not mention
+// just write through.
+func (t *Tracker) Set(row, attr int, val string) {
+	old := t.rel.Value(row, attr)
+	if old == val {
+		return
+	}
+	lhs := t.f.LHS.Attrs()
+	switch {
+	case attr == t.f.RHS:
+		key := t.rel.ProjectKey(row, lhs)
+		t.remove(key, old)
+		t.rel.SetValue(row, attr, val)
+		t.add(key, val)
+	case t.f.LHS.Has(attr):
+		oldKey := t.rel.ProjectKey(row, lhs)
+		rhsVal := t.rel.Value(row, t.f.RHS)
+		t.remove(oldKey, rhsVal)
+		t.rel.SetValue(row, attr, val)
+		t.add(t.rel.ProjectKey(row, lhs), rhsVal)
+	default:
+		t.rel.SetValue(row, attr, val)
+	}
+}
+
+// Append tracks a newly appended row (call after Relation.Append).
+func (t *Tracker) Append(row int) {
+	key := t.rel.ProjectKey(row, t.f.LHS.Attrs())
+	t.add(key, t.rel.Value(row, t.f.RHS))
+	t.stats.Rows++
+}
+
+// MultiTracker maintains trackers for a whole hypothesis space over one
+// relation, with a single write path.
+type MultiTracker struct {
+	rel      *dataset.Relation
+	trackers []*Tracker
+}
+
+// NewMultiTracker builds trackers for every FD.
+func NewMultiTracker(fds []FD, rel *dataset.Relation) *MultiTracker {
+	m := &MultiTracker{rel: rel, trackers: make([]*Tracker, len(fds))}
+	for i, f := range fds {
+		m.trackers[i] = NewTracker(f, rel)
+	}
+	return m
+}
+
+// Stats returns the statistics of tracker i.
+func (m *MultiTracker) Stats(i int) Stats { return m.trackers[i].Stats() }
+
+// Len returns the number of tracked FDs.
+func (m *MultiTracker) Len() int { return len(m.trackers) }
+
+// Set updates one cell across all trackers. Each affected tracker
+// adjusts its counts from the pre-write state; the write happens once.
+func (m *MultiTracker) Set(row, attr int, val string) {
+	old := m.rel.Value(row, attr)
+	if old == val {
+		return
+	}
+	// Adjust each affected tracker against the pre-write relation state,
+	// deferring the actual write.
+	type pending struct {
+		t      *Tracker
+		oldKey string
+		rhsOld string
+		isRHS  bool
+	}
+	var work []pending
+	for _, t := range m.trackers {
+		if attr == t.f.RHS {
+			work = append(work, pending{t: t, oldKey: m.rel.ProjectKey(row, t.f.LHS.Attrs()), rhsOld: old, isRHS: true})
+		} else if t.f.LHS.Has(attr) {
+			work = append(work, pending{t: t, oldKey: m.rel.ProjectKey(row, t.f.LHS.Attrs()), rhsOld: m.rel.Value(row, t.f.RHS)})
+		}
+	}
+	for _, w := range work {
+		w.t.remove(w.oldKey, w.rhsOld)
+	}
+	m.rel.SetValue(row, attr, val)
+	for _, w := range work {
+		if w.isRHS {
+			w.t.add(w.oldKey, val)
+		} else {
+			w.t.add(m.rel.ProjectKey(row, w.t.f.LHS.Attrs()), w.rhsOld)
+		}
+	}
+}
+
+// MeanViolationRate returns the mean conditional violation rate across
+// the tracked FDs — the degree measure errgen targets — in O(|fds|).
+func (m *MultiTracker) MeanViolationRate() float64 {
+	if len(m.trackers) == 0 {
+		return 0
+	}
+	var total float64
+	for _, t := range m.trackers {
+		st := t.Stats()
+		if st.Agreeing > 0 {
+			total += float64(st.Violating) / float64(st.Agreeing)
+		}
+	}
+	return total / float64(len(m.trackers))
+}

@@ -1,0 +1,174 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+func trackerRelation(n int, rng *stats.RNG) *dataset.Relation {
+	rel := dataset.New(dataset.MustSchema("a", "b", "c", "d"))
+	vocab := []string{"0", "1", "2", "3"}
+	for i := 0; i < n; i++ {
+		rel.MustAppend(dataset.Tuple{
+			vocab[rng.Intn(3)], vocab[rng.Intn(4)], vocab[rng.Intn(2)], vocab[rng.Intn(3)],
+		})
+	}
+	return rel
+}
+
+func TestTrackerMatchesComputeStatsInitially(t *testing.T) {
+	rng := stats.NewRNG(1)
+	rel := trackerRelation(60, rng)
+	for _, f := range MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 2}) {
+		tr := NewTracker(f, rel)
+		if got, want := tr.Stats(), ComputeStats(f, rel); got != want {
+			t.Fatalf("FD %v: tracker %+v != recompute %+v", f, got, want)
+		}
+	}
+}
+
+func TestTrackerSetRHSMatchesRecompute(t *testing.T) {
+	rng := stats.NewRNG(2)
+	rel := trackerRelation(50, rng)
+	f := MustNew(NewAttrSet(0, 2), 1)
+	tr := NewTracker(f, rel)
+	for step := 0; step < 200; step++ {
+		row := rng.Intn(rel.NumRows())
+		val := fmt.Sprint(rng.Intn(5))
+		tr.Set(row, 1, val)
+		if got, want := tr.Stats(), ComputeStats(f, rel); got != want {
+			t.Fatalf("step %d: tracker %+v != recompute %+v", step, got, want)
+		}
+	}
+}
+
+func TestTrackerSetLHSMatchesRecompute(t *testing.T) {
+	rng := stats.NewRNG(3)
+	rel := trackerRelation(50, rng)
+	f := MustNew(NewAttrSet(0, 2), 1)
+	tr := NewTracker(f, rel)
+	for step := 0; step < 200; step++ {
+		row := rng.Intn(rel.NumRows())
+		attr := []int{0, 2}[rng.Intn(2)]
+		val := fmt.Sprint(rng.Intn(4))
+		tr.Set(row, attr, val)
+		if got, want := tr.Stats(), ComputeStats(f, rel); got != want {
+			t.Fatalf("step %d: tracker %+v != recompute %+v", step, got, want)
+		}
+	}
+}
+
+func TestTrackerSetUnrelatedAttrWritesThrough(t *testing.T) {
+	rng := stats.NewRNG(4)
+	rel := trackerRelation(20, rng)
+	f := MustNew(NewAttrSet(0), 1)
+	tr := NewTracker(f, rel)
+	before := tr.Stats()
+	tr.Set(3, 3, "zzz")
+	if rel.Value(3, 3) != "zzz" {
+		t.Fatal("write did not go through")
+	}
+	if tr.Stats() != before {
+		t.Fatal("unrelated attribute changed the stats")
+	}
+}
+
+func TestTrackerSetSameValueNoop(t *testing.T) {
+	rng := stats.NewRNG(5)
+	rel := trackerRelation(20, rng)
+	f := MustNew(NewAttrSet(0), 1)
+	tr := NewTracker(f, rel)
+	before := tr.Stats()
+	tr.Set(0, 1, rel.Value(0, 1))
+	if tr.Stats() != before {
+		t.Fatal("no-op write changed the stats")
+	}
+}
+
+func TestTrackerAppend(t *testing.T) {
+	rng := stats.NewRNG(6)
+	rel := trackerRelation(20, rng)
+	f := MustNew(NewAttrSet(0), 1)
+	tr := NewTracker(f, rel)
+	for i := 0; i < 10; i++ {
+		rel.MustAppend(dataset.Tuple{"1", "x", "0", "0"})
+		tr.Append(rel.NumRows() - 1)
+		if got, want := tr.Stats(), ComputeStats(f, rel); got != want {
+			t.Fatalf("after append %d: tracker %+v != recompute %+v", i, got, want)
+		}
+	}
+}
+
+func TestMultiTrackerRandomWorkload(t *testing.T) {
+	rng := stats.NewRNG(7)
+	rel := trackerRelation(40, rng)
+	fds := MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 2})
+	m := NewMultiTracker(fds, rel)
+	if m.Len() != len(fds) {
+		t.Fatalf("Len = %d", m.Len())
+	}
+	for step := 0; step < 300; step++ {
+		row := rng.Intn(rel.NumRows())
+		attr := rng.Intn(4)
+		val := fmt.Sprint(rng.Intn(4))
+		m.Set(row, attr, val)
+		if step%50 != 0 {
+			continue // full cross-check every 50 steps keeps the test fast
+		}
+		for i, f := range fds {
+			if got, want := m.Stats(i), ComputeStats(f, rel); got != want {
+				t.Fatalf("step %d FD %v: tracker %+v != recompute %+v", step, f, got, want)
+			}
+		}
+	}
+	// Final full check.
+	for i, f := range fds {
+		if got, want := m.Stats(i), ComputeStats(f, rel); got != want {
+			t.Fatalf("final FD %v: tracker %+v != recompute %+v", f, got, want)
+		}
+	}
+}
+
+func TestMultiTrackerMeanViolationRate(t *testing.T) {
+	rng := stats.NewRNG(8)
+	rel := trackerRelation(40, rng)
+	fds := MustEnumerate(SpaceConfig{Arity: 4, MaxLHS: 1})
+	m := NewMultiTracker(fds, rel)
+	var want float64
+	for _, f := range fds {
+		st := ComputeStats(f, rel)
+		if st.Agreeing > 0 {
+			want += float64(st.Violating) / float64(st.Agreeing)
+		}
+	}
+	want /= float64(len(fds))
+	if got := m.MeanViolationRate(); got != want {
+		t.Fatalf("MeanViolationRate = %v, want %v", got, want)
+	}
+	empty := NewMultiTracker(nil, rel)
+	if empty.MeanViolationRate() != 0 {
+		t.Fatal("empty tracker rate should be 0")
+	}
+}
+
+func BenchmarkTrackerSetVsRecompute(b *testing.B) {
+	rng := stats.NewRNG(9)
+	rel := trackerRelation(5000, rng)
+	f := MustNew(NewAttrSet(0), 1)
+	b.Run("incremental", func(b *testing.B) {
+		tr := NewTracker(f, rel)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			tr.Set(i%rel.NumRows(), 1, fmt.Sprint(i%5))
+		}
+	})
+	b.Run("recompute", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rel.SetValue(i%rel.NumRows(), 1, fmt.Sprint(i%5))
+			ComputeStats(f, rel)
+		}
+	})
+}

@@ -1,0 +1,115 @@
+package game
+
+import (
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+)
+
+// Frequencies tracks the empirical distributions Φ_t of both agents'
+// realized actions (Definition 2): for the learner, how often each pair
+// was presented; for the trainer, how often each label was produced.
+type Frequencies struct {
+	pairCounts  map[dataset.Pair]int
+	labelCounts [2]int
+	total       int
+}
+
+// NewFrequencies returns an empty tracker.
+func NewFrequencies() *Frequencies {
+	return &Frequencies{pairCounts: make(map[dataset.Pair]int)}
+}
+
+// Record folds one interaction's actions into the empirical counts.
+func (f *Frequencies) Record(presented []dataset.Pair, labeled []belief.Labeling) {
+	for _, p := range presented {
+		f.pairCounts[p]++
+	}
+	for _, lp := range labeled {
+		f.labelCounts[lp.Label()]++
+	}
+	f.total += len(presented)
+}
+
+// Total returns the number of recorded actions.
+func (f *Frequencies) Total() int { return f.total }
+
+// PairFrequency returns Φ_t(x) for a pair: its observed share of all
+// presented examples.
+func (f *Frequencies) PairFrequency(p dataset.Pair) float64 {
+	if f.total == 0 {
+		return 0
+	}
+	return float64(f.pairCounts[p]) / float64(f.total)
+}
+
+// DirtyRate returns the empirical frequency of the Dirty label — the
+// trainer's realized mixed action over labels.
+func (f *Frequencies) DirtyRate() float64 {
+	n := f.labelCounts[0] + f.labelCounts[1]
+	if n == 0 {
+		return 0
+	}
+	return float64(f.labelCounts[belief.Dirty]) / float64(n)
+}
+
+// ConvergenceConfig tunes equilibrium detection.
+type ConvergenceConfig struct {
+	// Tol is the maximum per-iteration belief movement (MAE between
+	// consecutive confidence vectors) considered "stable".
+	Tol float64
+	// Window is how many trailing iterations must all be stable.
+	Window int
+}
+
+// Converged reports whether the per-iteration belief-movement series is
+// an empirical equilibrium in the sense of Proposition 1: over the last
+// Window iterations, both agents' beliefs moved less than Tol, so both
+// policies — which are (stochastic) best responses to those beliefs —
+// have stabilized.
+func Converged(trainerMovement, learnerMovement []float64, cfg ConvergenceConfig) bool {
+	if cfg.Tol <= 0 {
+		cfg.Tol = 0.01
+	}
+	if cfg.Window <= 0 {
+		cfg.Window = 5
+	}
+	if len(trainerMovement) < cfg.Window || len(learnerMovement) < cfg.Window {
+		return false
+	}
+	check := func(series []float64) bool {
+		for _, v := range series[len(series)-cfg.Window:] {
+			if v > cfg.Tol {
+				return false
+			}
+		}
+		return true
+	}
+	return check(trainerMovement) && check(learnerMovement)
+}
+
+// MovementTracker computes per-iteration belief movement: the MAE
+// between an agent's consecutive confidence vectors.
+type MovementTracker struct {
+	prev   []float64
+	series []float64
+}
+
+// Observe folds the agent's current confidences into the movement
+// series.
+func (m *MovementTracker) Observe(confidences []float64) {
+	if m.prev != nil {
+		var s float64
+		for i := range confidences {
+			d := confidences[i] - m.prev[i]
+			if d < 0 {
+				d = -d
+			}
+			s += d
+		}
+		m.series = append(m.series, s/float64(len(confidences)))
+	}
+	m.prev = append(m.prev[:0], confidences...)
+}
+
+// Series returns the movement series observed so far.
+func (m *MovementTracker) Series() []float64 { return m.series }

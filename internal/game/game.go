@@ -1,0 +1,173 @@
+package game
+
+import (
+	"fmt"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/metrics"
+	"exptrain/internal/sampling"
+)
+
+// Config drives one exploratory-training game.
+type Config struct {
+	// K is the number of examples presented per interaction; the paper's
+	// evaluation uses 10 (§C.1). Defaults to 10 when zero.
+	K int
+	// Iterations is the number of interactions N; the paper uses 30
+	// (§C.1). Defaults to 30 when zero.
+	Iterations int
+	// Eval, when non-nil, scores the learner's model each iteration
+	// (Figure 7's per-iteration F1).
+	Eval *Evaluator
+	// BelievedTau is the confidence threshold above which the learner
+	// exports an FD to the evaluator (default 0.5).
+	BelievedTau float64
+	// MaxBelievedStd is the maximum posterior standard deviation for an
+	// FD to be exported — it keeps prior-only hypotheses with no actual
+	// evidence out of the detection model (default 0.1; set negative to
+	// disable the filter).
+	MaxBelievedStd float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.K <= 0 {
+		c.K = 10
+	}
+	if c.Iterations <= 0 {
+		c.Iterations = 30
+	}
+	if c.BelievedTau == 0 {
+		c.BelievedTau = 0.5
+	}
+	if c.MaxBelievedStd == 0 {
+		c.MaxBelievedStd = 0.1
+	}
+	return c
+}
+
+// Evaluator scores error detection on a held-out test split (§C.1
+// separates 30% of each dataset and reports the learner model's F1 on
+// it per interaction).
+type Evaluator struct {
+	// TestRel is the held-out relation (a Subset of the dirtied data).
+	TestRel *dataset.Relation
+	// DirtyRows is the ground-truth dirty row set of TestRel, in
+	// TestRel's row indexing.
+	DirtyRows map[int]struct{}
+}
+
+// Score predicts dirty rows of the test relation using the believed FDs
+// (the minority-value repair heuristic per believed FD) and scores the
+// prediction against the ground truth.
+func (e *Evaluator) Score(believed []fd.FD) metrics.PRF1 {
+	pred := fd.DetectErrors(believed, e.TestRel)
+	return metrics.FromSets(pred, e.DirtyRows)
+}
+
+// IterationRecord captures one interaction of the game.
+type IterationRecord struct {
+	// Presented is the learner's action: the pairs shown.
+	Presented []dataset.Pair
+	// Labeled is the trainer's action: the annotations returned.
+	Labeled []belief.Labeling
+	// Revisions are corrected labelings for earlier pairs, when the
+	// trainer supports relabeling.
+	Revisions []belief.Labeling
+	// MAE is the trainer/learner belief distance after the interaction.
+	MAE float64
+	// TrainerPayoff is u_T for the interaction.
+	TrainerPayoff float64
+	// Detection is the learner model's error-detection score on the
+	// held-out split (zero value when no evaluator is configured).
+	Detection metrics.PRF1
+}
+
+// Result is the full trajectory of one game.
+type Result struct {
+	Iterations []IterationRecord
+	// Frequencies tracks the empirical action distributions Φ_t.
+	Frequencies *Frequencies
+}
+
+// MAESeries extracts the per-iteration MAE curve (Figures 1, 3-6).
+func (r *Result) MAESeries() []float64 {
+	out := make([]float64, len(r.Iterations))
+	for i, it := range r.Iterations {
+		out[i] = it.MAE
+	}
+	return out
+}
+
+// F1Series extracts the per-iteration detection F1 curve (Figure 7).
+func (r *Result) F1Series() []float64 {
+	out := make([]float64, len(r.Iterations))
+	for i, it := range r.Iterations {
+		out[i] = it.Detection.F1
+	}
+	return out
+}
+
+// FinalMAE returns the last iteration's MAE, or 1 for an empty run.
+func (r *Result) FinalMAE() float64 {
+	if len(r.Iterations) == 0 {
+		return 1
+	}
+	return r.Iterations[len(r.Iterations)-1].MAE
+}
+
+// Run plays the exploratory-training game: each interaction t the
+// learner presents K fresh pairs from the pool (response model R^L),
+// the trainer observes them and updates its belief (prediction model
+// P^T), labels them in best response (R^T), and the learner updates its
+// belief from the labelings (P^L). The loop is exactly §C.1's
+// "Interactions" protocol.
+func Run(rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner, pool *sampling.Pool, cfg Config) (*Result, error) {
+	cfg = cfg.withDefaults()
+	if trainer.Belief().Size() != learner.Belief().Size() {
+		return nil, fmt.Errorf("game: trainer and learner hypothesis spaces differ (%d vs %d)",
+			trainer.Belief().Size(), learner.Belief().Size())
+	}
+	res := &Result{Frequencies: NewFrequencies()}
+	for t := 0; t < cfg.Iterations; t++ {
+		remaining := pool.Remaining()
+		if len(remaining) == 0 {
+			break // pool exhausted: nothing fresh to present
+		}
+		presented := learner.Present(rel, remaining, cfg.K)
+		pool.MarkShown(presented)
+
+		trainer.Observe(rel, presented)
+		labeled := trainer.Label(rel, presented)
+		learner.Incorporate(rel, labeled)
+
+		// A relabeling annotator may correct earlier labels after its
+		// belief moved (Yan et al. 2016); the learner reverses the old
+		// evidence and applies the new.
+		var revisions []belief.Labeling
+		if rl, ok := trainer.(agents.Relabeler); ok {
+			revisions = rl.Revisions(rel)
+			learner.Revise(rel, revisions)
+		}
+
+		rec := IterationRecord{
+			Presented:     presented,
+			Labeled:       labeled,
+			Revisions:     revisions,
+			MAE:           trainer.Belief().MAE(learner.Belief()),
+			TrainerPayoff: TrainerPayoff(trainer.Belief(), rel, labeled),
+		}
+		if cfg.Eval != nil {
+			believed := learner.Belief().BelievedFDs(cfg.BelievedTau)
+			if cfg.MaxBelievedStd > 0 {
+				believed = learner.Belief().ConfidentFDs(cfg.BelievedTau, cfg.MaxBelievedStd)
+			}
+			rec.Detection = cfg.Eval.Score(believed)
+		}
+		res.Frequencies.Record(presented, labeled)
+		res.Iterations = append(res.Iterations, rec)
+	}
+	return res, nil
+}

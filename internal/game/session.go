@@ -1,0 +1,190 @@
+package game
+
+import (
+	"fmt"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/persist"
+	"exptrain/internal/sampling"
+	"exptrain/internal/stats"
+)
+
+// Session is the step-wise form of the training game for callers that
+// own the annotator side — an interactive UI, a crowdsourcing bridge, a
+// remote labeling service. Run drives both agents in a loop; a Session
+// instead alternates explicit Next (present fresh pairs) and Submit
+// (consume the annotations) calls, and can checkpoint/resume through
+// internal/persist.
+type Session struct {
+	rel     *dataset.Relation
+	space   *fd.Space
+	learner *agents.Learner
+	pool    *sampling.Pool
+	k       int
+	history [][]belief.Labeling
+	pending []dataset.Pair
+}
+
+// SessionConfig assembles a step-wise session.
+type SessionConfig struct {
+	// Relation is the data under annotation (required).
+	Relation *dataset.Relation
+	// Space is the FD hypothesis space (required).
+	Space *fd.Space
+	// Prior is the learner's starting belief; defaults to the
+	// data-estimate prior with σ = 0.12.
+	Prior *belief.Belief
+	// Sampler is the response strategy; defaults to StochasticUS.
+	Sampler sampling.Sampler
+	// K is the number of pairs per round (default 10).
+	K int
+	// Seed drives pool construction and stochastic selection.
+	Seed uint64
+}
+
+// NewSession validates the configuration and builds the session.
+func NewSession(cfg SessionConfig) (*Session, error) {
+	if cfg.Relation == nil {
+		return nil, fmt.Errorf("game: SessionConfig.Relation is required")
+	}
+	if cfg.Space == nil {
+		return nil, fmt.Errorf("game: SessionConfig.Space is required")
+	}
+	prior := cfg.Prior
+	if prior == nil {
+		prior = belief.DataEstimatePrior(cfg.Space, cfg.Relation, 0.12)
+	}
+	if prior.Size() != cfg.Space.Size() {
+		return nil, fmt.Errorf("game: prior covers %d hypotheses, space has %d", prior.Size(), cfg.Space.Size())
+	}
+	sampler := cfg.Sampler
+	if sampler == nil {
+		sampler = sampling.StochasticUS{}
+	}
+	k := cfg.K
+	if k <= 0 {
+		k = 10
+	}
+	rng := stats.NewRNG(cfg.Seed ^ 0x5E5510)
+	return &Session{
+		rel:     cfg.Relation,
+		space:   cfg.Space,
+		learner: agents.NewLearner(prior, sampler, rng.Split()),
+		pool:    sampling.NewPool(cfg.Relation, cfg.Space, sampling.PoolConfig{Seed: cfg.Seed ^ 0x9001}),
+		k:       k,
+	}, nil
+}
+
+// Next selects the round's fresh pairs. It returns nil when the pool is
+// exhausted, and errors if the previous round was never submitted (the
+// protocol is strictly alternating).
+func (s *Session) Next() ([]dataset.Pair, error) {
+	if s.pending != nil {
+		return nil, fmt.Errorf("game: previous round not yet submitted")
+	}
+	remaining := s.pool.Remaining()
+	if len(remaining) == 0 {
+		return nil, nil
+	}
+	presented := s.learner.Present(s.rel, remaining, s.k)
+	s.pool.MarkShown(presented)
+	s.pending = presented
+	return presented, nil
+}
+
+// Submit consumes the annotations for the pending round. Every labeling
+// must reference a pending pair; pending pairs missing from the batch
+// are treated as abstained (no evidence).
+func (s *Session) Submit(labeled []belief.Labeling) error {
+	if s.pending == nil {
+		return fmt.Errorf("game: no round pending; call Next first")
+	}
+	allowed := make(map[dataset.Pair]struct{}, len(s.pending))
+	for _, p := range s.pending {
+		allowed[p] = struct{}{}
+	}
+	seen := make(map[dataset.Pair]struct{}, len(labeled))
+	for _, lp := range labeled {
+		if _, ok := allowed[lp.Pair]; !ok {
+			return fmt.Errorf("game: labeling for pair %v which was not presented this round", lp.Pair)
+		}
+		if _, dup := seen[lp.Pair]; dup {
+			return fmt.Errorf("game: duplicate labeling for pair %v", lp.Pair)
+		}
+		seen[lp.Pair] = struct{}{}
+	}
+	full := append([]belief.Labeling(nil), labeled...)
+	for _, p := range s.pending {
+		if _, ok := seen[p]; !ok {
+			full = append(full, belief.Labeling{Pair: p, Abstained: true})
+		}
+	}
+	s.learner.Incorporate(s.rel, full)
+	s.history = append(s.history, full)
+	s.pending = nil
+	return nil
+}
+
+// Belief exposes the learner's current belief.
+func (s *Session) Belief() *belief.Belief { return s.learner.Belief() }
+
+// Rounds returns how many rounds have been submitted.
+func (s *Session) Rounds() int { return len(s.history) }
+
+// History returns the submitted labelings per round (shared slices; do
+// not mutate).
+func (s *Session) History() [][]belief.Labeling { return s.history }
+
+// Snapshot checkpoints the session (learner belief + history). A
+// pending unsubmitted round is not captured; submit or discard it
+// first.
+func (s *Session) Snapshot() (*persist.Snapshot, error) {
+	if s.pending != nil {
+		return nil, fmt.Errorf("game: cannot snapshot with an unsubmitted round pending")
+	}
+	return persist.NewSnapshot(s.rel.Schema(), s.space, nil, s.learner.Belief(), s.history)
+}
+
+// ResumeSession rebuilds a session from a snapshot against the same
+// relation: the hypothesis space and learner belief are restored, and
+// previously labeled pairs are excluded from future rounds.
+func ResumeSession(snap *persist.Snapshot, cfg SessionConfig) (*Session, error) {
+	if cfg.Relation == nil {
+		return nil, fmt.Errorf("game: SessionConfig.Relation is required")
+	}
+	if err := snap.ValidateSchema(cfg.Relation.Schema()); err != nil {
+		return nil, err
+	}
+	space, err := snap.RestoreSpace()
+	if err != nil {
+		return nil, err
+	}
+	learnerBelief, err := snap.RestoreLearner(space)
+	if err != nil {
+		return nil, err
+	}
+	history, err := snap.RestoreHistory()
+	if err != nil {
+		return nil, err
+	}
+	cfg.Space = space
+	if learnerBelief != nil {
+		cfg.Prior = learnerBelief
+	}
+	s, err := NewSession(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.history = history
+	for _, round := range history {
+		shown := make([]dataset.Pair, 0, len(round))
+		for _, lp := range round {
+			shown = append(shown, lp.Pair)
+		}
+		s.pool.MarkShown(shown)
+	}
+	return s, nil
+}

@@ -1,0 +1,220 @@
+package game
+
+import (
+	"testing"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/sampling"
+	"exptrain/internal/stats"
+)
+
+func sessionFixture(t *testing.T) (*dataset.Relation, *fd.Space) {
+	t.Helper()
+	rel, space, _, _ := buildWorld(t, 31)
+	return rel, space
+}
+
+func TestSessionProtocol(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 5, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Submit before Next is rejected.
+	if err := s.Submit(nil); err == nil {
+		t.Fatal("Submit without Next should error")
+	}
+	pairs, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 5 {
+		t.Fatalf("presented %d pairs", len(pairs))
+	}
+	// Double Next is rejected.
+	if _, err := s.Next(); err == nil {
+		t.Fatal("Next with a round pending should error")
+	}
+	// Labeling an unpresented pair is rejected.
+	other := dataset.NewPair(100, 101)
+	if err := s.Submit([]belief.Labeling{{Pair: other}}); err == nil {
+		t.Fatal("labeling an unpresented pair should error")
+	}
+	// Duplicate labelings are rejected.
+	if err := s.Submit([]belief.Labeling{{Pair: pairs[0]}, {Pair: pairs[0]}}); err == nil {
+		t.Fatal("duplicate labeling should error")
+	}
+	// A partial submission treats the rest as abstained.
+	before := s.Belief().Confidences()
+	if err := s.Submit([]belief.Labeling{{Pair: pairs[0]}}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Rounds() != 1 {
+		t.Fatalf("Rounds = %d", s.Rounds())
+	}
+	moved := false
+	for i, v := range s.Belief().Confidences() {
+		if v != before[i] {
+			moved = true
+		}
+	}
+	if !moved {
+		t.Fatal("submission did not move the belief")
+	}
+	// The abstained pairs are recorded in history.
+	round := s.History()[0]
+	if len(round) != 5 {
+		t.Fatalf("history round has %d labelings", len(round))
+	}
+	abstained := 0
+	for _, lp := range round {
+		if lp.Abstained {
+			abstained++
+		}
+	}
+	if abstained != 4 {
+		t.Fatalf("abstained = %d, want 4", abstained)
+	}
+}
+
+func TestSessionFreshPairsAcrossRounds(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 8, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[dataset.Pair]bool{}
+	for round := 0; round < 10; round++ {
+		pairs, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range pairs {
+			if seen[p] {
+				t.Fatalf("round %d re-presented pair %v", round, p)
+			}
+			seen[p] = true
+		}
+		if err := s.Submit(nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSessionSnapshotResume(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Play two rounds with best-response labels from an oracle belief.
+	oracle := agents.NewStationaryTrainer(belief.DataEstimatePrior(space, rel, 0.1))
+	for round := 0; round < 2; round++ {
+		pairs, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Submit(oracle.Label(rel, pairs)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap, err := s.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	resumed, err := ResumeSession(snap, SessionConfig{Relation: rel, K: 6, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.Rounds() != 2 {
+		t.Fatalf("resumed rounds = %d", resumed.Rounds())
+	}
+	if resumed.Belief().MAE(s.Belief()) != 0 {
+		t.Fatal("resumed belief differs from original")
+	}
+	// Resumed session does not re-present already-labeled pairs.
+	already := map[dataset.Pair]bool{}
+	for _, round := range s.History() {
+		for _, lp := range round {
+			already[lp.Pair] = true
+		}
+	}
+	pairs, err := resumed.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if already[p] {
+			t.Fatalf("resumed session re-presented %v", p)
+		}
+	}
+}
+
+func TestSessionSnapshotWithPendingRound(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Snapshot(); err == nil {
+		t.Fatal("snapshot with pending round should error")
+	}
+}
+
+func TestSessionValidation(t *testing.T) {
+	rel, space := sessionFixture(t)
+	if _, err := NewSession(SessionConfig{Space: space}); err == nil {
+		t.Error("nil relation should error")
+	}
+	if _, err := NewSession(SessionConfig{Relation: rel}); err == nil {
+		t.Error("nil space should error")
+	}
+	small := fd.MustNewSpace(fd.MustEnumerate(fd.SpaceConfig{Arity: 4, MaxLHS: 1}))
+	wrongPrior := belief.UniformPrior(small, 0.5, 0.1)
+	if _, err := NewSession(SessionConfig{Relation: rel, Space: space, Prior: wrongPrior}); err == nil {
+		t.Error("mismatched prior should error")
+	}
+}
+
+func TestSessionConvergesWithSimulatedAnnotator(t *testing.T) {
+	// Session + FP annotator reproduce Run's dynamics.
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{
+		Relation: rel, Space: space, K: 10, Seed: 5,
+		Sampler: sampling.Random{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := stats.NewRNG(6)
+	annotator := agents.NewFPTrainer(belief.RandomPrior(space, rng, 0.1), nil)
+	initialMAE := annotator.Belief().MAE(s.Belief())
+	lastMAE := initialMAE
+	for round := 0; round < 25; round++ {
+		pairs, err := s.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pairs == nil {
+			break
+		}
+		annotator.Observe(rel, pairs)
+		if err := s.Submit(annotator.Label(rel, pairs)); err != nil {
+			t.Fatal(err)
+		}
+		lastMAE = annotator.Belief().MAE(s.Belief())
+	}
+	if lastMAE >= initialMAE {
+		t.Fatalf("session did not converge: %v → %v", initialMAE, lastMAE)
+	}
+	if lastMAE > 0.25 {
+		t.Fatalf("final MAE %v too high", lastMAE)
+	}
+}

@@ -1,0 +1,77 @@
+// Package metrics implements the evaluation measures of the paper:
+// precision/recall/F1 over predicted sets (§C.1's error-detection
+// accuracy), and reciprocal rank / mean reciprocal rank (§A.2's
+// user-study accuracy with k = 5).
+package metrics
+
+// PRF1 holds precision, recall and their harmonic mean.
+type PRF1 struct {
+	Precision float64
+	Recall    float64
+	F1        float64
+}
+
+// FromCounts computes the scores from confusion counts: truePos correct
+// predictions out of `predicted` made and `actual` existing. Empty
+// denominators score 0 by convention.
+func FromCounts(truePos, predicted, actual int) PRF1 {
+	var p, r float64
+	if predicted > 0 {
+		p = float64(truePos) / float64(predicted)
+	}
+	if actual > 0 {
+		r = float64(truePos) / float64(actual)
+	}
+	var f1 float64
+	if p+r > 0 {
+		f1 = 2 * p * r / (p + r)
+	}
+	return PRF1{Precision: p, Recall: r, F1: f1}
+}
+
+// FromSets scores a predicted set against a ground-truth set.
+func FromSets[T comparable](pred, truth map[T]struct{}) PRF1 {
+	tp := 0
+	for x := range pred {
+		if _, ok := truth[x]; ok {
+			tp++
+		}
+	}
+	return FromCounts(tp, len(pred), len(truth))
+}
+
+// ReciprocalRank returns 1/p where p is the 1-based position of truth in
+// the ranked list, or 0 when truth is absent (the paper evaluates the
+// top-k list with k = 5, so an absent ground truth contributes 0).
+func ReciprocalRank[T comparable](ranked []T, truth T) float64 {
+	for i, x := range ranked {
+		if x == truth {
+			return 1 / float64(i+1)
+		}
+	}
+	return 0
+}
+
+// MRR returns the mean of the reciprocal ranks, 0 for empty input.
+func MRR(rrs []float64) float64 {
+	if len(rrs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, v := range rrs {
+		s += v
+	}
+	return s / float64(len(rrs))
+}
+
+// DiscountedRR is the "+" variant of §A.2: when an exact match is absent
+// the best subset/superset match at position p is credited with
+// similarity/p, where similarity discounts by F1 difference. exactRR
+// should be the exact-match reciprocal rank (0 when absent); bestRelated
+// the highest similarity/p over related matches.
+func DiscountedRR(exactRR, bestRelated float64) float64 {
+	if exactRR >= bestRelated {
+		return exactRR
+	}
+	return bestRelated
+}

@@ -1,0 +1,116 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromCountsKnown(t *testing.T) {
+	s := FromCounts(2, 4, 5)
+	if s.Precision != 0.5 {
+		t.Errorf("precision = %v", s.Precision)
+	}
+	if s.Recall != 0.4 {
+		t.Errorf("recall = %v", s.Recall)
+	}
+	want := 2 * 0.5 * 0.4 / 0.9
+	if math.Abs(s.F1-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", s.F1, want)
+	}
+}
+
+func TestFromCountsEmptyDenominators(t *testing.T) {
+	if s := FromCounts(0, 0, 0); s.Precision != 0 || s.Recall != 0 || s.F1 != 0 {
+		t.Errorf("all-zero counts scored %+v", s)
+	}
+	if s := FromCounts(0, 3, 0); s.Recall != 0 {
+		t.Errorf("zero actual recall = %v", s.Recall)
+	}
+	if s := FromCounts(0, 0, 3); s.Precision != 0 {
+		t.Errorf("zero predicted precision = %v", s.Precision)
+	}
+}
+
+func TestF1IsHarmonicMeanProperty(t *testing.T) {
+	f := func(tpRaw, fpRaw, fnRaw uint8) bool {
+		tp := int(tpRaw % 50)
+		pred := tp + int(fpRaw%50)
+		actual := tp + int(fnRaw%50)
+		s := FromCounts(tp, pred, actual)
+		if s.Precision < 0 || s.Precision > 1 || s.Recall < 0 || s.Recall > 1 {
+			return false
+		}
+		// F1 lies between min and max of P and R.
+		lo, hi := s.Precision, s.Recall
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		return s.F1 >= lo-1e-12 && s.F1 <= hi+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFromSets(t *testing.T) {
+	pred := map[int]struct{}{1: {}, 2: {}, 3: {}}
+	truth := map[int]struct{}{2: {}, 3: {}, 4: {}, 5: {}}
+	s := FromSets(pred, truth)
+	if math.Abs(s.Precision-2.0/3.0) > 1e-12 {
+		t.Errorf("precision = %v", s.Precision)
+	}
+	if s.Recall != 0.5 {
+		t.Errorf("recall = %v", s.Recall)
+	}
+}
+
+func TestFromSetsPerfectAndDisjoint(t *testing.T) {
+	a := map[string]struct{}{"x": {}, "y": {}}
+	if s := FromSets(a, a); s.F1 != 1 {
+		t.Errorf("identical sets F1 = %v", s.F1)
+	}
+	b := map[string]struct{}{"z": {}}
+	if s := FromSets(a, b); s.F1 != 0 {
+		t.Errorf("disjoint sets F1 = %v", s.F1)
+	}
+}
+
+func TestReciprocalRank(t *testing.T) {
+	ranked := []int{7, 3, 9, 1}
+	if rr := ReciprocalRank(ranked, 7); rr != 1 {
+		t.Errorf("rank 1 RR = %v", rr)
+	}
+	if rr := ReciprocalRank(ranked, 9); rr != 1.0/3.0 {
+		t.Errorf("rank 3 RR = %v", rr)
+	}
+	if rr := ReciprocalRank(ranked, 42); rr != 0 {
+		t.Errorf("absent RR = %v", rr)
+	}
+	if rr := ReciprocalRank([]int{}, 1); rr != 0 {
+		t.Errorf("empty list RR = %v", rr)
+	}
+}
+
+func TestMRR(t *testing.T) {
+	if got := MRR([]float64{1, 0.5, 0}); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("MRR = %v, want 0.5", got)
+	}
+	if got := MRR(nil); got != 0 {
+		t.Errorf("MRR(nil) = %v", got)
+	}
+}
+
+func TestDiscountedRR(t *testing.T) {
+	// Exact match dominates.
+	if got := DiscountedRR(1, 0.8); got != 1 {
+		t.Errorf("DiscountedRR = %v", got)
+	}
+	// Related match credited when exact is absent or worse.
+	if got := DiscountedRR(0, 0.45); got != 0.45 {
+		t.Errorf("DiscountedRR = %v", got)
+	}
+	if got := DiscountedRR(0.2, 0.45); got != 0.45 {
+		t.Errorf("DiscountedRR = %v", got)
+	}
+}

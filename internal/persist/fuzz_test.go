@@ -1,0 +1,73 @@
+package persist
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"exptrain/internal/stats"
+)
+
+// TestReadNeverPanicsOnGarbage: arbitrary byte soup must come back as
+// an error, never a panic — checkpoints arrive from disk and may be
+// truncated or corrupted.
+func TestReadNeverPanicsOnGarbage(t *testing.T) {
+	rng := stats.NewRNG(777)
+	f := func(lenRaw uint8) bool {
+		n := int(lenRaw % 200)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(rng.Intn(256))
+		}
+		snap, err := Read(strings.NewReader(string(buf)))
+		// Either a parse error, or a valid-version snapshot whose
+		// restore paths must also not panic.
+		if err != nil {
+			return true
+		}
+		_, _ = snap.RestoreSpace()
+		_, _ = snap.RestoreHistory()
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReadStructuredCorruption: syntactically valid JSON with invalid
+// content errors cleanly on restore.
+func TestReadStructuredCorruption(t *testing.T) {
+	cases := []string{
+		`{"version":1,"space":[{"lhs":[99],"rhs":1}]}`,                    // attr out of range
+		`{"version":1,"space":[{"lhs":[],"rhs":1}]}`,                      // empty LHS
+		`{"version":1,"space":[{"lhs":[0],"rhs":-5}]}`,                    // RHS out of range
+		`{"version":1,"space":[{"lhs":[0],"rhs":1},{"lhs":[0],"rhs":1}]}`, // duplicate FD
+	}
+	for _, c := range cases {
+		snap, err := Read(strings.NewReader(c))
+		if err != nil {
+			t.Fatalf("parse of %q failed: %v", c, err)
+		}
+		if _, err := snap.RestoreSpace(); err == nil {
+			t.Errorf("restore of %q should error", c)
+		}
+	}
+}
+
+// TestHistoryCorruption: degenerate pairs and bad marks error cleanly.
+func TestHistoryCorruption(t *testing.T) {
+	cases := []string{
+		`{"version":1,"history":[{"labeled":[{"pair":[2,2]}]}]}`,
+		`{"version":1,"history":[{"labeled":[{"pair":[-1,3]}]}]}`,
+		`{"version":1,"history":[{"labeled":[{"pair":[0,1],"marked":[70]}]}]}`,
+	}
+	for _, c := range cases {
+		snap, err := Read(strings.NewReader(c))
+		if err != nil {
+			t.Fatalf("parse of %q failed: %v", c, err)
+		}
+		if _, err := snap.RestoreHistory(); err == nil {
+			t.Errorf("restore of %q should error", c)
+		}
+	}
+}

@@ -1,0 +1,270 @@
+// Package persist serializes training-session state — the hypothesis
+// space, both agents' beliefs, and the interaction history — as
+// versioned JSON, so a session can be checkpointed, inspected, resumed,
+// or replayed offline. Relations are not embedded (they can be large
+// and already live in CSV files); the snapshot stores the schema so a
+// reloaded session can validate it is paired with the right data.
+package persist
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// Version is the snapshot format version this package writes.
+const Version = 1
+
+// Snapshot is the serializable state of one exploratory-training
+// session.
+type Snapshot struct {
+	Version int      `json:"version"`
+	Schema  []string `json:"schema"`
+	// Space lists the hypothesis space in canonical order; belief
+	// vectors index into it.
+	Space []FDJSON `json:"space"`
+	// Trainer and Learner are the agents' Beta parameters per
+	// hypothesis.
+	Trainer []BetaJSON `json:"trainer,omitempty"`
+	Learner []BetaJSON `json:"learner,omitempty"`
+	// History records every interaction's labelings.
+	History []InteractionJSON `json:"history,omitempty"`
+}
+
+// FDJSON is the wire form of an FD.
+type FDJSON struct {
+	LHS []int `json:"lhs"`
+	RHS int   `json:"rhs"`
+}
+
+// BetaJSON is the wire form of a Beta distribution.
+type BetaJSON struct {
+	Alpha float64 `json:"alpha"`
+	Beta  float64 `json:"beta"`
+}
+
+// LabelingJSON is the wire form of one annotation.
+type LabelingJSON struct {
+	Pair      [2]int `json:"pair"`
+	Marked    []int  `json:"marked,omitempty"`
+	Abstained bool   `json:"abstained,omitempty"`
+}
+
+// InteractionJSON is one interaction's labelings.
+type InteractionJSON struct {
+	Labeled []LabelingJSON `json:"labeled"`
+}
+
+// FromFD converts an FD to wire form.
+func FromFD(f fd.FD) FDJSON { return FDJSON{LHS: f.LHS.Attrs(), RHS: f.RHS} }
+
+// ToFD converts wire form back, validating it.
+func (j FDJSON) ToFD() (fd.FD, error) {
+	var lhs fd.AttrSet
+	for _, a := range j.LHS {
+		if a < 0 || a >= fd.MaxAttrs {
+			return fd.FD{}, fmt.Errorf("persist: LHS attribute %d out of range", a)
+		}
+		lhs = lhs.Add(a)
+	}
+	return fd.New(lhs, j.RHS)
+}
+
+// FromLabeling converts a labeling to wire form.
+func FromLabeling(l belief.Labeling) LabelingJSON {
+	return LabelingJSON{
+		Pair:      [2]int{l.Pair.A, l.Pair.B},
+		Marked:    l.Marked.Attrs(),
+		Abstained: l.Abstained,
+	}
+}
+
+// ToLabeling converts wire form back, validating the pair.
+func (j LabelingJSON) ToLabeling() (belief.Labeling, error) {
+	if j.Pair[0] == j.Pair[1] || j.Pair[0] < 0 || j.Pair[1] < 0 {
+		return belief.Labeling{}, fmt.Errorf("persist: invalid pair %v", j.Pair)
+	}
+	var marked fd.AttrSet
+	for _, a := range j.Marked {
+		if a < 0 || a >= fd.MaxAttrs {
+			return belief.Labeling{}, fmt.Errorf("persist: marked attribute %d out of range", a)
+		}
+		marked = marked.Add(a)
+	}
+	return belief.Labeling{
+		Pair:      dataset.NewPair(j.Pair[0], j.Pair[1]),
+		Marked:    marked,
+		Abstained: j.Abstained,
+	}, nil
+}
+
+// beliefToJSON extracts the Beta vector.
+func beliefToJSON(b *belief.Belief) []BetaJSON {
+	if b == nil {
+		return nil
+	}
+	out := make([]BetaJSON, b.Size())
+	for i := range out {
+		d := b.Dist(i)
+		out[i] = BetaJSON{Alpha: d.Alpha, Beta: d.Beta}
+	}
+	return out
+}
+
+// NewSnapshot captures a session: the schema, the space, optional agent
+// beliefs (either may be nil) and the labeling history.
+func NewSnapshot(schema *dataset.Schema, space *fd.Space, trainer, learner *belief.Belief, history [][]belief.Labeling) (*Snapshot, error) {
+	if space == nil {
+		return nil, fmt.Errorf("persist: nil hypothesis space")
+	}
+	if trainer != nil && trainer.Size() != space.Size() {
+		return nil, fmt.Errorf("persist: trainer belief size %d does not match space %d", trainer.Size(), space.Size())
+	}
+	if learner != nil && learner.Size() != space.Size() {
+		return nil, fmt.Errorf("persist: learner belief size %d does not match space %d", learner.Size(), space.Size())
+	}
+	snap := &Snapshot{Version: Version}
+	if schema != nil {
+		snap.Schema = schema.Names()
+	}
+	for _, f := range space.FDs() {
+		snap.Space = append(snap.Space, FromFD(f))
+	}
+	snap.Trainer = beliefToJSON(trainer)
+	snap.Learner = beliefToJSON(learner)
+	for _, interaction := range history {
+		ij := InteractionJSON{}
+		for _, l := range interaction {
+			ij.Labeled = append(ij.Labeled, FromLabeling(l))
+		}
+		snap.History = append(snap.History, ij)
+	}
+	return snap, nil
+}
+
+// Write serializes the snapshot as indented JSON.
+func (s *Snapshot) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("persist: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// WriteFile writes the snapshot to a file.
+func (s *Snapshot) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := s.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Read parses a snapshot and validates its version.
+func Read(r io.Reader) (*Snapshot, error) {
+	var snap Snapshot
+	dec := json.NewDecoder(r)
+	if err := dec.Decode(&snap); err != nil {
+		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	}
+	if snap.Version != Version {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d)", snap.Version, Version)
+	}
+	return &snap, nil
+}
+
+// ReadFile parses a snapshot file.
+func ReadFile(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+// RestoreSpace rebuilds the hypothesis space.
+func (s *Snapshot) RestoreSpace() (*fd.Space, error) {
+	fds := make([]fd.FD, 0, len(s.Space))
+	for _, j := range s.Space {
+		f, err := j.ToFD()
+		if err != nil {
+			return nil, err
+		}
+		fds = append(fds, f)
+	}
+	return fd.NewSpace(fds)
+}
+
+// restoreBelief rebuilds one agent's belief over the space.
+func restoreBelief(space *fd.Space, params []BetaJSON) (*belief.Belief, error) {
+	if params == nil {
+		return nil, nil
+	}
+	if len(params) != space.Size() {
+		return nil, fmt.Errorf("persist: %d Beta parameters for a %d-FD space", len(params), space.Size())
+	}
+	b := belief.New(space, stats.NewBeta(1, 1))
+	for i, p := range params {
+		if !(p.Alpha > 0) || !(p.Beta > 0) {
+			return nil, fmt.Errorf("persist: invalid Beta(%v,%v) at hypothesis %d", p.Alpha, p.Beta, i)
+		}
+		b.SetDist(i, stats.Beta{Alpha: p.Alpha, Beta: p.Beta})
+	}
+	return b, nil
+}
+
+// RestoreTrainer rebuilds the trainer belief (nil if absent).
+func (s *Snapshot) RestoreTrainer(space *fd.Space) (*belief.Belief, error) {
+	return restoreBelief(space, s.Trainer)
+}
+
+// RestoreLearner rebuilds the learner belief (nil if absent).
+func (s *Snapshot) RestoreLearner(space *fd.Space) (*belief.Belief, error) {
+	return restoreBelief(space, s.Learner)
+}
+
+// RestoreHistory rebuilds the labeling history.
+func (s *Snapshot) RestoreHistory() ([][]belief.Labeling, error) {
+	out := make([][]belief.Labeling, 0, len(s.History))
+	for _, ij := range s.History {
+		var interaction []belief.Labeling
+		for _, lj := range ij.Labeled {
+			l, err := lj.ToLabeling()
+			if err != nil {
+				return nil, err
+			}
+			interaction = append(interaction, l)
+		}
+		out = append(out, interaction)
+	}
+	return out, nil
+}
+
+// ValidateSchema checks a reloaded snapshot against the relation it is
+// being paired with.
+func (s *Snapshot) ValidateSchema(schema *dataset.Schema) error {
+	if len(s.Schema) == 0 {
+		return nil // snapshot did not record a schema
+	}
+	if schema.Arity() != len(s.Schema) {
+		return fmt.Errorf("persist: snapshot schema has %d attributes, relation has %d", len(s.Schema), schema.Arity())
+	}
+	for i, name := range s.Schema {
+		if schema.Name(i) != name {
+			return fmt.Errorf("persist: snapshot attribute %d is %q, relation has %q", i, name, schema.Name(i))
+		}
+	}
+	return nil
+}

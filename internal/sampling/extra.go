@@ -1,0 +1,121 @@
+package sampling
+
+import (
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// This file adds two response strategies beyond the paper's four — a
+// Bayesian query-by-committee and an ε-greedy hybrid — used by the
+// ablation benches to position the paper's stochastic strategies
+// against other classic exploration mechanisms.
+
+// QueryByCommittee scores pairs by committee disagreement: each
+// committee member is a hypothesis-confidence vector sampled from the
+// learner's posterior (one draw per Beta), votes dirty/clean on each
+// candidate pair, and the pair's score is the vote entropy. Pairs the
+// posterior is genuinely undecided about — not merely pairs whose point
+// estimate sits near 1/2 — score highest.
+type QueryByCommittee struct {
+	// Committee is the number of sampled members (default 5).
+	Committee int
+}
+
+// Name implements Sampler.
+func (QueryByCommittee) Name() string { return "QBC" }
+
+// Select implements Sampler.
+func (s QueryByCommittee) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	committee := s.Committee
+	if committee <= 0 {
+		committee = 5
+	}
+	// Draw the members: per member, one confidence sample per
+	// hypothesis.
+	confs := make([][]float64, committee)
+	for m := range confs {
+		confs[m] = make([]float64, b.Size())
+		for i := 0; i < b.Size(); i++ {
+			confs[m][i] = b.Dist(i).Sample(rng)
+		}
+	}
+	space := b.Space()
+	voteEntropy := func(p dataset.Pair) float64 {
+		dirty := 0
+		for m := 0; m < committee; m++ {
+			for i := 0; i < space.Size(); i++ {
+				if confs[m][i] >= 0.5 && fd.Status(space.FD(i), rel, p) == fd.Violating {
+					dirty++
+					break
+				}
+			}
+		}
+		return stats.BernoulliEntropy(float64(dirty) / float64(committee))
+	}
+	return topKByScore(pool, k, voteEntropy)
+}
+
+// EpsilonGreedy mixes greedy uncertainty sampling with uniform
+// exploration: each of the k picks is uniform-random with probability
+// Epsilon and the highest-entropy remaining pair otherwise — the
+// classic bandit-style exploration baseline.
+type EpsilonGreedy struct {
+	// Epsilon is the exploration probability (default 0.2).
+	Epsilon float64
+}
+
+// Name implements Sampler.
+func (EpsilonGreedy) Name() string { return "EpsilonGreedy" }
+
+// Select implements Sampler.
+func (s EpsilonGreedy) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	eps := s.Epsilon
+	if eps == 0 {
+		eps = 0.2
+	}
+	if k > len(pool) {
+		k = len(pool)
+	}
+	// Rank once by entropy; then walk the ranking, substituting random
+	// picks with probability ε.
+	ranked := topKByScore(pool, len(pool), func(p dataset.Pair) float64 {
+		return b.Uncertainty(rel, p)
+	})
+	taken := make(map[dataset.Pair]struct{}, k)
+	out := make([]dataset.Pair, 0, k)
+	next := 0
+	takeGreedy := func() {
+		for next < len(ranked) {
+			p := ranked[next]
+			next++
+			if _, dup := taken[p]; !dup {
+				taken[p] = struct{}{}
+				out = append(out, p)
+				return
+			}
+		}
+	}
+	for len(out) < k {
+		if rng.Float64() < eps {
+			// Uniform exploration; retry a few times on duplicates, then
+			// fall back to greedy so selection always terminates.
+			picked := false
+			for attempt := 0; attempt < 8; attempt++ {
+				p := pool[rng.Intn(len(pool))]
+				if _, dup := taken[p]; !dup {
+					taken[p] = struct{}{}
+					out = append(out, p)
+					picked = true
+					break
+				}
+			}
+			if picked {
+				continue
+			}
+		}
+		takeGreedy()
+	}
+	return out
+}

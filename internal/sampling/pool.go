@@ -1,0 +1,105 @@
+package sampling
+
+import (
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// Pool supplies candidate pairs for the samplers. FD evidence only flows
+// through LHS-agreeing pairs, so the pool is built from the agreeing
+// pairs of every hypothesis (deduplicated) plus uniformly random pairs
+// for coverage; pairs already presented are excluded so every
+// interaction shows fresh examples (Section 2 assumes the learner
+// provides a fresh example in each interaction).
+type Pool struct {
+	rel   *dataset.Relation
+	pairs []dataset.Pair
+	shown map[dataset.Pair]struct{}
+}
+
+// PoolConfig sizes the candidate pool.
+type PoolConfig struct {
+	// MaxAgreeingPerFD caps the agreeing pairs contributed per
+	// hypothesis (0 means 200). Hot hypotheses on large relations would
+	// otherwise dominate memory.
+	MaxAgreeingPerFD int
+	// RandomPairs is the number of uniformly random extra pairs (0 means
+	// twice the relation size).
+	RandomPairs int
+	// Seed drives the pool's sub-sampling RNG.
+	Seed uint64
+}
+
+// NewPool builds the candidate pool for the hypothesis space over rel.
+func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
+	maxPer := cfg.MaxAgreeingPerFD
+	if maxPer <= 0 {
+		maxPer = 200
+	}
+	randomPairs := cfg.RandomPairs
+	if randomPairs <= 0 {
+		randomPairs = 2 * rel.NumRows()
+	}
+	rng := stats.NewRNG(cfg.Seed)
+
+	seen := make(map[dataset.Pair]struct{})
+	var pairs []dataset.Pair
+	add := func(p dataset.Pair) {
+		if _, dup := seen[p]; !dup {
+			seen[p] = struct{}{}
+			pairs = append(pairs, p)
+		}
+	}
+	for i := 0; i < space.Size(); i++ {
+		agreeing := fd.AgreeingPairs(space.FD(i), rel)
+		if len(agreeing) > maxPer {
+			idx := rng.SampleWithoutReplacement(len(agreeing), maxPer)
+			for _, j := range idx {
+				add(agreeing[j])
+			}
+		} else {
+			for _, p := range agreeing {
+				add(p)
+			}
+		}
+	}
+	n := rel.NumRows()
+	if n >= 2 {
+		for t := 0; t < randomPairs; t++ {
+			a := rng.Intn(n)
+			b := rng.Intn(n)
+			if a == b {
+				continue
+			}
+			add(dataset.NewPair(a, b))
+		}
+	}
+	return &Pool{rel: rel, pairs: pairs, shown: make(map[dataset.Pair]struct{})}
+}
+
+// Remaining returns the candidate pairs not yet marked shown. The slice
+// is freshly allocated each call.
+func (p *Pool) Remaining() []dataset.Pair {
+	out := make([]dataset.Pair, 0, len(p.pairs))
+	for _, pr := range p.pairs {
+		if _, done := p.shown[pr]; !done {
+			out = append(out, pr)
+		}
+	}
+	return out
+}
+
+// MarkShown records that the pairs were presented, removing them from
+// future Remaining calls.
+func (p *Pool) MarkShown(pairs []dataset.Pair) {
+	for _, pr := range pairs {
+		p.shown[pr] = struct{}{}
+	}
+}
+
+// Size returns the total pool size (shown and unshown).
+func (p *Pool) Size() int { return len(p.pairs) }
+
+// ShownCount returns how many pairs have been presented.
+func (p *Pool) ShownCount() int { return len(p.shown) }

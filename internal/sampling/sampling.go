@@ -1,0 +1,198 @@
+// Package sampling implements the learner's response strategies — the
+// policies that pick which tuple pairs to present to the trainer in each
+// interaction (Section 4 and §C.1):
+//
+//   - Random: fixed random sampling, the paper's baseline;
+//   - Uncertainty: greedy uncertainty sampling, the state-of-the-art
+//     active-learning comparator (US);
+//   - StochasticBR: stochastic best response — softmax over the
+//     learner's expected labeling payoff u_a with temperature γ;
+//   - StochasticUS: stochastic uncertainty sampling — softmax over the
+//     prediction entropy with temperature γ.
+//
+// FD violations are properties of tuple pairs, so all strategies select
+// pairs rather than single tuples (§C.1).
+package sampling
+
+import (
+	"fmt"
+	"sort"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+// DefaultGamma is the exploration temperature used throughout the
+// paper's evaluation (§C.1 sets γ = 0.5 in all experiments).
+const DefaultGamma = 0.5
+
+// Sampler selects k pairs from the candidate pool given the learner's
+// current belief. Implementations must not mutate the pool and must be
+// deterministic given the RNG state.
+type Sampler interface {
+	// Name identifies the strategy in experiment reports, matching the
+	// paper's method names.
+	Name() string
+	// Select returns min(k, len(pool)) distinct pairs from pool.
+	Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair
+}
+
+// Random is the Fixed Random Sampling baseline: it ignores the belief
+// entirely and picks pairs uniformly at random.
+type Random struct{}
+
+// Name implements Sampler.
+func (Random) Name() string { return "Random" }
+
+// Select implements Sampler.
+func (Random) Select(_ *dataset.Relation, pool []dataset.Pair, _ *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := rng.SampleWithoutReplacement(len(pool), k)
+	out := make([]dataset.Pair, k)
+	for i, j := range idx {
+		out[i] = pool[j]
+	}
+	return out
+}
+
+// Uncertainty is greedy uncertainty sampling (US): it deterministically
+// picks the k pairs with the highest prediction entropy under the
+// learner's belief. It fully trusts the current model — the behaviour
+// the paper shows is brittle when the model's prior is wrong.
+type Uncertainty struct{}
+
+// Name implements Sampler.
+func (Uncertainty) Name() string { return "US" }
+
+// Select implements Sampler.
+func (Uncertainty) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	return topKByScore(pool, k, func(p dataset.Pair) float64 {
+		return b.Uncertainty(rel, p)
+	})
+}
+
+// StochasticBR is the stochastic best response of Section 4: pair x is
+// selected with probability proportional to exp(u_a(θ, x)/γ) where
+// u_a is the learner's expected labeling payoff under its own belief.
+// Low γ approaches greedy payoff maximization; high γ approaches
+// uniform exploration.
+type StochasticBR struct {
+	// Gamma is the exploration temperature; DefaultGamma when zero.
+	Gamma float64
+}
+
+// Name implements Sampler.
+func (StochasticBR) Name() string { return "StochasticBR" }
+
+// Select implements Sampler.
+func (s StochasticBR) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	return softmaxSelect(pool, k, gammaOrDefault(s.Gamma), rng, func(p dataset.Pair) float64 {
+		return b.SelfPayoff(rel, p)
+	})
+}
+
+// StochasticUS is stochastic uncertainty sampling (Section 4): the
+// uncertainty-sampling score fed through the same softmax response, so
+// the learner still prefers uncertain pairs but presents a diverse,
+// representative sample. As γ → 0 it approximates greedy US.
+type StochasticUS struct {
+	// Gamma is the exploration temperature; DefaultGamma when zero.
+	Gamma float64
+}
+
+// Name implements Sampler.
+func (StochasticUS) Name() string { return "StochasticUS" }
+
+// Select implements Sampler.
+func (s StochasticUS) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
+	return softmaxSelect(pool, k, gammaOrDefault(s.Gamma), rng, func(p dataset.Pair) float64 {
+		return b.Uncertainty(rel, p)
+	})
+}
+
+func gammaOrDefault(g float64) float64 {
+	if g == 0 {
+		return DefaultGamma
+	}
+	if g < 0 {
+		panic(fmt.Sprintf("sampling: negative gamma %v", g))
+	}
+	return g
+}
+
+// topKByScore returns the k highest-scoring pairs, ties broken by pool
+// order for determinism.
+func topKByScore(pool []dataset.Pair, k int, score func(dataset.Pair) float64) []dataset.Pair {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	idx := make([]int, len(pool))
+	scores := make([]float64, len(pool))
+	for i, p := range pool {
+		idx[i] = i
+		scores[i] = score(p)
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	out := make([]dataset.Pair, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[idx[i]]
+	}
+	return out
+}
+
+// softmaxSelect draws k distinct pairs with probabilities proportional
+// to exp(score/γ), removing each drawn pair from the distribution.
+func softmaxSelect(pool []dataset.Pair, k int, gamma float64, rng *stats.RNG, score func(dataset.Pair) float64) []dataset.Pair {
+	if k > len(pool) {
+		k = len(pool)
+	}
+	scores := make([]float64, len(pool))
+	for i, p := range pool {
+		scores[i] = score(p)
+	}
+	probs := make([]float64, len(pool))
+	stats.Softmax(probs, scores, gamma)
+	out := make([]dataset.Pair, 0, k)
+	for len(out) < k {
+		i := stats.SampleCategorical(rng, probs)
+		out = append(out, pool[i])
+		probs[i] = 0
+		stats.Normalize(probs)
+	}
+	return out
+}
+
+// ByName constructs the sampler matching the paper's method name
+// ("Random", "US", "StochasticBR", "StochasticUS"); gamma applies to the
+// stochastic strategies.
+func ByName(name string, gamma float64) (Sampler, error) {
+	switch name {
+	case "Random":
+		return Random{}, nil
+	case "US":
+		return Uncertainty{}, nil
+	case "StochasticBR":
+		return StochasticBR{Gamma: gamma}, nil
+	case "StochasticUS":
+		return StochasticUS{Gamma: gamma}, nil
+	case "QBC":
+		return QueryByCommittee{}, nil
+	case "EpsilonGreedy":
+		return EpsilonGreedy{}, nil
+	default:
+		return nil, fmt.Errorf("sampling: unknown sampler %q", name)
+	}
+}
+
+// AllMethods lists the paper's four methods in presentation order.
+func AllMethods(gamma float64) []Sampler {
+	return []Sampler{
+		Random{},
+		Uncertainty{},
+		StochasticBR{Gamma: gamma},
+		StochasticUS{Gamma: gamma},
+	}
+}

@@ -1,0 +1,129 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBetaCDFKnownValues(t *testing.T) {
+	cases := []struct {
+		alpha, beta, x, want float64
+	}{
+		// Beta(1,1) is uniform: CDF(x) = x.
+		{1, 1, 0.3, 0.3},
+		{1, 1, 0.85, 0.85},
+		// Beta(2,1): CDF(x) = x².
+		{2, 1, 0.5, 0.25},
+		{2, 1, 0.9, 0.81},
+		// Beta(1,2): CDF(x) = 1 − (1−x)² = 2x − x².
+		{1, 2, 0.5, 0.75},
+		// Beta(2,2): CDF(x) = 3x² − 2x³.
+		{2, 2, 0.5, 0.5},
+		{2, 2, 0.25, 3*0.0625 - 2*0.015625},
+		// Symmetric distribution: CDF at the mean is 1/2.
+		{7, 7, 0.5, 0.5},
+	}
+	for _, c := range cases {
+		b := NewBeta(c.alpha, c.beta)
+		if got := b.CDF(c.x); math.Abs(got-c.want) > 1e-10 {
+			t.Errorf("Beta(%v,%v).CDF(%v) = %v, want %v", c.alpha, c.beta, c.x, got, c.want)
+		}
+	}
+}
+
+func TestBetaCDFBoundaries(t *testing.T) {
+	b := NewBeta(3, 4)
+	if b.CDF(0) != 0 || b.CDF(-1) != 0 {
+		t.Error("CDF below support should be 0")
+	}
+	if b.CDF(1) != 1 || b.CDF(2) != 1 {
+		t.Error("CDF above support should be 1")
+	}
+}
+
+func TestBetaCDFMonotoneProperty(t *testing.T) {
+	f := func(aRaw, bRaw, xRaw, yRaw uint16) bool {
+		alpha := 0.2 + float64(aRaw%400)/10
+		beta := 0.2 + float64(bRaw%400)/10
+		x := float64(xRaw) / 65535
+		y := float64(yRaw) / 65535
+		if x > y {
+			x, y = y, x
+		}
+		b := NewBeta(alpha, beta)
+		cx, cy := b.CDF(x), b.CDF(y)
+		return cx >= -1e-12 && cy <= 1+1e-12 && cx <= cy+1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaCDFMatchesSampling(t *testing.T) {
+	rng := NewRNG(4242)
+	b := NewBeta(3.5, 1.7)
+	const n = 200000
+	count := 0
+	const x = 0.6
+	for i := 0; i < n; i++ {
+		if b.Sample(rng) <= x {
+			count++
+		}
+	}
+	empirical := float64(count) / n
+	if got := b.CDF(x); math.Abs(got-empirical) > 0.005 {
+		t.Fatalf("CDF(%v) = %v, sampling says %v", x, got, empirical)
+	}
+}
+
+func TestBetaQuantileInvertsCDF(t *testing.T) {
+	f := func(aRaw, bRaw, pRaw uint16) bool {
+		alpha := 0.3 + float64(aRaw%300)/10
+		beta := 0.3 + float64(bRaw%300)/10
+		p := 0.001 + 0.998*float64(pRaw)/65535
+		b := NewBeta(alpha, beta)
+		x := b.Quantile(p)
+		return math.Abs(b.CDF(x)-p) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBetaQuantileBoundariesAndPanic(t *testing.T) {
+	b := NewBeta(2, 3)
+	if b.Quantile(0) != 0 || b.Quantile(1) != 1 {
+		t.Error("boundary quantiles wrong")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range p did not panic")
+		}
+	}()
+	b.Quantile(1.5)
+}
+
+func TestCredibleInterval(t *testing.T) {
+	// Uniform: the central 90% interval is [0.05, 0.95].
+	u := NewBeta(1, 1)
+	lo, hi := u.CredibleInterval(0.9)
+	if math.Abs(lo-0.05) > 1e-9 || math.Abs(hi-0.95) > 1e-9 {
+		t.Fatalf("uniform 90%% CI = [%v, %v]", lo, hi)
+	}
+	// A tight posterior has a narrow interval containing the mean.
+	tight := NewBeta(500, 500)
+	lo, hi = tight.CredibleInterval(0.95)
+	if lo >= 0.5 || hi <= 0.5 {
+		t.Fatalf("interval [%v, %v] must straddle the mean", lo, hi)
+	}
+	if hi-lo > 0.1 {
+		t.Fatalf("tight posterior has wide interval [%v, %v]", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid mass did not panic")
+		}
+	}()
+	tight.CredibleInterval(1)
+}

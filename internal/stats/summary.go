@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Sum adds the values with Kahan compensation; experiment series are
+// aggregated over many runs and iterations, and plain accumulation drifts
+// noticeably at the precision the MAE curves are compared at.
+func Sum(xs []float64) float64 {
+	var sum, comp float64
+	for _, x := range xs {
+		y := x - comp
+		t := sum + y
+		comp = (t - sum) - y
+		sum = t
+	}
+	return sum
+}
+
+// Mean returns the arithmetic mean, or 0 for an empty slice.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	return Sum(xs) / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n−1 denominator), or 0
+// when fewer than two values are given.
+func Variance(xs []float64) float64 {
+	n := len(xs)
+	if n < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var ss float64
+	for _, x := range xs {
+		d := x - m
+		ss += d * d
+	}
+	return ss / float64(n-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Median returns the median, or 0 for an empty slice. The input is not
+// modified.
+func Median(xs []float64) float64 {
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	cp := append([]float64(nil), xs...)
+	sort.Float64s(cp)
+	if n%2 == 1 {
+		return cp[n/2]
+	}
+	return (cp[n/2-1] + cp[n/2]) / 2
+}
+
+// MeanAbsDiff returns the mean absolute difference between paired slices,
+// the MAE metric of §C.1. It panics on length mismatch and returns 0 for
+// empty input.
+func MeanAbsDiff(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic("stats: MeanAbsDiff length mismatch")
+	}
+	if len(a) == 0 {
+		return 0
+	}
+	var s float64
+	for i := range a {
+		s += math.Abs(a[i] - b[i])
+	}
+	return s / float64(len(a))
+}
+
+// Series is a sequence of per-iteration values for one experimental
+// condition (one method, one seed).
+type Series []float64
+
+// AverageSeries averages point-wise across runs; ragged inputs are
+// averaged over however many runs reach each index, so shorter runs do
+// not truncate the curve.
+func AverageSeries(runs []Series) Series {
+	maxLen := 0
+	for _, r := range runs {
+		if len(r) > maxLen {
+			maxLen = len(r)
+		}
+	}
+	out := make(Series, maxLen)
+	for i := 0; i < maxLen; i++ {
+		var s float64
+		var n int
+		for _, r := range runs {
+			if i < len(r) {
+				s += r[i]
+				n++
+			}
+		}
+		if n > 0 {
+			out[i] = s / float64(n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSumKahanBeatsNaive(t *testing.T) {
+	// A classic compensated-summation case: many tiny values plus one
+	// large one.
+	xs := make([]float64, 0, 10001)
+	xs = append(xs, 1e16)
+	for i := 0; i < 10000; i++ {
+		xs = append(xs, 1.0)
+	}
+	got := Sum(xs)
+	want := 1e16 + 10000
+	if got != want {
+		t.Fatalf("Sum = %v, want %v", got, want)
+	}
+}
+
+func TestMeanVarianceKnown(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %v, want 5", got)
+	}
+	// Sample variance with n−1 = 7 denominator: 32/7.
+	if got, want := Variance(xs), 32.0/7.0; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Variance = %v, want %v", got, want)
+	}
+}
+
+func TestMeanEmpty(t *testing.T) {
+	if got := Mean(nil); got != 0 {
+		t.Fatalf("Mean(nil) = %v", got)
+	}
+	if got := Variance([]float64{3}); got != 0 {
+		t.Fatalf("Variance(single) = %v", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	cases := []struct {
+		xs   []float64
+		want float64
+	}{
+		{nil, 0},
+		{[]float64{5}, 5},
+		{[]float64{3, 1, 2}, 2},
+		{[]float64{4, 1, 3, 2}, 2.5},
+	}
+	for _, c := range cases {
+		if got := Median(c.xs); got != c.want {
+			t.Errorf("Median(%v) = %v, want %v", c.xs, got, c.want)
+		}
+	}
+}
+
+func TestMedianDoesNotMutate(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Median(xs)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("Median mutated input: %v", xs)
+	}
+}
+
+func TestMeanAbsDiff(t *testing.T) {
+	a := []float64{0, 1, 0.5}
+	b := []float64{1, 1, 0.25}
+	if got, want := MeanAbsDiff(a, b), (1+0+0.25)/3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("MeanAbsDiff = %v, want %v", got, want)
+	}
+}
+
+func TestMeanAbsDiffProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		a := make([]float64, len(raw))
+		for i, v := range raw {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				v = 0
+			}
+			a[i] = math.Mod(v, 10)
+		}
+		// Identity: d(a,a) = 0. Symmetry: d(a,b) = d(b,a).
+		if MeanAbsDiff(a, a) != 0 {
+			return false
+		}
+		if len(a) == 0 {
+			return true
+		}
+		b := make([]float64, len(a))
+		for i := range b {
+			b[i] = a[i] + 1
+		}
+		return math.Abs(MeanAbsDiff(a, b)-1) < 1e-9 &&
+			MeanAbsDiff(a, b) == MeanAbsDiff(b, a)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeanAbsDiffPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	MeanAbsDiff([]float64{1}, []float64{1, 2})
+}
+
+func TestAverageSeries(t *testing.T) {
+	runs := []Series{
+		{1, 2, 3},
+		{3, 4, 5},
+	}
+	avg := AverageSeries(runs)
+	want := Series{2, 3, 4}
+	for i := range want {
+		if avg[i] != want[i] {
+			t.Fatalf("AverageSeries = %v, want %v", avg, want)
+		}
+	}
+}
+
+func TestAverageSeriesRagged(t *testing.T) {
+	runs := []Series{
+		{1, 2, 3, 10},
+		{3, 4},
+	}
+	avg := AverageSeries(runs)
+	want := Series{2, 3, 3, 10}
+	if len(avg) != 4 {
+		t.Fatalf("ragged average length = %d, want 4", len(avg))
+	}
+	for i := range want {
+		if avg[i] != want[i] {
+			t.Fatalf("ragged AverageSeries = %v, want %v", avg, want)
+		}
+	}
+}
+
+func TestAverageSeriesEmpty(t *testing.T) {
+	if got := AverageSeries(nil); len(got) != 0 {
+		t.Fatalf("AverageSeries(nil) = %v", got)
+	}
+}
+
+func TestStdDevMatchesVariance(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if got, want := StdDev(xs), math.Sqrt(Variance(xs)); got != want {
+		t.Fatalf("StdDev = %v, want %v", got, want)
+	}
+}

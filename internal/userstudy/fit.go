@@ -1,0 +1,345 @@
+package userstudy
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/fd"
+	"exptrain/internal/metrics"
+)
+
+// TopK is the ranked-list depth of the paper's evaluation metric (§A.2
+// sets k to 5).
+const TopK = 5
+
+// FitResult aggregates a learning model's prediction accuracy per
+// scenario — the content of Figure 2.
+type FitResult struct {
+	// Model is "FP" (Bayesian) or "HypothesisTesting".
+	Model string
+	// MRR maps scenario ID to mean reciprocal rank over all
+	// participants and interactions (exact matching).
+	MRR map[int]float64
+	// MRRPlus is the "+" variant crediting subset/superset matches,
+	// discounted by F1 similarity (§A.2).
+	MRRPlus map[int]float64
+}
+
+// replayModel steps a candidate human-learning model through a
+// trajectory's observation stream, yielding the model's top-k
+// prediction before each declaration.
+type replayModel interface {
+	observe(sc *Scenario, rows []int)
+	topK(sc *Scenario, k int) []int
+}
+
+type fpReplay struct{ trainer *agents.FPTrainer }
+
+func (m *fpReplay) observe(sc *Scenario, rows []int) {
+	m.trainer.Observe(sc.Rel, pairsAmong(rows))
+}
+func (m *fpReplay) topK(sc *Scenario, k int) []int { return m.trainer.Belief().TopK(k) }
+
+type htReplay struct {
+	trainer *agents.HypothesisTestingTrainer
+}
+
+func (m *htReplay) observe(sc *Scenario, rows []int) {
+	m.trainer.Observe(sc.Rel, pairsAmong(rows))
+}
+func (m *htReplay) topK(sc *Scenario, k int) []int { return m.trainer.RankedHypotheses(sc.Rel, k) }
+
+// modelPrior rebuilds the §A.2 fitted-model prior: a Beta around the
+// participant's initially declared FD (mean ε = 0.85, related FDs 0.8,
+// others 0.15, all σ = 0.05), or a flat prior when the participant was
+// unsure.
+func modelPrior(traj *Trajectory) (*belief.Belief, error) {
+	if !traj.HasGuess {
+		return belief.UniformPrior(traj.Scenario.Space, 0.5, belief.DefaultPriorSigma), nil
+	}
+	return belief.UserSpecifiedPrior(traj.Scenario.Space, traj.InitialGuess, true)
+}
+
+// newReplay builds the fitted model for one trajectory.
+func newReplay(model string, traj *Trajectory) (replayModel, error) {
+	prior, err := modelPrior(traj)
+	if err != nil {
+		return nil, err
+	}
+	switch model {
+	case "FP":
+		return &fpReplay{trainer: agents.NewFPTrainer(prior, nil)}, nil
+	case "HypothesisTesting":
+		n := 10
+		if len(traj.Iterations) > 0 {
+			n = len(traj.Iterations[0].SampleRows)
+		}
+		ht, err := agents.NewHypothesisTestingTrainer(prior, agents.HTConfig{
+			Tolerance: 0.2,
+			// §A.2: hypothesis testing performed best testing against
+			// the preceding interaction's sample.
+			WindowSize: n * (n - 1) / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &htReplay{trainer: ht}, nil
+	default:
+		return nil, fmt.Errorf("userstudy: unknown model %q", model)
+	}
+}
+
+// trajectoryRRs replays the model over a trajectory and returns the
+// per-iteration reciprocal ranks (exact and "+").
+func trajectoryRRs(model string, traj *Trajectory) (exact, plus []float64, err error) {
+	replay, err := newReplay(model, traj)
+	if err != nil {
+		return nil, nil, err
+	}
+	sc := traj.Scenario
+	for _, it := range traj.Iterations {
+		replay.observe(sc, it.SampleRows)
+		top := replay.topK(sc, TopK)
+
+		declIdx, ok := sc.Space.Index(it.Declared)
+		if !ok {
+			return nil, nil, fmt.Errorf("userstudy: declared FD %v not in space", it.Declared)
+		}
+		rr := metrics.ReciprocalRank(top, declIdx)
+		exact = append(exact, rr)
+
+		// "+" variant: credit a subset/superset of the declared FD at
+		// position p with F1similarity/p (§A.2 discounts related
+		// matches by their F1 difference).
+		bestRelated := 0.0
+		for pos, idx := range top {
+			cand := sc.Space.FD(idx)
+			if cand != it.Declared && cand.Related(it.Declared) {
+				sim := fd.F1Similarity(cand, it.Declared, sc.Rel, sc.CleanRows)
+				if v := sim / float64(pos+1); v > bestRelated {
+					bestRelated = v
+				}
+			}
+		}
+		plus = append(plus, metrics.DiscountedRR(rr, bestRelated))
+	}
+	return exact, plus, nil
+}
+
+// FitModels evaluates both candidate human-learning models against
+// every trajectory — the computation behind Figure 2.
+func FitModels(study *Study) ([]FitResult, error) {
+	var out []FitResult
+	for _, model := range []string{"FP", "HypothesisTesting"} {
+		res := FitResult{
+			Model:   model,
+			MRR:     make(map[int]float64),
+			MRRPlus: make(map[int]float64),
+		}
+		exactByScenario := make(map[int][]float64)
+		plusByScenario := make(map[int][]float64)
+		for _, traj := range study.Trajectories {
+			exact, plus, err := trajectoryRRs(model, traj)
+			if err != nil {
+				return nil, err
+			}
+			id := traj.Scenario.ID
+			exactByScenario[id] = append(exactByScenario[id], exact...)
+			plusByScenario[id] = append(plusByScenario[id], plus...)
+		}
+		for id, rrs := range exactByScenario {
+			res.MRR[id] = metrics.MRR(rrs)
+		}
+		for id, rrs := range plusByScenario {
+			res.MRRPlus[id] = metrics.MRR(rrs)
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// HypothesisDrift computes Table 3: per scenario, the average absolute
+// change in the F1 score of the participants' declared hypotheses
+// between consecutive iterations. Large values indicate genuine belief
+// revision rather than noise (§A.3).
+func HypothesisDrift(study *Study) map[int]float64 {
+	sums := make(map[int]float64)
+	counts := make(map[int]int)
+	f1cache := make(map[string]float64)
+	for _, traj := range study.Trajectories {
+		sc := traj.Scenario
+		f1Of := func(f fd.FD) float64 {
+			key := fmt.Sprintf("%d/%v", sc.ID, f)
+			if v, ok := f1cache[key]; ok {
+				return v
+			}
+			v := fd.ScoreFD(f, sc.Rel, sc.CleanRows).F1
+			f1cache[key] = v
+			return v
+		}
+		for t := 1; t < len(traj.Iterations); t++ {
+			d := f1Of(traj.Iterations[t].Declared) - f1Of(traj.Iterations[t-1].Declared)
+			if d < 0 {
+				d = -d
+			}
+			sums[sc.ID] += d
+			counts[sc.ID]++
+		}
+	}
+	out := make(map[int]float64, len(sums))
+	for id, s := range sums {
+		out[id] = s / float64(counts[id])
+	}
+	return out
+}
+
+// WriteTable3 renders the hypothesis-drift table in the paper's layout.
+func WriteTable3(w io.Writer, drift map[int]float64) error {
+	var b strings.Builder
+	b.WriteString("Scenario#  Average change in f1-score\n")
+	ids := make([]int, 0, len(drift))
+	for id := range drift {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	for _, id := range ids {
+		b.WriteString(fmt.Sprintf("%-10d %.4f\n", id, drift[id]))
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// WriteFigure2 renders the per-scenario MRR comparison (Figure 2's
+// textual equivalent), including the "+" variants.
+func WriteFigure2(w io.Writer, fits []FitResult) error {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf("%-10s", "scenario"))
+	for _, f := range fits {
+		b.WriteString(fmt.Sprintf(" %18s %18s", f.Model, f.Model+"+"))
+	}
+	b.WriteByte('\n')
+	ids := make(map[int]struct{})
+	for _, f := range fits {
+		for id := range f.MRR {
+			ids[id] = struct{}{}
+		}
+	}
+	sorted := make([]int, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sort.Ints(sorted)
+	for _, id := range sorted {
+		b.WriteString(fmt.Sprintf("%-10d", id))
+		for _, f := range fits {
+			b.WriteString(fmt.Sprintf(" %18.4f %18.4f", f.MRR[id], f.MRRPlus[id]))
+		}
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Summary computes the study-level aggregates the paper reports in
+// prose: the overall MRR per model and the share of interactions where
+// the user's declared FD appears in the model's top-1/top-2.
+type Summary struct {
+	Model            string
+	OverallMRR       float64
+	Top1Rate         float64
+	Top2Rate         float64
+	TotalPredictions int
+}
+
+// Summarize computes per-model study summaries.
+func Summarize(study *Study) ([]Summary, error) {
+	var out []Summary
+	for _, model := range []string{"FP", "HypothesisTesting"} {
+		var rrs []float64
+		top1, top2 := 0, 0
+		for _, traj := range study.Trajectories {
+			exact, _, err := trajectoryRRs(model, traj)
+			if err != nil {
+				return nil, err
+			}
+			for _, rr := range exact {
+				rrs = append(rrs, rr)
+				if rr >= 1 {
+					top1++
+				}
+				if rr >= 0.5 {
+					top2++
+				}
+			}
+		}
+		n := len(rrs)
+		s := Summary{Model: model, OverallMRR: metrics.MRR(rrs), TotalPredictions: n}
+		if n > 0 {
+			s.Top1Rate = float64(top1) / float64(n)
+			s.Top2Rate = float64(top2) / float64(n)
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// ParticipantFit compares the two models' fit for one participant,
+// aggregated over that participant's sessions — the paper's
+// per-participant grouping ("Bayesian (FP) significantly outperforms
+// hypothesis testing for all our participants except for two", §A.3).
+type ParticipantFit struct {
+	ParticipantID int
+	Kind          ModelKind
+	FPMRR         float64
+	HTMRR         float64
+}
+
+// FPWins reports whether FP fits this participant better.
+func (p ParticipantFit) FPWins() bool { return p.FPMRR > p.HTMRR }
+
+// FitByParticipant replays both models over every participant's
+// sessions and returns one comparison per participant, ordered by ID.
+func FitByParticipant(study *Study) ([]ParticipantFit, error) {
+	type acc struct {
+		kind   ModelKind
+		fp, ht []float64
+	}
+	byID := make(map[int]*acc)
+	for _, traj := range study.Trajectories {
+		a := byID[traj.Participant.ID]
+		if a == nil {
+			a = &acc{kind: traj.Participant.Kind}
+			byID[traj.Participant.ID] = a
+		}
+		fpRR, _, err := trajectoryRRs("FP", traj)
+		if err != nil {
+			return nil, err
+		}
+		htRR, _, err := trajectoryRRs("HypothesisTesting", traj)
+		if err != nil {
+			return nil, err
+		}
+		a.fp = append(a.fp, fpRR...)
+		a.ht = append(a.ht, htRR...)
+	}
+	ids := make([]int, 0, len(byID))
+	for id := range byID {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	out := make([]ParticipantFit, 0, len(ids))
+	for _, id := range ids {
+		a := byID[id]
+		out = append(out, ParticipantFit{
+			ParticipantID: id,
+			Kind:          a.kind,
+			FPMRR:         metrics.MRR(a.fp),
+			HTMRR:         metrics.MRR(a.ht),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,246 @@
+package userstudy
+
+import (
+	"fmt"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/stats"
+)
+
+// ModelKind is the learning model driving a simulated participant.
+type ModelKind int
+
+const (
+	// ModelFP: the participant revises beliefs by fictitious-play /
+	// Bayesian counting (the majority behaviour the paper observed).
+	ModelFP ModelKind = iota
+	// ModelHT: the participant holds one hypothesis and switches on
+	// rejection (hypothesis testing).
+	ModelHT
+	// ModelErratic: the participant declares near-randomly among
+	// plausible hypotheses — the non-monotone behaviour §A.3 reports in
+	// the hard scenario.
+	ModelErratic
+)
+
+func (k ModelKind) String() string {
+	switch k {
+	case ModelFP:
+		return "FP"
+	case ModelHT:
+		return "HT"
+	case ModelErratic:
+		return "Erratic"
+	default:
+		return "unknown"
+	}
+}
+
+// Participant is one simulated annotator.
+type Participant struct {
+	ID int
+	// Kind is the internal learning model.
+	Kind ModelKind
+	// BaseNoise is the participant's personal decision-noise level; the
+	// scenario's difficulty adds to it.
+	BaseNoise float64
+}
+
+// Iteration is one interaction of a study session: the rows the
+// participant saw and the FD they declared afterwards (§A.2 has
+// participants state their hypothesized FD every iteration).
+type Iteration struct {
+	SampleRows []int
+	Declared   fd.FD
+}
+
+// Trajectory is one participant's full session on one scenario.
+type Trajectory struct {
+	Participant Participant
+	Scenario    *Scenario
+	// HasGuess reports whether the participant stated an initial FD
+	// before seeing data (§A.2 lets them say "not sure").
+	HasGuess bool
+	// InitialGuess is that FD when HasGuess.
+	InitialGuess fd.FD
+	Iterations   []Iteration
+}
+
+// StudyConfig sizes the simulated study.
+type StudyConfig struct {
+	// Participants defaults to 20 (the paper's population).
+	Participants int
+	// Rows sizes each scenario's dataset (default 200).
+	Rows int
+	// Seed drives everything.
+	Seed uint64
+	// SampleSize is the tuples shown per iteration (default 10, §A.2).
+	SampleSize int
+}
+
+func (c StudyConfig) withDefaults() StudyConfig {
+	if c.Participants <= 0 {
+		c.Participants = 20
+	}
+	if c.Rows <= 0 {
+		c.Rows = 200
+	}
+	if c.SampleSize <= 0 {
+		c.SampleSize = 10
+	}
+	return c
+}
+
+// Study is the simulated counterpart of the paper's collected data: all
+// trajectories over all five scenarios.
+type Study struct {
+	Scenarios    []*Scenario
+	Trajectories []*Trajectory
+}
+
+// Simulate runs the study: every participant works through every
+// scenario for 9-15 iterations of SampleSize random tuples (§A.2),
+// declaring their hypothesized FD each iteration.
+func Simulate(cfg StudyConfig) (*Study, error) {
+	cfg = cfg.withDefaults()
+	scenarios, err := BuildScenarios(cfg.Rows, cfg.Seed)
+	if err != nil {
+		return nil, err
+	}
+	study := &Study{Scenarios: scenarios}
+	master := stats.NewRNG(cfg.Seed ^ 0x57D7)
+	for pid := 0; pid < cfg.Participants; pid++ {
+		p := makeParticipant(pid, master.Split())
+		for _, sc := range scenarios {
+			traj, err := simulateSession(p, sc, cfg, master.Split())
+			if err != nil {
+				return nil, fmt.Errorf("userstudy: participant %d scenario %d: %w", pid, sc.ID, err)
+			}
+			study.Trajectories = append(study.Trajectories, traj)
+		}
+	}
+	return study, nil
+}
+
+// makeParticipant draws a participant from the population mixture: 70%
+// fictitious players, 20% hypothesis testers, 10% erratic — matching
+// the paper's finding that FP/Bayesian dominates (§A.3, with a couple
+// of exceptions).
+func makeParticipant(id int, rng *stats.RNG) Participant {
+	u := rng.Float64()
+	kind := ModelFP
+	switch {
+	case u < 0.7:
+		kind = ModelFP
+	case u < 0.9:
+		kind = ModelHT
+	default:
+		kind = ModelErratic
+	}
+	return Participant{
+		ID:        id,
+		Kind:      kind,
+		BaseNoise: 0.04 + 0.10*rng.Float64(),
+	}
+}
+
+// initialGuess models the participant's prior from schema inspection:
+// most pick one of the plausible single-LHS alternatives, some spot the
+// target, some are unsure.
+func initialGuess(sc *Scenario, rng *stats.RNG) (fd.FD, bool) {
+	u := rng.Float64()
+	switch {
+	case u < 0.5 && len(sc.Alternatives) > 0:
+		return sc.Alternatives[rng.Intn(len(sc.Alternatives))], true
+	case u < 0.75:
+		return sc.Target[rng.Intn(len(sc.Target))], true
+	default:
+		return fd.FD{}, false
+	}
+}
+
+func simulateSession(p Participant, sc *Scenario, cfg StudyConfig, rng *stats.RNG) (*Trajectory, error) {
+	guess, hasGuess := initialGuess(sc, rng)
+	prior, err := sessionPrior(sc, guess, hasGuess)
+	if err != nil {
+		return nil, err
+	}
+
+	var trainer agents.Trainer
+	switch p.Kind {
+	case ModelHT:
+		ht, err := agents.NewHypothesisTestingTrainer(prior, agents.HTConfig{
+			Tolerance:  0.2,
+			WindowSize: cfg.SampleSize * (cfg.SampleSize - 1) / 2,
+		})
+		if err != nil {
+			return nil, err
+		}
+		trainer = ht
+	default:
+		trainer = agents.NewFPTrainer(prior, rng.Split())
+	}
+
+	noise := p.BaseNoise + sc.Difficulty
+	if p.Kind == ModelErratic {
+		noise = 0.5 + 0.2*rng.Float64()
+	}
+	if noise > 0.9 {
+		noise = 0.9
+	}
+
+	traj := &Trajectory{Participant: p, Scenario: sc, HasGuess: hasGuess, InitialGuess: guess}
+	iterations := 9 + rng.Intn(7) // 9..15 per §A.2
+	for t := 0; t < iterations; t++ {
+		rows := sc.Rel.Sample(rng, cfg.SampleSize)
+		pairs := pairsAmong(rows)
+		trainer.Observe(sc.Rel, pairs)
+
+		declared := declareFD(trainer, sc, noise, rng)
+		traj.Iterations = append(traj.Iterations, Iteration{SampleRows: rows, Declared: declared})
+	}
+	return traj, nil
+}
+
+// sessionPrior builds the participant's internal prior: the §A.2
+// configuration around their initial guess, or a flat uninformative
+// prior when they are unsure.
+func sessionPrior(sc *Scenario, guess fd.FD, hasGuess bool) (*belief.Belief, error) {
+	if !hasGuess {
+		return belief.UniformPrior(sc.Space, 0.5, 0.15), nil
+	}
+	return belief.UserSpecifiedPrior(sc.Space, guess, true)
+}
+
+// declareFD is the participant's declaration: the belief's argmax, with
+// decision noise replacing it by a random member of the current leading
+// candidates (people waver among their top hypotheses, not across the
+// whole space; the harder the scenario, the wider the wavering).
+func declareFD(trainer agents.Trainer, sc *Scenario, noise float64, rng *stats.RNG) fd.FD {
+	width := 3 + int(6*noise)
+	var top []int
+	if ht, ok := trainer.(*agents.HypothesisTestingTrainer); ok {
+		top = ht.RankedHypotheses(sc.Rel, width)
+	} else {
+		top = trainer.Belief().TopK(width)
+	}
+	choice := top[0]
+	if rng.Float64() < noise {
+		choice = top[rng.Intn(len(top))]
+	}
+	return sc.Space.FD(choice)
+}
+
+// pairsAmong lists all tuple pairs within a sample of rows.
+func pairsAmong(rows []int) []dataset.Pair {
+	var out []dataset.Pair
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			out = append(out, dataset.NewPair(rows[i], rows[j]))
+		}
+	}
+	return out
+}

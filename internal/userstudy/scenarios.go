@@ -1,0 +1,171 @@
+// Package userstudy simulates and analyzes the paper's user study
+// (Appendix A): five scenarios over the AIRPORT and OMDB domains
+// (Table 2), a population of annotators whose internal learning follows
+// the human-learning models of Section 3, and the two analyses the
+// paper reports — per-scenario hypothesis drift (Table 3) and the
+// accuracy of candidate human-learning models at predicting declared
+// hypotheses, measured by MRR@5 (Figure 2).
+//
+// The original study ran with 20 human participants; this package
+// substitutes a simulated population with the same qualitative dynamics
+// (mostly fictitious-play learners, some hypothesis testers, difficulty-
+// driven decision noise), which exercises the identical analysis code
+// path. DESIGN.md documents the substitution.
+package userstudy
+
+import (
+	"fmt"
+
+	"exptrain/internal/datagen"
+	"exptrain/internal/dataset"
+	"exptrain/internal/errgen"
+	"exptrain/internal/fd"
+)
+
+// Scenario is one row of Table 2: a projected dataset, the designated
+// target FD(s) (fewest exceptions after injection) and the plausible
+// alternatives, plus the violation ratio used for injection.
+type Scenario struct {
+	// ID is the paper's scenario number (1-5).
+	ID int
+	// Domain is "Airport" or "OMDB".
+	Domain string
+	// Rel is the projected, dirtied relation participants label.
+	Rel *dataset.Relation
+	// CleanRows is the injection ground truth (c_g of §A.2).
+	CleanRows map[int]struct{}
+	// Target and Alternatives are Table 2's FDs over Rel's schema.
+	Target       []fd.FD
+	Alternatives []fd.FD
+	// Space is the hypothesis space participants and fitted models
+	// reason over: every FD with ≤2 LHS attributes over Rel's schema.
+	Space *fd.Space
+	// Difficulty is the decision-noise level the scenario induces;
+	// scenario 2 is markedly harder than the rest (§A.3 reports
+	// non-monotone learning there).
+	Difficulty float64
+}
+
+// scenarioSpec is the static part of a Table 2 row.
+type scenarioSpec struct {
+	id           int
+	domain       string
+	attrs        []string
+	target       []string
+	alternatives []string
+	ratio        float64
+	difficulty   float64
+}
+
+var scenarioSpecs = []scenarioSpec{
+	{
+		id: 1, domain: "Airport",
+		attrs:        []string{"facilityname", "type", "manager"},
+		target:       []string{"facilityname,type->manager"},
+		alternatives: []string{"facilityname->type", "facilityname->manager"},
+		ratio:        1.0 / 3.0,
+		difficulty:   0.10,
+	},
+	{
+		id: 2, domain: "Airport",
+		attrs:        []string{"sitenumber", "facilityname", "owner", "manager"},
+		target:       []string{"sitenumber->facilityname", "sitenumber->owner", "sitenumber->manager"},
+		alternatives: []string{"facilityname->sitenumber", "facilityname->owner", "facilityname->manager"},
+		ratio:        1.0 / 3.0,
+		// §A.3: scenario 2 is the hard one — participants often moved
+		// from more accurate beliefs to less accurate ones.
+		difficulty: 0.45,
+	},
+	{
+		id: 3, domain: "Airport",
+		attrs:        []string{"facilityname", "owner", "manager"},
+		target:       []string{"manager->owner"},
+		alternatives: []string{"facilityname->owner", "facilityname->manager"},
+		ratio:        1.0 / 3.0,
+		difficulty:   0.12,
+	},
+	{
+		id: 4, domain: "OMDB",
+		attrs:        []string{"title", "year", "genre", "type"},
+		target:       []string{"title,year->type", "title,year->genre"},
+		alternatives: []string{"title->year", "title->type", "title->genre"},
+		ratio:        2.0 / 3.0,
+		difficulty:   0.15,
+	},
+	{
+		id: 5, domain: "OMDB",
+		attrs:        []string{"title", "rating", "type"},
+		target:       []string{"rating->type"},
+		alternatives: []string{"title->rating", "title->type"},
+		ratio:        2.0 / 3.0,
+		difficulty:   0.12,
+	},
+}
+
+// BuildScenarios materializes the five Table 2 scenarios: generate the
+// domain dataset, project to the scenario attributes, and inject
+// violations at the scenario's ratio (m target violations per n·m
+// alternative ones, §A.2).
+func BuildScenarios(rows int, seed uint64) ([]*Scenario, error) {
+	if rows < 40 {
+		return nil, fmt.Errorf("userstudy: need at least 40 rows, got %d", rows)
+	}
+	var out []*Scenario
+	for _, spec := range scenarioSpecs {
+		sc, err := buildScenario(spec, rows, seed)
+		if err != nil {
+			return nil, fmt.Errorf("userstudy: scenario %d: %w", spec.id, err)
+		}
+		out = append(out, sc)
+	}
+	return out, nil
+}
+
+func buildScenario(spec scenarioSpec, rows int, seed uint64) (*Scenario, error) {
+	gen, err := datagen.ByName(spec.domain)
+	if err != nil {
+		return nil, err
+	}
+	full := gen(rows, seed+uint64(spec.id)*101)
+	rel, err := full.Rel.Project(spec.attrs...)
+	if err != nil {
+		return nil, err
+	}
+	target, err := fd.ParseAll(spec.target, rel.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("target FDs: %w", err)
+	}
+	alts, err := fd.ParseAll(spec.alternatives, rel.Schema())
+	if err != nil {
+		return nil, fmt.Errorf("alternative FDs: %w", err)
+	}
+	injected, err := errgen.InjectRatio(rel, errgen.RatioConfig{
+		Target:           target,
+		Alternatives:     alts,
+		TargetViolations: rows / 20,
+		Ratio:            spec.ratio,
+		Seed:             seed ^ uint64(spec.id)<<8,
+	})
+	if err != nil {
+		return nil, err
+	}
+	space := fd.MustNewSpace(fd.MustEnumerate(fd.SpaceConfig{
+		Arity:  rel.Schema().Arity(),
+		MaxLHS: 2,
+	}))
+	for _, f := range append(append([]fd.FD{}, target...), alts...) {
+		if !space.Contains(f) {
+			return nil, fmt.Errorf("FD %v missing from scenario space", f)
+		}
+	}
+	return &Scenario{
+		ID:           spec.id,
+		Domain:       spec.domain,
+		Rel:          injected.Rel,
+		CleanRows:    injected.CleanRows(),
+		Target:       target,
+		Alternatives: alts,
+		Space:        space,
+		Difficulty:   spec.difficulty,
+	}, nil
+}
