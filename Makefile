@@ -1,0 +1,37 @@
+GO ?= go
+# Extra flags for `make bench`, e.g. BENCHFLAGS='-benchtime 3s -count 5'
+BENCHFLAGS ?=
+# Hot-path benchmarks that get a machine-readable BENCH_<name>.json each.
+BENCHES := FullGame G1 Discovery GameScaling
+
+.PHONY: all build test race verify bench clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Tier-1 verification: build, the full test suite, then the suite again
+# under the race detector (the experiment harness and game evaluator run
+# goroutines, so -race is part of the bar).
+verify: build test race
+
+# Run each hot-path benchmark and convert its output into a
+# machine-readable baseline (BENCH_FullGame.json, BENCH_G1.json, ...)
+# via cmd/benchjson, for diffing across commits.
+bench:
+	@for b in $(BENCHES); do \
+		echo "== Benchmark$$b"; \
+		$(GO) test -run '^$$' -bench "^Benchmark$$b$$" -benchmem $(BENCHFLAGS) . \
+			| $(GO) run ./cmd/benchjson > BENCH_$$b.json || exit 1; \
+		echo "   wrote BENCH_$$b.json"; \
+	done
+
+clean:
+	rm -f BENCH_*.json

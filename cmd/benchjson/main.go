@@ -1,0 +1,113 @@
+// Command benchjson converts `go test -bench` output into a
+// machine-readable JSON baseline. It reads the benchmark text from
+// stdin and writes one JSON document to stdout:
+//
+//	go test -run '^$' -bench '^BenchmarkFullGame$' -benchmem . | benchjson > BENCH_baseline.json
+//
+// Every metric pair of a benchmark line (ns/op, B/op, allocs/op and
+// custom b.ReportMetric units alike) becomes an entry in the
+// benchmark's metric map, so baselines can be diffed or asserted
+// against by scripts (`make bench` uses it to emit BENCH_*.json).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed.
+	Name string `json:"name"`
+	// Iterations is the b.N the reported means were measured over.
+	Iterations int64 `json:"iterations"`
+	// Metrics maps unit → value, e.g. "ns/op": 22844256.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Baseline is the full document emitted on stdout.
+type Baseline struct {
+	Goos       string      `json:"goos,omitempty"`
+	Goarch     string      `json:"goarch,omitempty"`
+	Pkg        string      `json:"pkg,omitempty"`
+	CPU        string      `json:"cpu,omitempty"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+func main() {
+	base, err := parse(bufio.NewScanner(os.Stdin))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func parse(sc *bufio.Scanner) (*Baseline, error) {
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	base := &Baseline{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			base.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+		case strings.HasPrefix(line, "goarch:"):
+			base.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+		case strings.HasPrefix(line, "pkg:"):
+			base.Pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+		case strings.HasPrefix(line, "cpu:"):
+			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+		case strings.HasPrefix(line, "Benchmark"):
+			b, ok := parseLine(line)
+			if ok {
+				base.Benchmarks = append(base.Benchmarks, b)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	if len(base.Benchmarks) == 0 {
+		return nil, fmt.Errorf("no benchmark lines found on stdin")
+	}
+	return base, nil
+}
+
+// parseLine parses "BenchmarkName-8  3  123 ns/op  456 B/op ..." into a
+// Benchmark. Malformed lines are skipped rather than fatal so stray
+// test output interleaved with the bench stream cannot break the
+// conversion.
+func parseLine(line string) (Benchmark, bool) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 {
+		return Benchmark{}, false
+	}
+	name := fields[0]
+	if i := strings.LastIndex(name, "-"); i > 0 {
+		if _, err := strconv.Atoi(name[i+1:]); err == nil {
+			name = name[:i]
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return Benchmark{}, false
+	}
+	b := Benchmark{Name: name, Iterations: iters, Metrics: make(map[string]float64)}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return Benchmark{}, false
+		}
+		b.Metrics[fields[i+1]] = v
+	}
+	return b, len(b.Metrics) > 0
+}

@@ -71,6 +71,17 @@ func (l Labeling) Label() Label {
 type Belief struct {
 	space *fd.Space
 	dists []stats.Beta
+
+	// Violation memo: which hypotheses a pair syntactically violates is
+	// a property of the (immutable-during-a-game) relation, not of the
+	// evolving distributions, yet the samplers re-derive it for the
+	// whole candidate pool every iteration through PDirty/Uncertainty.
+	// violMemo caches the violated hypothesis indices per pair, keyed to
+	// one relation identity+version; any change of relation or a
+	// mutation flushes it.
+	violRel     *dataset.Relation
+	violVersion uint64
+	violMemo    map[dataset.Pair][]int32
 }
 
 // New creates a belief over the space with every hypothesis at the given
@@ -280,14 +291,34 @@ func (b *Belief) Decay(lambda float64) {
 // confidence.
 func (b *Belief) PDirty(rel *dataset.Relation, p dataset.Pair) float64 {
 	var best float64
-	for i := 0; i < b.space.Size(); i++ {
-		if fd.Status(b.space.FD(i), rel, p) == fd.Violating {
-			if c := b.dists[i].Mean(); c > best {
-				best = c
-			}
+	for _, i := range b.violated(rel, p) {
+		if c := b.dists[i].Mean(); c > best {
+			best = c
 		}
 	}
 	return best
+}
+
+// violated returns the indices of the hypotheses pair p violates over
+// rel, memoized per pair. The memo is invalidated when the relation (or
+// its mutation version) changes.
+func (b *Belief) violated(rel *dataset.Relation, p dataset.Pair) []int32 {
+	if b.violRel != rel || b.violVersion != rel.Version() {
+		b.violRel = rel
+		b.violVersion = rel.Version()
+		b.violMemo = make(map[dataset.Pair][]int32)
+	}
+	if v, ok := b.violMemo[p]; ok {
+		return v
+	}
+	var v []int32
+	for i := 0; i < b.space.Size(); i++ {
+		if fd.Status(b.space.FD(i), rel, p) == fd.Violating {
+			v = append(v, int32(i))
+		}
+	}
+	b.violMemo[p] = v
+	return v
 }
 
 // PredictLabel is the best-response labeling under the belief: Dirty

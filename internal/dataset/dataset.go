@@ -7,6 +7,16 @@
 // Functional dependencies only ever compare cell values for equality, so
 // cells are stored as strings; numeric data keeps its textual form. This
 // matches how FD discovery systems (TANE, CORDS) treat relations.
+//
+// Alongside the string cells every relation maintains a dictionary
+// encoding: each column interns its values to dense int32 codes
+// (first-seen order) kept in sync through Append, SetValue, Subset,
+// Clone and Project. Two cells of a column are equal iff their codes
+// are equal, so the FD hot paths (partitioning, pair classification,
+// minority detection) run on integer compares and counting arrays
+// instead of string concatenation and string-keyed maps. Mutations bump
+// a version counter that downstream caches (fd.PLICache) use for
+// invalidation.
 package dataset
 
 import (
@@ -101,17 +111,63 @@ type Tuple []string
 // Clone returns a deep copy of the tuple.
 func (t Tuple) Clone() Tuple { return append(Tuple(nil), t...) }
 
+// column is the dictionary encoding of one attribute: codes[i] is the
+// dense int32 code of rows[i]'s value, vals decodes codes back to
+// strings, and index interns new values. Codes are assigned in
+// first-seen order and are local to one relation.
+type column struct {
+	index map[string]int32
+	vals  []string
+	codes []int32
+}
+
+func newColumn() *column {
+	return &column{index: make(map[string]int32)}
+}
+
+// intern returns the code for v, assigning the next dense code on first
+// sight.
+func (c *column) intern(v string) int32 {
+	if code, ok := c.index[v]; ok {
+		return code
+	}
+	code := int32(len(c.vals))
+	c.index[v] = code
+	c.vals = append(c.vals, v)
+	return code
+}
+
+func (c *column) clone() *column {
+	out := &column{
+		index: make(map[string]int32, len(c.index)),
+		vals:  append([]string(nil), c.vals...),
+		codes: append([]int32(nil), c.codes...),
+	}
+	for v, code := range c.index {
+		out.index[v] = code
+	}
+	return out
+}
+
 // Relation is a schema plus rows. Rows are identified by their index,
 // which the game, sampling, and error-generation layers use as stable
 // tuple IDs.
 type Relation struct {
 	schema *Schema
 	rows   []Tuple
+	cols   []*column
+	// version counts mutations (Append/SetValue); partition caches use
+	// it to detect staleness.
+	version uint64
 }
 
 // New returns an empty relation over the given schema.
 func New(schema *Schema) *Relation {
-	return &Relation{schema: schema}
+	r := &Relation{schema: schema, cols: make([]*column, schema.Arity())}
+	for j := range r.cols {
+		r.cols[j] = newColumn()
+	}
+	return r
 }
 
 // Schema returns the relation's schema.
@@ -126,6 +182,11 @@ func (r *Relation) Append(t Tuple) error {
 		return fmt.Errorf("dataset: tuple arity %d does not match schema arity %d", len(t), r.schema.Arity())
 	}
 	r.rows = append(r.rows, t)
+	for j, v := range t {
+		c := r.cols[j]
+		c.codes = append(c.codes, c.intern(v))
+	}
+	r.version++
 	return nil
 }
 
@@ -137,22 +198,57 @@ func (r *Relation) MustAppend(t Tuple) {
 }
 
 // Row returns the tuple at index i. The returned slice is the live row;
-// callers that mutate it (the error generator does, deliberately) own
-// the consequences.
+// it must be treated as read-only — writes must go through SetValue so
+// the dictionary encoding stays in sync (Clone the tuple to scribble on
+// it).
 func (r *Relation) Row(i int) Tuple { return r.rows[i] }
 
 // Value returns the cell at row i, attribute position j.
 func (r *Relation) Value(i, j int) string { return r.rows[i][j] }
 
-// SetValue overwrites one cell; used by the error generator.
-func (r *Relation) SetValue(i, j int, v string) { r.rows[i][j] = v }
+// SetValue overwrites one cell; used by the error generator. It is the
+// only sanctioned cell-mutation path: it keeps the dictionary codes in
+// sync and bumps the relation version so partition caches invalidate.
+func (r *Relation) SetValue(i, j int, v string) {
+	r.rows[i][j] = v
+	c := r.cols[j]
+	c.codes[i] = c.intern(v)
+	r.version++
+}
 
-// Clone returns a deep copy sharing the (immutable) schema.
+// Code returns the dictionary code of the cell at row i, attribute
+// position j. Codes are dense, relation-local, and equal iff the string
+// values are equal.
+func (r *Relation) Code(i, j int) int32 { return r.cols[j].codes[i] }
+
+// ColumnCodes returns the live code slice of attribute j, indexed by
+// row. It is the hot-path view the partition machinery walks; callers
+// must treat it as read-only and must not hold it across mutations.
+func (r *Relation) ColumnCodes(j int) []int32 { return r.cols[j].codes }
+
+// DictLen returns the number of distinct values interned for attribute
+// j; valid codes are [0, DictLen).
+func (r *Relation) DictLen(j int) int { return len(r.cols[j].vals) }
+
+// DictValue decodes a code of attribute j back to its string value.
+func (r *Relation) DictValue(j int, code int32) string { return r.cols[j].vals[code] }
+
+// Version returns the mutation counter, incremented by every Append and
+// SetValue. Caches key their validity on it.
+func (r *Relation) Version() uint64 { return r.version }
+
+// Clone returns a deep copy sharing the (immutable) schema. The clone's
+// dictionaries are copied too, so the two relations can diverge (and be
+// mutated from different goroutines) independently.
 func (r *Relation) Clone() *Relation {
-	c := &Relation{schema: r.schema, rows: make([]Tuple, len(r.rows))}
+	c := &Relation{schema: r.schema, rows: make([]Tuple, len(r.rows)), cols: make([]*column, len(r.cols))}
 	for i, t := range r.rows {
 		c.rows[i] = t.Clone()
 	}
+	for j, col := range r.cols {
+		c.cols[j] = col.clone()
+	}
+	c.version = r.version
 	return c
 }
 
@@ -172,10 +268,13 @@ func (r *Relation) ProjectKey(row int, attrs []int) string {
 }
 
 // EqualOn reports whether rows i and j agree on every attribute position
-// in attrs.
+// in attrs. It compares dictionary codes, not strings, so the per-pair
+// FD classification the belief layer performs is a handful of int32
+// compares.
 func (r *Relation) EqualOn(i, j int, attrs []int) bool {
 	for _, a := range attrs {
-		if r.rows[i][a] != r.rows[j][a] {
+		codes := r.cols[a].codes
+		if codes[i] != codes[j] {
 			return false
 		}
 	}
@@ -206,17 +305,19 @@ func (r *Relation) Project(names ...string) (*Relation, error) {
 		for k, a := range attrs {
 			t[k] = r.rows[i][a]
 		}
-		out.rows = append(out.rows, t)
+		out.MustAppend(t)
 	}
 	return out, nil
 }
 
 // Subset returns a new relation holding copies of the rows at the given
-// indices, in the given order.
+// indices, in the given order. The subset re-interns its values, so its
+// codes are dense over the rows it actually holds.
 func (r *Relation) Subset(rowIdx []int) *Relation {
-	sub := &Relation{schema: r.schema, rows: make([]Tuple, len(rowIdx))}
-	for k, i := range rowIdx {
-		sub.rows[k] = r.rows[i].Clone()
+	sub := New(r.schema)
+	sub.rows = make([]Tuple, 0, len(rowIdx))
+	for _, i := range rowIdx {
+		sub.MustAppend(r.rows[i].Clone())
 	}
 	return sub
 }

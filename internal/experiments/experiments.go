@@ -7,6 +7,7 @@ package experiments
 
 import (
 	"fmt"
+	"runtime"
 	"sync"
 
 	"exptrain/internal/agents"
@@ -18,6 +19,12 @@ import (
 	"exptrain/internal/stats"
 )
 
+// gameSem bounds the number of concurrently executing games across all
+// conditions to the machine's parallelism: Run fans out over sampling
+// methods and runMethod fans out over seeds, so without a shared bound
+// the goroutine count would be methods × runs.
+var gameSem = make(chan struct{}, runtime.GOMAXPROCS(0))
+
 // Config drives one experimental condition: a dataset, a violation
 // degree, the two agents' priors, and the game parameters of §C.1.
 type Config struct {
@@ -26,8 +33,14 @@ type Config struct {
 	Dataset string
 	// Rows sizes the generated relation (default 240).
 	Rows int
-	// Degree is the injected violation degree (default 0.1).
+	// Degree is the injected violation degree. A zero Degree with
+	// DegreeSet false defaults to 0.1; negative values are rejected.
 	Degree float64
+	// DegreeSet marks Degree as intentionally specified. Degree == 0 is
+	// a meaningful condition (a clean relation, no injection), but it is
+	// also the zero value, so it only takes effect when DegreeSet is
+	// true; otherwise the 0.1 default applies.
+	DegreeSet bool
 	// TrainerPrior and LearnerPrior configure the agents (§C.1 tests
 	// Uniform-d, Random and Data-estimate).
 	TrainerPrior belief.PriorSpec
@@ -65,7 +78,7 @@ func (c Config) withDefaults() Config {
 	if c.Rows <= 0 {
 		c.Rows = 240
 	}
-	if c.Degree == 0 {
+	if c.Degree == 0 && !c.DegreeSet {
 		c.Degree = 0.1
 	}
 	if c.Gamma == 0 {
@@ -132,26 +145,45 @@ type Result struct {
 	Methods []MethodSeries
 }
 
-// Run executes the condition for all four sampling methods.
+// Run executes the condition for all four sampling methods. Methods run
+// concurrently (each already fans its seeded repetitions out), with
+// total game concurrency bounded by GOMAXPROCS; results keep method
+// order.
 func Run(cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
+	if cfg.Degree < 0 {
+		return nil, fmt.Errorf("experiments: negative violation degree %v", cfg.Degree)
+	}
 	gen, err := datagen.ByName(cfg.Dataset)
 	if err != nil {
 		return nil, err
 	}
-	res := &Result{Config: cfg}
 	methods := cfg.Methods
 	if len(methods) == 0 {
 		methods = []string{"Random", "US", "StochasticBR", "StochasticUS"}
 	}
-	for _, method := range methods {
-		series, err := runMethod(cfg, gen, method)
-		if err != nil {
-			return nil, fmt.Errorf("experiments: %s on %s: %w", method, cfg.Dataset, err)
-		}
-		res.Methods = append(res.Methods, series)
+	series := make([]MethodSeries, len(methods))
+	errs := make([]error, len(methods))
+	var wg sync.WaitGroup
+	for i, method := range methods {
+		wg.Add(1)
+		go func(i int, method string) {
+			defer wg.Done()
+			s, err := runMethod(cfg, gen, method)
+			if err != nil {
+				errs[i] = fmt.Errorf("experiments: %s on %s: %w", method, cfg.Dataset, err)
+				return
+			}
+			series[i] = s
+		}(i, method)
 	}
-	return res, nil
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return &Result{Config: cfg, Methods: series}, nil
 }
 
 // runMethod averages one method over cfg.Runs seeded games, running the
@@ -168,6 +200,8 @@ func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, 
 		wg.Add(1)
 		go func(run int) {
 			defer wg.Done()
+			gameSem <- struct{}{}
+			defer func() { <-gameSem }()
 			out, err := runGame(cfg, gen, method, cfg.BaseSeed+uint64(run)*7919)
 			if err != nil {
 				errs[run] = err
@@ -202,16 +236,23 @@ func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, 
 // run the §C.1 interaction protocol.
 func runGame(cfg Config, gen datagen.Generator, method string, seed uint64) (*game.Result, error) {
 	ds := gen(cfg.Rows, seed)
-	injected, err := errgen.InjectDegree(ds.Rel, errgen.DegreeConfig{
-		FDs:        ds.ExactFDs,
-		Degree:     cfg.Degree,
-		MaxChanges: cfg.Rows / 3,
-		Seed:       seed ^ 0xE44,
-	})
-	if err != nil {
-		return nil, err
+	// Degree 0 (with DegreeSet) is the clean-data condition: no
+	// injection, empty ground-truth dirty set.
+	rel := ds.Rel
+	dirtyRows := map[int]struct{}{}
+	if cfg.Degree > 0 {
+		injected, err := errgen.InjectDegree(ds.Rel, errgen.DegreeConfig{
+			FDs:        ds.ExactFDs,
+			Degree:     cfg.Degree,
+			MaxChanges: cfg.Rows / 3,
+			Seed:       seed ^ 0xE44,
+		})
+		if err != nil {
+			return nil, err
+		}
+		rel = injected.Rel
+		dirtyRows = injected.DirtyRows
 	}
-	rel := injected.Rel
 	space := ds.Space(cfg.MaxLHS, cfg.MaxFDs)
 
 	rng := stats.NewRNG(seed ^ 0x9A3E)
@@ -220,7 +261,7 @@ func runGame(cfg Config, gen datagen.Generator, method string, seed uint64) (*ga
 	testRel := rel.Subset(testRows)
 	dirty := make(map[int]struct{})
 	for newIdx, orig := range testRows {
-		if _, bad := injected.DirtyRows[orig]; bad {
+		if _, bad := dirtyRows[orig]; bad {
 			dirty[newIdx] = struct{}{}
 		}
 	}

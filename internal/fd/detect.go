@@ -23,6 +23,63 @@ const minorityFraction = 0.25
 // value flag nothing. Ties for the plurality are broken toward the
 // lexicographically smallest value so detection is deterministic.
 func MinorityRows(f FD, rel *dataset.Relation) map[int]struct{} {
+	flagged := make(map[int]struct{})
+	minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, flagged)
+	return flagged
+}
+
+// minorityFromPartition applies the minority rule to each class of the
+// stripped LHS partition, counting RHS dictionary codes with a
+// touched-list counter array. The plurality tie-break still compares
+// the decoded strings, preserving the naive implementation's
+// deterministic choice exactly.
+func minorityFromPartition(p *Partition, rel *dataset.Relation, rhs int, flagged map[int]struct{}) {
+	codes := rel.ColumnCodes(rhs)
+	cnt := make([]int32, rel.DictLen(rhs))
+	touched := make([]int32, 0, 16)
+	for _, rows := range p.Classes {
+		touched = touched[:0]
+		for _, r := range rows {
+			c := codes[r]
+			if cnt[c] == 0 {
+				touched = append(touched, c)
+			}
+			cnt[c]++
+		}
+		if len(touched) < 2 {
+			for _, c := range touched {
+				cnt[c] = 0
+			}
+			continue
+		}
+		// Plurality code: highest count, ties toward the smallest string.
+		maj := touched[0]
+		for _, c := range touched[1:] {
+			if cnt[c] > cnt[maj] ||
+				(cnt[c] == cnt[maj] && rel.DictValue(rhs, c) < rel.DictValue(rhs, maj)) {
+				maj = c
+			}
+		}
+		maxClass := int32(minorityFraction * float64(len(rows)))
+		if maxClass < 1 {
+			maxClass = 1
+		}
+		for _, r := range rows {
+			c := codes[r]
+			if c != maj && cnt[c] <= maxClass {
+				flagged[r] = struct{}{}
+			}
+		}
+		for _, c := range touched {
+			cnt[c] = 0
+		}
+	}
+}
+
+// MinorityRowsNaive is the original string-keyed implementation,
+// retained as the reference the dictionary/PLI fast paths are
+// property-tested against.
+func MinorityRowsNaive(f FD, rel *dataset.Relation) map[int]struct{} {
 	lhs := f.LHS.Attrs()
 	groups := make(map[string][]int)
 	for i := 0; i < rel.NumRows(); i++ {
@@ -68,13 +125,13 @@ func MinorityRows(f FD, rel *dataset.Relation) map[int]struct{} {
 }
 
 // DetectErrors unions MinorityRows over a set of believed FDs: the rows
-// the model predicts to be dirty.
+// the model predicts to be dirty. Callers scoring the same relation
+// repeatedly should use PLICache.DetectErrors, which shares the LHS
+// partitions across FDs and calls.
 func DetectErrors(fds []FD, rel *dataset.Relation) map[int]struct{} {
 	out := make(map[int]struct{})
 	for _, f := range fds {
-		for r := range MinorityRows(f, rel) {
-			out[r] = struct{}{}
-		}
+		minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, out)
 	}
 	return out
 }

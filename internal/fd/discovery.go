@@ -53,11 +53,9 @@ func Discover(rel *dataset.Relation, cfg DiscoveryConfig) ([]FD, error) {
 	holds := make(map[int][]AttrSet, arity)
 	var found []FD
 
-	// Level 1 partitions seed the refinement cache.
-	partitions := make(map[AttrSet]*Partition)
-	for a := 0; a < arity; a++ {
-		partitions[NewAttrSet(a)] = PartitionOn(rel, NewAttrSet(a))
-	}
+	// The PLI cache memoizes every level's stripped partitions and
+	// derives each lattice node by refining its parent TANE-style.
+	cache := NewPLICache(rel)
 
 	determinedByKnown := func(lhs AttrSet, rhs int) bool {
 		for _, known := range holds[rhs] {
@@ -71,20 +69,7 @@ func Discover(rel *dataset.Relation, cfg DiscoveryConfig) ([]FD, error) {
 	level := AllSubsetsOfSize(arity, 1)
 	for size := 1; size <= maxLHS; size++ {
 		for _, lhs := range level {
-			part, ok := partitions[lhs]
-			if !ok {
-				// Refine the cached partition on lhs minus its highest
-				// attribute; fall back to direct partitioning.
-				attrs := lhs.Attrs()
-				last := attrs[len(attrs)-1]
-				parent, ok := partitions[lhs.Remove(last)]
-				if ok {
-					part = parent.Refine(rel, last)
-				} else {
-					part = PartitionOn(rel, lhs)
-				}
-				partitions[lhs] = part
-			}
+			part := cache.Partition(lhs)
 			for rhs := 0; rhs < arity; rhs++ {
 				if lhs.Has(rhs) {
 					continue

@@ -1,6 +1,8 @@
 package fd
 
 import (
+	"math/bits"
+
 	"exptrain/internal/dataset"
 )
 
@@ -31,13 +33,19 @@ func (s PairStatus) String() string {
 	}
 }
 
-// Status classifies pair p against f over rel.
+// Status classifies pair p against f over rel. It runs entirely on
+// dictionary codes — one int32 compare per LHS attribute plus one for
+// the RHS, iterating the LHS bitmask directly so no attribute slice is
+// materialized — which matters because the belief layer classifies
+// every presented pair against every hypothesis on every update.
 func Status(f FD, rel *dataset.Relation, p dataset.Pair) PairStatus {
-	lhs := f.LHS.Attrs()
-	if !rel.EqualOn(p.A, p.B, lhs) {
-		return Neutral
+	for v := uint64(f.LHS); v != 0; v &= v - 1 {
+		a := bits.TrailingZeros64(v)
+		if rel.Code(p.A, a) != rel.Code(p.B, a) {
+			return Neutral
+		}
 	}
-	if rel.Value(p.A, f.RHS) == rel.Value(p.B, f.RHS) {
+	if rel.Code(p.A, f.RHS) == rel.Code(p.B, f.RHS) {
 		return Compliant
 	}
 	return Violating
@@ -79,10 +87,20 @@ func (s Stats) Confidence() float64 {
 }
 
 // ComputeStats counts agreeing/compliant/violating pairs for f over rel
-// by grouping rows on the LHS key and, within each group, on the RHS
-// value: with group size g and RHS-class sizes c_i, the group contributes
-// C(g,2) agreeing and ΣC(c_i,2) compliant pairs. O(n·|LHS|) time.
+// by partitioning rows on the LHS codes and, within each class, counting
+// RHS codes: with group size g and RHS-class sizes c_i, the group
+// contributes C(g,2) agreeing and ΣC(c_i,2) compliant pairs.
+// O(n·|LHS|) time on integer codes; callers evaluating many FDs over
+// one relation should go through a PLICache to share the LHS
+// partitions.
 func ComputeStats(f FD, rel *dataset.Relation) Stats {
+	return PartitionOn(rel, f.LHS).StatsFor(rel, f.RHS)
+}
+
+// ComputeStatsNaive is the original string-keyed implementation,
+// retained as the reference the dictionary/PLI fast paths are
+// property-tested against.
+func ComputeStatsNaive(f FD, rel *dataset.Relation) Stats {
 	lhs := f.LHS.Attrs()
 	n := rel.NumRows()
 	groups := make(map[string]map[string]int)
@@ -120,26 +138,17 @@ func Confidence(f FD, rel *dataset.Relation) float64 {
 }
 
 // ViolatingPairs returns every unordered pair of rel that violates f, in
-// deterministic order (sorted by first then second row index).
+// deterministic order (groups in first-seen order, ascending row pairs
+// within each group — a stripped partition's classes sorted by smallest
+// member enumerate in exactly that order).
 func ViolatingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
-	lhs := f.LHS.Attrs()
-	n := rel.NumRows()
-	groups := make(map[string][]int)
-	order := make([]string, 0)
-	for i := 0; i < n; i++ {
-		key := rel.ProjectKey(i, lhs)
-		if _, ok := groups[key]; !ok {
-			order = append(order, key)
-		}
-		groups[key] = append(groups[key], i)
-	}
+	codes := rel.ColumnCodes(f.RHS)
 	var out []dataset.Pair
-	for _, key := range order {
-		rows := groups[key]
+	for _, rows := range PartitionOn(rel, f.LHS).Classes {
 		for a := 0; a < len(rows); a++ {
 			for b := a + 1; b < len(rows); b++ {
-				if rel.Value(rows[a], f.RHS) != rel.Value(rows[b], f.RHS) {
-					out = append(out, dataset.NewPair(rows[a], rows[b]))
+				if codes[rows[a]] != codes[rows[b]] {
+					out = append(out, dataset.Pair{A: rows[a], B: rows[b]})
 				}
 			}
 		}
@@ -149,8 +158,18 @@ func ViolatingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
 
 // AgreeingPairs returns every unordered pair that agrees on f's LHS
 // (compliant and violating alike), in deterministic order. These are the
-// pairs that carry evidence about f.
+// pairs that carry evidence about f. Callers enumerating many FDs over
+// one relation should use PLICache.AgreeingPairs, which shares the LHS
+// partitions.
 func AgreeingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
+	return agreeingFromPartition(PartitionOn(rel, f.LHS))
+}
+
+// AgreeingPairsNaive is the original string-keyed implementation,
+// retained as the reference the dictionary/PLI fast paths are
+// property-tested against (including the exact enumeration order, which
+// the sampling pool's determinism rides on).
+func AgreeingPairsNaive(f FD, rel *dataset.Relation) []dataset.Pair {
 	lhs := f.LHS.Attrs()
 	n := rel.NumRows()
 	groups := make(map[string][]int)

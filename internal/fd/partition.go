@@ -19,7 +19,70 @@ type Partition struct {
 }
 
 // PartitionOn computes the stripped partition of rel on attribute set X.
+// It works entirely on the relation's dictionary codes: the first
+// attribute is grouped with a counting pass over its code column, and
+// every further attribute is folded in with Refine. No strings are
+// built or hashed.
 func PartitionOn(rel *dataset.Relation, x AttrSet) *Partition {
+	attrs := x.Attrs()
+	if len(attrs) == 0 {
+		return &Partition{Rows: rel.NumRows()}
+	}
+	p := partitionSingle(rel, attrs[0])
+	for _, a := range attrs[1:] {
+		p = p.Refine(rel, a)
+	}
+	return p
+}
+
+// partitionSingle builds the stripped partition on one attribute with a
+// two-pass counting sort over the code column: count per code, lay the
+// multi-row classes out in one shared backing array, then fill it in row
+// order so every class is sorted ascending.
+func partitionSingle(rel *dataset.Relation, a int) *Partition {
+	codes := rel.ColumnCodes(a)
+	dict := rel.DictLen(a)
+	counts := make([]int32, dict)
+	for _, c := range codes {
+		counts[c]++
+	}
+	total, classes := 0, 0
+	starts := make([]int32, dict)
+	for code, cnt := range counts {
+		if cnt >= 2 {
+			starts[code] = int32(total)
+			total += int(cnt)
+			classes++
+		} else {
+			starts[code] = -1
+		}
+	}
+	p := &Partition{Rows: len(codes), Classes: make([][]int, 0, classes)}
+	if classes == 0 {
+		return p
+	}
+	backing := make([]int, total)
+	fill := append([]int32(nil), starts...)
+	for i, c := range codes {
+		if s := fill[c]; s >= 0 {
+			backing[s] = i
+			fill[c] = s + 1
+		}
+	}
+	for code, cnt := range counts {
+		if cnt >= 2 {
+			s := starts[code]
+			p.Classes = append(p.Classes, backing[s:s+cnt])
+		}
+	}
+	sort.Slice(p.Classes, func(i, j int) bool { return p.Classes[i][0] < p.Classes[j][0] })
+	return p
+}
+
+// PartitionOnNaive is the original string-keyed implementation, retained
+// as the reference the dictionary/PLI fast paths are property-tested
+// against.
+func PartitionOnNaive(rel *dataset.Relation, x AttrSet) *Partition {
 	attrs := x.Attrs()
 	groups := make(map[string][]int)
 	for i := 0; i < rel.NumRows(); i++ {
@@ -49,19 +112,41 @@ func (p *Partition) AgreeingPairCount() int {
 // Refine intersects the partition with the single attribute a, returning
 // the stripped partition on X ∪ {a}. This is the product-partition step
 // TANE uses to walk the lattice level by level without re-grouping from
-// scratch.
+// scratch. Sub-grouping runs on a's code column with per-code counters
+// reset via the touched list, so cost is O(Σ|class| + dict(a)) with no
+// map churn.
 func (p *Partition) Refine(rel *dataset.Relation, a int) *Partition {
+	codes := rel.ColumnCodes(a)
+	dict := rel.DictLen(a)
 	out := &Partition{Rows: p.Rows}
+	cnt := make([]int32, dict)
+	slot := make([]int32, dict)
+	touched := make([]int32, 0, 16)
 	for _, class := range p.Classes {
-		sub := make(map[string][]int)
+		touched = touched[:0]
 		for _, row := range class {
-			v := rel.Value(row, a)
-			sub[v] = append(sub[v], row)
-		}
-		for _, rows := range sub {
-			if len(rows) >= 2 {
-				out.Classes = append(out.Classes, rows)
+			c := codes[row]
+			if cnt[c] == 0 {
+				touched = append(touched, c)
 			}
+			cnt[c]++
+		}
+		for _, c := range touched {
+			if cnt[c] >= 2 {
+				slot[c] = int32(len(out.Classes))
+				out.Classes = append(out.Classes, make([]int, 0, cnt[c]))
+			} else {
+				slot[c] = -1
+			}
+		}
+		for _, row := range class {
+			c := codes[row]
+			if s := slot[c]; s >= 0 {
+				out.Classes[s] = append(out.Classes[s], row)
+			}
+		}
+		for _, c := range touched {
+			cnt[c] = 0
 		}
 	}
 	sort.Slice(out.Classes, func(i, j int) bool { return out.Classes[i][0] < out.Classes[j][0] })
@@ -70,18 +155,27 @@ func (p *Partition) Refine(rel *dataset.Relation, a int) *Partition {
 
 // StatsFor computes the pair counts of the FD (X → a) given the stripped
 // partition on X: within each X-class, rows are sub-grouped by the RHS
-// value; compliant pairs are the within-subgroup pairs.
+// code; compliant pairs are the within-subgroup pairs.
 func (p *Partition) StatsFor(rel *dataset.Relation, a int) Stats {
+	codes := rel.ColumnCodes(a)
+	cnt := make([]int32, rel.DictLen(a))
+	touched := make([]int32, 0, 16)
 	st := Stats{Rows: p.Rows}
 	for _, class := range p.Classes {
 		g := len(class)
 		st.Agreeing += g * (g - 1) / 2
-		counts := make(map[string]int)
+		touched = touched[:0]
 		for _, row := range class {
-			counts[rel.Value(row, a)]++
+			c := codes[row]
+			if cnt[c] == 0 {
+				touched = append(touched, c)
+			}
+			cnt[c]++
 		}
-		for _, c := range counts {
-			st.Compliant += c * (c - 1) / 2
+		for _, c := range touched {
+			n := int(cnt[c])
+			st.Compliant += n * (n - 1) / 2
+			cnt[c] = 0
 		}
 	}
 	st.Violating = st.Agreeing - st.Compliant

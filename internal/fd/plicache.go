@@ -1,0 +1,132 @@
+package fd
+
+import (
+	"sync"
+
+	"exptrain/internal/dataset"
+)
+
+// PLICache memoizes stripped partitions (position-list indexes) of one
+// relation per attribute set, deriving multi-attribute partitions
+// TANE-style by refining the cached partition on the set minus its
+// highest attribute. One cache is shared by every FD-level operation
+// over the same relation — pool construction partitions once per
+// distinct LHS instead of once per hypothesis, and the per-iteration
+// evaluator reuses the partitions of all believed FDs across the whole
+// game.
+//
+// The cache is invalidation-aware: it snapshots the relation's mutation
+// version and drops every cached partition when the relation has been
+// mutated through Append/SetValue since. It is safe for concurrent use.
+type PLICache struct {
+	mu      sync.Mutex
+	rel     *dataset.Relation
+	version uint64
+	parts   map[AttrSet]*Partition
+}
+
+// NewPLICache builds an empty cache over rel. Partitions are computed
+// lazily on first request.
+func NewPLICache(rel *dataset.Relation) *PLICache {
+	return &PLICache{
+		rel:     rel,
+		version: rel.Version(),
+		parts:   make(map[AttrSet]*Partition),
+	}
+}
+
+// Relation returns the relation the cache indexes.
+func (c *PLICache) Relation() *dataset.Relation { return c.rel }
+
+// Len returns the number of cached partitions (diagnostics and tests).
+func (c *PLICache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.parts)
+}
+
+// ensureLocked flushes the cache when the relation has been mutated
+// since the last call.
+func (c *PLICache) ensureLocked() {
+	if v := c.rel.Version(); v != c.version {
+		c.version = v
+		c.parts = make(map[AttrSet]*Partition)
+	}
+}
+
+// Partition returns the stripped partition on x, computing and caching
+// it (and every prefix partition along the refinement chain) on demand.
+func (c *PLICache) Partition(x AttrSet) *Partition {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.ensureLocked()
+	return c.partitionLocked(x)
+}
+
+func (c *PLICache) partitionLocked(x AttrSet) *Partition {
+	if p, ok := c.parts[x]; ok {
+		return p
+	}
+	var p *Partition
+	if x.Count() <= 1 {
+		p = PartitionOn(c.rel, x)
+	} else {
+		attrs := x.Attrs()
+		last := attrs[len(attrs)-1]
+		p = c.partitionLocked(x.Remove(last)).Refine(c.rel, last)
+	}
+	c.parts[x] = p
+	return p
+}
+
+// Stats computes f's pair statistics from the cached partition on
+// f.LHS — the same values ComputeStats produces from scratch.
+func (c *PLICache) Stats(f FD) Stats {
+	return c.Partition(f.LHS).StatsFor(c.rel, f.RHS)
+}
+
+// MinorityRows is fd.MinorityRows backed by the cached LHS partition.
+func (c *PLICache) MinorityRows(f FD) map[int]struct{} {
+	flagged := make(map[int]struct{})
+	c.minorityInto(f, flagged)
+	return flagged
+}
+
+// minorityInto unions f's minority rows into flagged.
+func (c *PLICache) minorityInto(f FD, flagged map[int]struct{}) {
+	minorityFromPartition(c.Partition(f.LHS), c.rel, f.RHS, flagged)
+}
+
+// DetectErrors unions MinorityRows over the believed FDs, sharing the
+// cached LHS partitions. Called once per game iteration with the
+// learner's current model, this is the evaluator's hot path.
+func (c *PLICache) DetectErrors(fds []FD) map[int]struct{} {
+	out := make(map[int]struct{})
+	for _, f := range fds {
+		c.minorityInto(f, out)
+	}
+	return out
+}
+
+// AgreeingPairs returns every unordered pair agreeing on f's LHS, in
+// the same deterministic order as fd.AgreeingPairs, enumerated from the
+// cached partition.
+func (c *PLICache) AgreeingPairs(f FD) []dataset.Pair {
+	return agreeingFromPartition(c.Partition(f.LHS))
+}
+
+// agreeingFromPartition expands a stripped LHS partition into its
+// agreeing pairs. Classes are ordered by smallest member and members
+// ascend, which reproduces exactly the first-seen group order of the
+// naive row scan.
+func agreeingFromPartition(p *Partition) []dataset.Pair {
+	out := make([]dataset.Pair, 0, p.AgreeingPairCount())
+	for _, rows := range p.Classes {
+		for a := 0; a < len(rows); a++ {
+			for b := a + 1; b < len(rows); b++ {
+				out = append(out, dataset.Pair{A: rows[a], B: rows[b]})
+			}
+		}
+	}
+	return out
+}

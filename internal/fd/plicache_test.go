@@ -1,0 +1,192 @@
+package fd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+// randomRelation builds a relation with small per-column alphabets so
+// groups, refinements and minority classes all actually occur.
+func randomRelation(rng *stats.RNG, rows, arity int) *dataset.Relation {
+	names := make([]string, arity)
+	for j := range names {
+		names[j] = fmt.Sprintf("a%d", j)
+	}
+	rel := dataset.New(dataset.MustSchema(names...))
+	for i := 0; i < rows; i++ {
+		t := make(dataset.Tuple, arity)
+		for j := range t {
+			// Alphabet size varies per column: column j draws from
+			// 2+j%5 values, so some columns nearly key the relation and
+			// others group heavily.
+			t[j] = fmt.Sprintf("v%d", rng.Intn(2+j%5))
+		}
+		rel.MustAppend(t)
+	}
+	return rel
+}
+
+// randomFDs enumerates a few random non-trivial FDs over the arity.
+func randomFDs(rng *stats.RNG, arity, n int) []FD {
+	var out []FD
+	for len(out) < n {
+		lhs := AttrSet(0)
+		for k := 0; k <= rng.Intn(3); k++ {
+			lhs = lhs.Add(rng.Intn(arity))
+		}
+		rhs := rng.Intn(arity)
+		if lhs.IsEmpty() || lhs.Has(rhs) {
+			continue
+		}
+		out = append(out, FD{LHS: lhs, RHS: rhs})
+	}
+	return out
+}
+
+func samePartition(t *testing.T, got, want *Partition, ctx string) {
+	t.Helper()
+	if got.Rows != want.Rows {
+		t.Fatalf("%s: Rows = %d, want %d", ctx, got.Rows, want.Rows)
+	}
+	if len(got.Classes) != len(want.Classes) {
+		t.Fatalf("%s: %d classes, want %d", ctx, len(got.Classes), len(want.Classes))
+	}
+	for i := range got.Classes {
+		if !reflect.DeepEqual(got.Classes[i], want.Classes[i]) {
+			t.Fatalf("%s: class %d = %v, want %v", ctx, i, got.Classes[i], want.Classes[i])
+		}
+	}
+}
+
+// TestPartitionMatchesNaive property-tests the dictionary-code
+// partition construction against the retained string-keyed reference on
+// random relations and attribute sets.
+func TestPartitionMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(41)
+	for trial := 0; trial < 60; trial++ {
+		arity := 2 + rng.Intn(4)
+		rel := randomRelation(rng, 1+rng.Intn(50), arity)
+		for k := 1; k <= arity; k++ {
+			for _, x := range AllSubsetsOfSize(arity, k) {
+				samePartition(t, PartitionOn(rel, x), PartitionOnNaive(rel, x),
+					fmt.Sprintf("trial %d PartitionOn(%v)", trial, x))
+			}
+		}
+	}
+}
+
+// TestPLICacheMatchesNaive property-tests every cache-backed operation
+// — refined partitions, Stats, MinorityRows, AgreeingPairs — against
+// the naive implementations, interleaved with SetValue mutations to
+// exercise version-based invalidation.
+func TestPLICacheMatchesNaive(t *testing.T) {
+	rng := stats.NewRNG(97)
+	for trial := 0; trial < 40; trial++ {
+		arity := 2 + rng.Intn(4)
+		rows := 2 + rng.Intn(40)
+		rel := randomRelation(rng, rows, arity)
+		cache := NewPLICache(rel)
+		fds := randomFDs(rng, arity, 6)
+
+		check := func(round int) {
+			for _, f := range fds {
+				ctx := fmt.Sprintf("trial %d round %d fd %v", trial, round, f)
+				samePartition(t, cache.Partition(f.LHS), PartitionOnNaive(rel, f.LHS), ctx)
+				if got, want := cache.Stats(f), ComputeStatsNaive(f, rel); got != want {
+					t.Fatalf("%s: Stats = %+v, want %+v", ctx, got, want)
+				}
+				if got, want := cache.MinorityRows(f), MinorityRowsNaive(f, rel); !reflect.DeepEqual(got, want) {
+					t.Fatalf("%s: MinorityRows = %v, want %v", ctx, got, want)
+				}
+				got, want := cache.AgreeingPairs(f), AgreeingPairsNaive(f, rel)
+				if len(got) != len(want) {
+					t.Fatalf("%s: %d agreeing pairs, want %d", ctx, len(got), len(want))
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("%s: agreeing pair %d = %v, want %v (order must match)", ctx, i, got[i], want[i])
+					}
+				}
+			}
+		}
+
+		check(0)
+		cached := cache.Len()
+		if cached == 0 {
+			t.Fatalf("trial %d: cache empty after use", trial)
+		}
+		// Mutate some cells — including brand-new values that extend the
+		// dictionaries — and verify the cache invalidates.
+		for m := 0; m < 3; m++ {
+			i, j := rng.Intn(rows), rng.Intn(arity)
+			v := fmt.Sprintf("v%d", rng.Intn(4))
+			if m == 0 {
+				v = fmt.Sprintf("fresh-%d-%d", trial, m)
+			}
+			rel.SetValue(i, j, v)
+		}
+		check(1)
+	}
+}
+
+// TestPLICacheInvalidation pins the invalidation rule directly: a
+// SetValue bumps the relation version and the next access drops every
+// cached partition.
+func TestPLICacheInvalidation(t *testing.T) {
+	rel := dataset.New(dataset.MustSchema("a", "b"))
+	rel.MustAppend(dataset.Tuple{"x", "1"})
+	rel.MustAppend(dataset.Tuple{"x", "2"})
+	rel.MustAppend(dataset.Tuple{"y", "1"})
+	cache := NewPLICache(rel)
+	f := MustNew(NewAttrSet(0), 1)
+	if st := cache.Stats(f); st.Violating != 1 {
+		t.Fatalf("Violating = %d, want 1", st.Violating)
+	}
+	if cache.Len() == 0 {
+		t.Fatal("expected cached partitions")
+	}
+	v := rel.Version()
+	rel.SetValue(1, 1, "1") // repair the violation
+	if rel.Version() == v {
+		t.Fatal("SetValue did not bump the relation version")
+	}
+	if st := cache.Stats(f); st.Violating != 0 {
+		t.Fatalf("after repair Violating = %d, want 0 (stale cache?)", st.Violating)
+	}
+}
+
+// TestStatusMatchesValues pins the code-compare Status against direct
+// string comparison on random relations.
+func TestStatusMatchesValues(t *testing.T) {
+	rng := stats.NewRNG(7)
+	rel := randomRelation(rng, 30, 4)
+	fds := randomFDs(rng, 4, 8)
+	pairs := dataset.AllPairs(rel.NumRows())
+	for _, f := range fds {
+		lhs := f.LHS.Attrs()
+		for _, p := range pairs {
+			agree := true
+			for _, a := range lhs {
+				if rel.Value(p.A, a) != rel.Value(p.B, a) {
+					agree = false
+					break
+				}
+			}
+			want := Neutral
+			if agree {
+				if rel.Value(p.A, f.RHS) == rel.Value(p.B, f.RHS) {
+					want = Compliant
+				} else {
+					want = Violating
+				}
+			}
+			if got := Status(f, rel, p); got != want {
+				t.Fatalf("Status(%v, %v) = %v, want %v", f, p, got, want)
+			}
+		}
+	}
+}

@@ -57,13 +57,23 @@ type Evaluator struct {
 	// DirtyRows is the ground-truth dirty row set of TestRel, in
 	// TestRel's row indexing.
 	DirtyRows map[int]struct{}
+
+	// cache memoizes TestRel's stripped LHS partitions across Score
+	// calls: the believed model is re-scored every iteration over the
+	// same immutable split, so each distinct LHS is partitioned once
+	// per game instead of once per iteration. Built lazily; rebuilt if
+	// TestRel is swapped, and self-invalidating if TestRel is mutated.
+	cache *fd.PLICache
 }
 
 // Score predicts dirty rows of the test relation using the believed FDs
 // (the minority-value repair heuristic per believed FD) and scores the
 // prediction against the ground truth.
 func (e *Evaluator) Score(believed []fd.FD) metrics.PRF1 {
-	pred := fd.DetectErrors(believed, e.TestRel)
+	if e.cache == nil || e.cache.Relation() != e.TestRel {
+		e.cache = fd.NewPLICache(e.TestRel)
+	}
+	pred := e.cache.DetectErrors(believed)
 	return metrics.FromSets(pred, e.DirtyRows)
 }
 

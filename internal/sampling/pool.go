@@ -14,8 +14,13 @@ import (
 // provides a fresh example in each interaction).
 type Pool struct {
 	rel   *dataset.Relation
-	pairs []dataset.Pair
-	shown map[dataset.Pair]struct{}
+	total int
+	// unshown holds the not-yet-presented pairs in original pool order;
+	// MarkShown compacts it into scratch and swaps the two, so
+	// Remaining is O(1) and steady-state allocation-free.
+	unshown []dataset.Pair
+	scratch []dataset.Pair
+	shown   map[dataset.Pair]struct{}
 }
 
 // PoolConfig sizes the candidate pool.
@@ -32,6 +37,10 @@ type PoolConfig struct {
 }
 
 // NewPool builds the candidate pool for the hypothesis space over rel.
+// Hypotheses sharing an LHS (every RHS choice over the same attribute
+// set) reuse one stripped partition through a PLI cache, so pool
+// construction partitions once per distinct LHS rather than once per
+// FD.
 func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 	maxPer := cfg.MaxAgreeingPerFD
 	if maxPer <= 0 {
@@ -42,6 +51,7 @@ func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 		randomPairs = 2 * rel.NumRows()
 	}
 	rng := stats.NewRNG(cfg.Seed)
+	cache := fd.NewPLICache(rel)
 
 	seen := make(map[dataset.Pair]struct{})
 	var pairs []dataset.Pair
@@ -52,7 +62,7 @@ func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 		}
 	}
 	for i := 0; i < space.Size(); i++ {
-		agreeing := fd.AgreeingPairs(space.FD(i), rel)
+		agreeing := cache.AgreeingPairs(space.FD(i))
 		if len(agreeing) > maxPer {
 			idx := rng.SampleWithoutReplacement(len(agreeing), maxPer)
 			for _, j := range idx {
@@ -75,31 +85,45 @@ func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 			add(dataset.NewPair(a, b))
 		}
 	}
-	return &Pool{rel: rel, pairs: pairs, shown: make(map[dataset.Pair]struct{})}
+	return &Pool{rel: rel, total: len(pairs), unshown: pairs, shown: make(map[dataset.Pair]struct{})}
 }
 
-// Remaining returns the candidate pairs not yet marked shown. The slice
-// is freshly allocated each call.
+// Remaining returns the candidate pairs not yet marked shown, in
+// original pool order. The slice is the pool's maintained unshown view
+// — O(1), no allocation or rescan. It must not be mutated and is
+// invalidated by later MarkShown calls; copy it to retain a snapshot.
 func (p *Pool) Remaining() []dataset.Pair {
-	out := make([]dataset.Pair, 0, len(p.pairs))
-	for _, pr := range p.pairs {
-		if _, done := p.shown[pr]; !done {
-			out = append(out, pr)
-		}
-	}
-	return out
+	return p.unshown
 }
 
 // MarkShown records that the pairs were presented, removing them from
-// future Remaining calls.
+// future Remaining calls. The unshown view is compacted into a reused
+// buffer, preserving order — order-preservation is what keeps seeded
+// sampler runs bit-identical to the original filter-on-read
+// implementation (a swap-remove would permute what the samplers see).
 func (p *Pool) MarkShown(pairs []dataset.Pair) {
+	fresh := 0
 	for _, pr := range pairs {
-		p.shown[pr] = struct{}{}
+		if _, dup := p.shown[pr]; !dup {
+			p.shown[pr] = struct{}{}
+			fresh++
+		}
 	}
+	if fresh == 0 {
+		return
+	}
+	buf := p.scratch[:0]
+	for _, pr := range p.unshown {
+		if _, done := p.shown[pr]; !done {
+			buf = append(buf, pr)
+		}
+	}
+	p.scratch = p.unshown[:0]
+	p.unshown = buf
 }
 
 // Size returns the total pool size (shown and unshown).
-func (p *Pool) Size() int { return len(p.pairs) }
+func (p *Pool) Size() int { return p.total }
 
 // ShownCount returns how many pairs have been presented.
 func (p *Pool) ShownCount() int { return len(p.shown) }
