@@ -4,12 +4,15 @@ BENCHFLAGS ?=
 # Hot-path benchmarks that get a machine-readable BENCH_<name>.json each.
 BENCHES := FullGame G1 Discovery GameScaling
 
-.PHONY: all build test race verify bench clean
+.PHONY: all build vet test race verify bench clean
 
 all: build
 
 build:
 	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
 
 test:
 	$(GO) test ./...
@@ -17,10 +20,10 @@ test:
 race:
 	$(GO) test -race ./...
 
-# Tier-1 verification: build, the full test suite, then the suite again
-# under the race detector (the experiment harness and game evaluator run
-# goroutines, so -race is part of the bar).
-verify: build test race
+# Tier-1 verification: build, vet, the full test suite, then the suite
+# again under the race detector (the experiment harness, game evaluator
+# and session service all run goroutines, so -race is part of the bar).
+verify: build vet test race
 
 # Run each hot-path benchmark and convert its output into a
 # machine-readable baseline (BENCH_FullGame.json, BENCH_G1.json, ...)

@@ -368,7 +368,7 @@ func BenchmarkAblationForgetting(b *testing.B) {
 		b.Run(fmt.Sprintf("forget=%v", rate), func(b *testing.B) {
 			cfg := condition("OMDB", 0.10, benchUniform09)
 			cfg.LearnerForgetRate = rate
-			cfg.Methods = []string{"StochasticUS"}
+			cfg.Methods = []sampling.Method{sampling.MethodStochasticUS}
 			reportCondition(b, cfg)
 		})
 	}
@@ -385,7 +385,7 @@ func BenchmarkAblationExtendedSamplers(b *testing.B) {
 	for name, prior := range conditions {
 		b.Run(name, func(b *testing.B) {
 			cfg := condition("OMDB", 0.10, prior)
-			cfg.Methods = []string{"Random", "US", "StochasticUS", "QBC", "EpsilonGreedy"}
+			cfg.Methods = []sampling.Method{sampling.MethodRandom, sampling.MethodUS, sampling.MethodStochasticUS, sampling.MethodQBC, sampling.MethodEpsilonGreedy}
 			reportCondition(b, cfg)
 		})
 	}

@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -122,12 +123,12 @@ func run(inPath string, cfg config, in io.Reader, out io.Writer) error {
 	quit := false
 	for round := 0; round < cfg.rounds && !quit; round++ {
 		presented, err := session.Next()
-		if err != nil {
-			return err
-		}
-		if presented == nil {
+		if errors.Is(err, game.ErrPoolExhausted) {
 			fmt.Fprintln(out, "no fresh pairs left; ending session")
 			break
+		}
+		if err != nil {
+			return err
 		}
 
 		var labeled []belief.Labeling

@@ -1,0 +1,175 @@
+// Command etserve hosts many live exploratory-training sessions behind
+// an HTTP/JSON API. Each session is an independent learner an annotator
+// (or a driving program) advances one round at a time; idle sessions
+// are checkpointed to the snapshot store and transparently resumed on
+// their next request, and a graceful shutdown checkpoints every live
+// session so no submitted round is lost.
+//
+// Usage:
+//
+//	etserve [-addr :8080] [-store DIR] [-max-sessions 128]
+//	        [-idle-ttl 15m] [-sweep 1m] [-timeout 30s]
+//
+// With -store, snapshots go to DIR and survive restarts (resume one
+// with POST /v1/sessions {"resume": "<id>", ...}); without it they
+// live in memory for the life of the process. See the README for the
+// API routes and a curl transcript.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"exptrain/internal/persist"
+	"exptrain/internal/service"
+)
+
+// config is the flag surface of the server.
+type config struct {
+	addr        string
+	storeDir    string
+	maxSessions int
+	idleTTL     time.Duration
+	sweepEvery  time.Duration
+	timeout     time.Duration
+}
+
+func main() {
+	var cfg config
+	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
+	flag.StringVar(&cfg.storeDir, "store", "", "snapshot directory (default: in-memory store)")
+	flag.IntVar(&cfg.maxSessions, "max-sessions", 128, "resident session cap; LRU-idle sessions are parked beyond it")
+	flag.DurationVar(&cfg.idleTTL, "idle-ttl", 15*time.Minute, "park sessions idle longer than this")
+	flag.DurationVar(&cfg.sweepEvery, "sweep", time.Minute, "idle-session sweep interval")
+	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.Parse()
+	if err := run(cfg); err != nil {
+		log.Fatal(err)
+	}
+}
+
+func run(cfg config) error {
+	app, err := start(cfg)
+	if err != nil {
+		return err
+	}
+	log.Printf("etserve listening on %s (max %d sessions, idle TTL %s)",
+		app.addr, cfg.maxSessions, cfg.idleTTL)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-app.serveErr:
+		app.stopSweeper()
+		return err
+	case s := <-sig:
+		log.Printf("received %s, shutting down", s)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := app.shutdown(ctx); err != nil {
+		return err
+	}
+	log.Printf("all sessions checkpointed; bye")
+	return nil
+}
+
+// app is a running server: an HTTP listener, the session manager
+// behind it, and the background idle-session sweeper.
+type app struct {
+	addr     net.Addr
+	mgr      *service.Manager
+	srv      *http.Server
+	serveErr chan error
+
+	stopSweep context.CancelFunc
+	sweepDone chan struct{}
+}
+
+// start builds the store + manager + server and begins serving on
+// cfg.addr (use port 0 for an ephemeral port; app.addr has the one
+// actually bound).
+func start(cfg config) (*app, error) {
+	var store persist.Store
+	if cfg.storeDir != "" {
+		dir, err := persist.NewDirStore(cfg.storeDir)
+		if err != nil {
+			return nil, fmt.Errorf("opening store: %w", err)
+		}
+		store = dir
+	}
+	mgr := service.NewManager(service.Options{
+		MaxSessions: cfg.maxSessions,
+		IdleTTL:     cfg.idleTTL,
+		Store:       store,
+	})
+	srv := &http.Server{
+		Handler: service.NewServer(mgr, service.ServerOptions{RequestTimeout: cfg.timeout}),
+	}
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		return nil, err
+	}
+
+	a := &app{
+		addr:      ln.Addr(),
+		mgr:       mgr,
+		srv:       srv,
+		serveErr:  make(chan error, 1),
+		sweepDone: make(chan struct{}),
+	}
+
+	// Park idle sessions in the background so a quiet server's memory
+	// is bounded by its snapshots, not its session count.
+	var sweepCtx context.Context
+	sweepCtx, a.stopSweep = context.WithCancel(context.Background())
+	go func() {
+		defer close(a.sweepDone)
+		tick := time.NewTicker(cfg.sweepEvery)
+		defer tick.Stop()
+		for {
+			select {
+			case <-sweepCtx.Done():
+				return
+			case <-tick.C:
+				if swept, err := mgr.Sweep(sweepCtx); err != nil {
+					log.Printf("sweep: %v", err)
+				} else if len(swept) > 0 {
+					log.Printf("parked %d idle session(s): %v", len(swept), swept)
+				}
+			}
+		}
+	}()
+
+	go func() { a.serveErr <- srv.Serve(ln) }()
+	return a, nil
+}
+
+func (a *app) stopSweeper() {
+	a.stopSweep()
+	<-a.sweepDone
+}
+
+// shutdown stops taking requests, then checkpoints every live session.
+func (a *app) shutdown(ctx context.Context) error {
+	a.stopSweeper()
+	if err := a.srv.Shutdown(ctx); err != nil {
+		log.Printf("http shutdown: %v", err)
+	}
+	if err := a.mgr.Shutdown(ctx); err != nil {
+		return fmt.Errorf("checkpointing sessions: %w", err)
+	}
+	if err := <-a.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	return nil
+}

@@ -1,0 +1,108 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestServeSmoke boots the server on an ephemeral port with a disk
+// store, plays one round over HTTP, snapshots, and shuts down —
+// verifying the checkpoint landed on disk.
+func TestServeSmoke(t *testing.T) {
+	dir := t.TempDir()
+	app, err := start(config{
+		addr:        "127.0.0.1:0",
+		storeDir:    dir,
+		maxSessions: 8,
+		idleTTL:     time.Hour,
+		sweepEvery:  time.Hour,
+		timeout:     10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + app.addr.String()
+
+	post := func(path string, body, out any) {
+		t.Helper()
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: status %d", resp.StatusCode)
+	}
+
+	var info struct {
+		ID string `json:"id"`
+	}
+	post("/v1/sessions", map[string]any{
+		"dataset": "OMDB", "rows": 60, "method": "StochasticUS", "k": 4, "seed": 1,
+	}, &info)
+
+	var next struct {
+		Pairs []struct {
+			A int `json:"a"`
+			B int `json:"b"`
+		} `json:"pairs"`
+	}
+	post(fmt.Sprintf("/v1/sessions/%s/next", info.ID), nil, &next)
+	if len(next.Pairs) != 4 {
+		t.Fatalf("next returned %d pairs", len(next.Pairs))
+	}
+	labels := make([]map[string]any, len(next.Pairs))
+	for i, p := range next.Pairs {
+		labels[i] = map[string]any{"pair": [2]int{p.A, p.B}}
+	}
+	var after struct {
+		Rounds int `json:"rounds"`
+	}
+	post(fmt.Sprintf("/v1/sessions/%s/submit", info.ID), map[string]any{"labels": labels}, &after)
+	if after.Rounds != 1 {
+		t.Fatalf("rounds = %d after submit", after.Rounds)
+	}
+	post(fmt.Sprintf("/v1/sessions/%s/snapshot", info.ID), nil, nil)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := app.shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+
+	// The snapshot (and the shutdown checkpoint) are on disk.
+	matches, err := filepath.Glob(filepath.Join(dir, info.ID+"*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) == 0 {
+		entries, _ := os.ReadDir(dir)
+		t.Fatalf("no snapshot for %s in %s (dir has %d entries)", info.ID, dir, len(entries))
+	}
+}

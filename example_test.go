@@ -76,7 +76,7 @@ func ExampleRunSession() {
 	res, err := exptrain.RunSession(exptrain.SessionConfig{
 		Relation: dirty.Rel,
 		Space:    ds.Space(3, 38),
-		Method:   "StochasticUS",
+		Method:   exptrain.MethodStochasticUS,
 		Seed:     7,
 	})
 	if err != nil {

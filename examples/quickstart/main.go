@@ -35,7 +35,7 @@ func main() {
 	result, err := exptrain.RunSession(exptrain.SessionConfig{
 		Relation: injected.Rel,
 		Space:    ds.Space(3, 38),
-		Method:   "StochasticUS",
+		Method:   exptrain.MethodStochasticUS,
 		Seed:     7,
 	})
 	if err != nil {

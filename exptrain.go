@@ -22,6 +22,7 @@
 package exptrain
 
 import (
+	"context"
 	"fmt"
 
 	"exptrain/internal/agents"
@@ -86,6 +87,9 @@ type (
 	Learner = agents.Learner
 	// Sampler is a learner response strategy.
 	Sampler = sampling.Sampler
+	// Method is the typed identifier of a response strategy; it
+	// round-trips through String/ParseMethod and JSON.
+	Method = sampling.Method
 	// GameConfig drives one game (k, iterations, evaluation).
 	GameConfig = game.Config
 	// GameResult is one game's full trajectory.
@@ -136,6 +140,39 @@ const (
 // DefaultGamma is the exploration temperature used throughout the
 // paper's evaluation (γ = 0.5).
 const DefaultGamma = sampling.DefaultGamma
+
+// Response-strategy identifiers (the paper's four methods plus the
+// repo's extensions). MethodDefault resolves to StochasticUS.
+const (
+	MethodDefault       = sampling.MethodDefault
+	MethodRandom        = sampling.MethodRandom
+	MethodUS            = sampling.MethodUS
+	MethodStochasticBR  = sampling.MethodStochasticBR
+	MethodStochasticUS  = sampling.MethodStochasticUS
+	MethodQBC           = sampling.MethodQBC
+	MethodEpsilonGreedy = sampling.MethodEpsilonGreedy
+)
+
+// Sentinel errors of the public surface, re-exported so callers can
+// errors.Is against the facade alone.
+var (
+	// ErrRoundPending: TrainingSession.Next (or Snapshot) was called
+	// while a presented round is unsubmitted.
+	ErrRoundPending = game.ErrRoundPending
+	// ErrNoRoundPending: TrainingSession.Submit was called with no round
+	// presented.
+	ErrNoRoundPending = game.ErrNoRoundPending
+	// ErrPoolExhausted: the session's candidate pool has no fresh pairs
+	// left.
+	ErrPoolExhausted = game.ErrPoolExhausted
+	// ErrUnknownMethod: a method name or value was not recognized.
+	ErrUnknownMethod = sampling.ErrUnknownMethod
+)
+
+// ParseMethod maps a paper method name ("Random", "US", "StochasticBR",
+// "StochasticUS", "QBC", "EpsilonGreedy") to its typed Method; unknown
+// names error wrapping ErrUnknownMethod.
+func ParseMethod(name string) (Method, error) { return sampling.ParseMethod(name) }
 
 // ReadCSVFile loads a relation from a CSV file with a header row.
 func ReadCSVFile(path string) (*Relation, error) { return dataset.ReadCSVFile(path) }
@@ -191,6 +228,12 @@ func InjectErrors(rel *Relation, fds []FD, degree float64, seed uint64) (*errgen
 // methods.
 func RunExperiment(cfg ExperimentConfig) (*ExperimentResult, error) { return experiments.Run(cfg) }
 
+// RunExperimentContext is RunExperiment with cancellation checked
+// inside the method × seed fan-out.
+func RunExperimentContext(ctx context.Context, cfg ExperimentConfig) (*ExperimentResult, error) {
+	return experiments.RunContext(ctx, cfg)
+}
+
 // NewTrainingSession starts a step-wise session for a caller-owned
 // annotator (an interactive UI, a crowdsourcing bridge).
 func NewTrainingSession(cfg TrainingSessionConfig) (*TrainingSession, error) {
@@ -204,6 +247,12 @@ func ResumeTrainingSession(snap *Snapshot, cfg TrainingSessionConfig) (*Training
 
 // SimulateStudy runs the simulated user study of Appendix A.
 func SimulateStudy(cfg StudyConfig) (*Study, error) { return userstudy.Simulate(cfg) }
+
+// SimulateStudyContext is SimulateStudy with cancellation checked
+// between participant sessions.
+func SimulateStudyContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
+	return userstudy.SimulateContext(ctx, cfg)
+}
 
 // NewSnapshot captures a session checkpoint: the schema, the hypothesis
 // space, optional agent beliefs and the labeling history.
@@ -247,9 +296,9 @@ type SessionConfig struct {
 	// Space is the FD hypothesis space; when nil it is enumerated with
 	// MaxLHS 2 over all attributes.
 	Space *Space
-	// Method is the learner's response strategy: "Random", "US",
-	// "StochasticBR" or "StochasticUS" (default).
-	Method string
+	// Method is the learner's response strategy; the zero value
+	// (MethodDefault) resolves to StochasticUS.
+	Method Method
 	// Gamma is the stochastic temperature (default 0.5).
 	Gamma float64
 	// TrainerPrior and LearnerPrior default to Random and
@@ -269,6 +318,12 @@ type SessionConfig struct {
 // RunSession plays one exploratory-training game and returns its
 // trajectory. It is the quickstart entry point.
 func RunSession(cfg SessionConfig) (*GameResult, error) {
+	return RunSessionContext(context.Background(), cfg)
+}
+
+// RunSessionContext is RunSession with cancellation checked between
+// interactions.
+func RunSessionContext(ctx context.Context, cfg SessionConfig) (*GameResult, error) {
 	if cfg.Relation == nil {
 		return nil, fmt.Errorf("exptrain: SessionConfig.Relation is required")
 	}
@@ -286,11 +341,7 @@ func RunSession(cfg SessionConfig) (*GameResult, error) {
 			return nil, err
 		}
 	}
-	method := cfg.Method
-	if method == "" {
-		method = "StochasticUS"
-	}
-	sampler, err := sampling.ByName(method, cfg.Gamma)
+	sampler, err := sampling.New(cfg.Method, cfg.Gamma)
 	if err != nil {
 		return nil, err
 	}
@@ -316,5 +367,5 @@ func RunSession(cfg SessionConfig) (*GameResult, error) {
 	learner := agents.NewLearner(learnerPrior, sampler, rng.Split())
 	learner.ForgetRate = cfg.LearnerForgetRate
 	pool := sampling.NewPool(cfg.Relation, space, sampling.PoolConfig{Seed: cfg.Seed ^ 0x9001})
-	return game.Run(cfg.Relation, trainer, learner, pool, game.Config{K: cfg.K, Iterations: cfg.Iterations})
+	return game.RunContext(ctx, cfg.Relation, trainer, learner, pool, game.Config{K: cfg.K, Iterations: cfg.Iterations})
 }

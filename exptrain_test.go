@@ -1,6 +1,7 @@
 package exptrain
 
 import (
+	"errors"
 	"math"
 	"os"
 	"strings"
@@ -121,8 +122,8 @@ func TestRunSessionValidation(t *testing.T) {
 		t.Fatal("nil relation should error")
 	}
 	rel := table1(t)
-	if _, err := RunSession(SessionConfig{Relation: rel, Method: "bogus"}); err == nil {
-		t.Fatal("unknown method should error")
+	if _, err := RunSession(SessionConfig{Relation: rel, Method: Method(99)}); !errors.Is(err, ErrUnknownMethod) {
+		t.Fatal("unknown method should error with ErrUnknownMethod")
 	}
 	// Nil space enumerates a default one.
 	res, err := RunSession(SessionConfig{Relation: rel, Iterations: 2, K: 2, Seed: 1})

@@ -143,7 +143,7 @@ func TestFacadeDetectErrorsAndSessionForgetting(t *testing.T) {
 	res, err := RunSession(SessionConfig{
 		Relation:          injected.Rel,
 		Space:             ds.Space(3, 38),
-		Method:            "US",
+		Method:            MethodUS,
 		Iterations:        5,
 		LearnerForgetRate: 0.05,
 		Seed:              3,

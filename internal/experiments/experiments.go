@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -61,9 +62,9 @@ type Config struct {
 	// belief.DefaultPriorSigma).
 	PriorSigma float64
 	// Methods overrides the sampling methods compared (default: the
-	// paper's Random, US, StochasticBR, StochasticUS). The extra
-	// samplers "QBC" and "EpsilonGreedy" are accepted too.
-	Methods []string
+	// paper's Random, US, StochasticBR, StochasticUS). The extension
+	// samplers MethodQBC and MethodEpsilonGreedy are accepted too.
+	Methods []sampling.Method
 	// LearnerForgetRate enables discounted fictitious play on the
 	// learner (DESIGN.md ablation): evidence is geometrically discounted
 	// by this rate before each update. Zero disables it.
@@ -150,6 +151,13 @@ type Result struct {
 // total game concurrency bounded by GOMAXPROCS; results keep method
 // order.
 func Run(cfg Config) (*Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext is Run with cancellation: the context is checked before
+// every seeded game inside the method × run fan-out, so a canceled
+// condition stops promptly instead of playing out its remaining games.
+func RunContext(ctx context.Context, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if cfg.Degree < 0 {
 		return nil, fmt.Errorf("experiments: negative violation degree %v", cfg.Degree)
@@ -160,16 +168,21 @@ func Run(cfg Config) (*Result, error) {
 	}
 	methods := cfg.Methods
 	if len(methods) == 0 {
-		methods = []string{"Random", "US", "StochasticBR", "StochasticUS"}
+		methods = sampling.Methods()
+	}
+	for _, m := range methods {
+		if !m.Valid() {
+			return nil, fmt.Errorf("experiments: %w %d", sampling.ErrUnknownMethod, int(m))
+		}
 	}
 	series := make([]MethodSeries, len(methods))
 	errs := make([]error, len(methods))
 	var wg sync.WaitGroup
 	for i, method := range methods {
 		wg.Add(1)
-		go func(i int, method string) {
+		go func(i int, method sampling.Method) {
 			defer wg.Done()
-			s, err := runMethod(cfg, gen, method)
+			s, err := runMethod(ctx, cfg, gen, method)
 			if err != nil {
 				errs[i] = fmt.Errorf("experiments: %s on %s: %w", method, cfg.Dataset, err)
 				return
@@ -188,7 +201,7 @@ func Run(cfg Config) (*Result, error) {
 
 // runMethod averages one method over cfg.Runs seeded games, running the
 // seeds concurrently (each game is independent).
-func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, error) {
+func runMethod(ctx context.Context, cfg Config, gen datagen.Generator, method sampling.Method) (MethodSeries, error) {
 	maes := make([]stats.Series, cfg.Runs)
 	f1s := make([]stats.Series, cfg.Runs)
 	precs := make([]stats.Series, cfg.Runs)
@@ -202,7 +215,11 @@ func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, 
 			defer wg.Done()
 			gameSem <- struct{}{}
 			defer func() { <-gameSem }()
-			out, err := runGame(cfg, gen, method, cfg.BaseSeed+uint64(run)*7919)
+			if err := ctx.Err(); err != nil {
+				errs[run] = err
+				return
+			}
+			out, err := runGame(ctx, cfg, gen, method, cfg.BaseSeed+uint64(run)*7919)
 			if err != nil {
 				errs[run] = err
 				return
@@ -224,7 +241,7 @@ func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, 
 		}
 	}
 	return MethodSeries{
-		Method:    method,
+		Method:    method.String(),
 		MAE:       stats.AverageSeries(maes),
 		F1:        stats.AverageSeries(f1s),
 		Precision: stats.AverageSeries(precs),
@@ -234,7 +251,7 @@ func runMethod(cfg Config, gen datagen.Generator, method string) (MethodSeries, 
 
 // runGame plays one seeded game: generate, dirty, split, build agents,
 // run the §C.1 interaction protocol.
-func runGame(cfg Config, gen datagen.Generator, method string, seed uint64) (*game.Result, error) {
+func runGame(ctx context.Context, cfg Config, gen datagen.Generator, method sampling.Method, seed uint64) (*game.Result, error) {
 	ds := gen(cfg.Rows, seed)
 	// Degree 0 (with DegreeSet) is the clean-data condition: no
 	// injection, empty ground-truth dirty set.
@@ -284,7 +301,7 @@ func runGame(cfg Config, gen datagen.Generator, method string, seed uint64) (*ga
 	if cfg.SharedPrior {
 		learnerPrior = trainerPrior.Clone()
 	}
-	sampler, err := sampling.ByName(method, cfg.Gamma)
+	sampler, err := sampling.New(method, cfg.Gamma)
 	if err != nil {
 		return nil, err
 	}
@@ -294,7 +311,7 @@ func runGame(cfg Config, gen datagen.Generator, method string, seed uint64) (*ga
 	learner.ForgetRate = cfg.LearnerForgetRate
 	pool := sampling.NewPool(rel, space, sampling.PoolConfig{Seed: seed ^ 0x6001})
 
-	return game.Run(rel, trainer, learner, pool, game.Config{
+	return game.RunContext(ctx, rel, trainer, learner, pool, game.Config{
 		K:          cfg.K,
 		Iterations: cfg.Iterations,
 		Eval:       &game.Evaluator{TestRel: testRel, DirtyRows: dirty},

@@ -1,15 +1,17 @@
 package experiments
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
 	"exptrain/internal/belief"
+	"exptrain/internal/sampling"
 )
 
 func TestRunWithMethodOverride(t *testing.T) {
 	cfg := quickConfig("OMDB", belief.PriorSpec{Kind: belief.PriorDataEstimate})
-	cfg.Methods = []string{"QBC", "EpsilonGreedy"}
+	cfg.Methods = []sampling.Method{sampling.MethodQBC, sampling.MethodEpsilonGreedy}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -29,16 +31,16 @@ func TestRunWithMethodOverride(t *testing.T) {
 
 func TestRunWithUnknownMethod(t *testing.T) {
 	cfg := quickConfig("OMDB", belief.PriorSpec{Kind: belief.PriorRandom})
-	cfg.Methods = []string{"nope"}
-	if _, err := Run(cfg); err == nil {
-		t.Fatal("unknown method should error")
+	cfg.Methods = []sampling.Method{sampling.Method(99)}
+	if _, err := Run(cfg); !errors.Is(err, sampling.ErrUnknownMethod) {
+		t.Fatal("unknown method should error with sampling.ErrUnknownMethod")
 	}
 }
 
 func TestSharedPriorStartsInAgreement(t *testing.T) {
 	cfg := quickConfig("OMDB", belief.PriorSpec{Kind: belief.PriorUniform, D: 0.9})
 	cfg.SharedPrior = true
-	cfg.Methods = []string{"Random"}
+	cfg.Methods = []sampling.Method{sampling.MethodRandom}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -98,7 +100,7 @@ func TestAgreementDegreeInsensitive(t *testing.T) {
 func TestLearnerForgettingRuns(t *testing.T) {
 	cfg := quickConfig("OMDB", belief.PriorSpec{Kind: belief.PriorDataEstimate})
 	cfg.LearnerForgetRate = 0.05
-	cfg.Methods = []string{"StochasticUS"}
+	cfg.Methods = []sampling.Method{sampling.MethodStochasticUS}
 	res, err := Run(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -112,7 +114,7 @@ func TestLearnerForgettingRuns(t *testing.T) {
 
 func TestWriteSeriesCSV(t *testing.T) {
 	cfg := quickConfig("OMDB", belief.PriorSpec{Kind: belief.PriorDataEstimate})
-	cfg.Methods = []string{"Random"}
+	cfg.Methods = []sampling.Method{sampling.MethodRandom}
 	cfg.Runs = 1
 	cfg.Iterations = 4
 	res, err := Run(cfg)

@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"exptrain/internal/belief"
+	"exptrain/internal/sampling"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite testdata golden series")
@@ -29,7 +30,7 @@ func goldenConfigs() map[string]Config {
 			Iterations:   8,
 			Runs:         2,
 			BaseSeed:     7,
-			Methods:      []string{"Random", "US", "StochasticBR", "StochasticUS", "QBC", "EpsilonGreedy"},
+			Methods: append(sampling.Methods(), sampling.MethodQBC, sampling.MethodEpsilonGreedy),
 		},
 		"hospital_dataest": {
 			Dataset:      "Hospital",

@@ -1,0 +1,19 @@
+package game
+
+import "errors"
+
+// Sentinel errors of the step-wise session protocol. They are wrapped
+// (with %w) by the methods that return them, so callers test with
+// errors.Is and can map them onto transport-level codes (the HTTP
+// service maps ErrRoundPending/ErrNoRoundPending to 409 Conflict and
+// ErrPoolExhausted to 410 Gone).
+var (
+	// ErrRoundPending: Next was called while a presented round has not
+	// been submitted yet (the protocol is strictly alternating).
+	ErrRoundPending = errors.New("game: previous round not yet submitted")
+	// ErrNoRoundPending: Submit was called with no round presented.
+	ErrNoRoundPending = errors.New("game: no round pending")
+	// ErrPoolExhausted: the candidate pool has no fresh pairs left; the
+	// session has seen everything it can usefully present.
+	ErrPoolExhausted = errors.New("game: candidate pool exhausted")
+)

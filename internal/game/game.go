@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"fmt"
 
 	"exptrain/internal/agents"
@@ -135,6 +136,12 @@ func (r *Result) FinalMAE() float64 {
 // belief from the labelings (P^L). The loop is exactly §C.1's
 // "Interactions" protocol.
 func Run(rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner, pool *sampling.Pool, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), rel, trainer, learner, pool, cfg)
+}
+
+// RunContext is Run with cancellation checked between interactions: a
+// done context returns ctx.Err() and discards the partial trajectory.
+func RunContext(ctx context.Context, rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner, pool *sampling.Pool, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if trainer.Belief().Size() != learner.Belief().Size() {
 		return nil, fmt.Errorf("game: trainer and learner hypothesis spaces differ (%d vs %d)",
@@ -142,6 +149,9 @@ func Run(rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner,
 	}
 	res := &Result{Frequencies: NewFrequencies()}
 	for t := 0; t < cfg.Iterations; t++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		remaining := pool.Remaining()
 		if len(remaining) == 0 {
 			break // pool exhausted: nothing fresh to present

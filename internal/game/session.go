@@ -1,6 +1,7 @@
 package game
 
 import (
+	"context"
 	"fmt"
 
 	"exptrain/internal/agents"
@@ -78,16 +79,26 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	}, nil
 }
 
-// Next selects the round's fresh pairs. It returns nil when the pool is
-// exhausted, and errors if the previous round was never submitted (the
-// protocol is strictly alternating).
+// Next selects the round's fresh pairs. It returns an error wrapping
+// ErrPoolExhausted when the pool has no fresh pairs left, and one
+// wrapping ErrRoundPending if the previous round was never submitted
+// (the protocol is strictly alternating).
 func (s *Session) Next() ([]dataset.Pair, error) {
+	return s.NextContext(context.Background())
+}
+
+// NextContext is Next with cancellation: a done context aborts before
+// any pool state changes.
+func (s *Session) NextContext(ctx context.Context) ([]dataset.Pair, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if s.pending != nil {
-		return nil, fmt.Errorf("game: previous round not yet submitted")
+		return nil, fmt.Errorf("%w; submit it before calling Next", ErrRoundPending)
 	}
 	remaining := s.pool.Remaining()
 	if len(remaining) == 0 {
-		return nil, nil
+		return nil, fmt.Errorf("%w after %d rounds", ErrPoolExhausted, len(s.history))
 	}
 	presented := s.learner.Present(s.rel, remaining, s.k)
 	s.pool.MarkShown(presented)
@@ -97,10 +108,20 @@ func (s *Session) Next() ([]dataset.Pair, error) {
 
 // Submit consumes the annotations for the pending round. Every labeling
 // must reference a pending pair; pending pairs missing from the batch
-// are treated as abstained (no evidence).
+// are treated as abstained (no evidence). Submitting with no round
+// pending returns an error wrapping ErrNoRoundPending.
 func (s *Session) Submit(labeled []belief.Labeling) error {
+	return s.SubmitContext(context.Background(), labeled)
+}
+
+// SubmitContext is Submit with cancellation: a done context aborts
+// before the learner's belief is touched, leaving the round pending.
+func (s *Session) SubmitContext(ctx context.Context, labeled []belief.Labeling) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
 	if s.pending == nil {
-		return fmt.Errorf("game: no round pending; call Next first")
+		return fmt.Errorf("%w; call Next first", ErrNoRoundPending)
 	}
 	allowed := make(map[dataset.Pair]struct{}, len(s.pending))
 	for _, p := range s.pending {
@@ -131,6 +152,28 @@ func (s *Session) Submit(labeled []belief.Labeling) error {
 // Belief exposes the learner's current belief.
 func (s *Session) Belief() *belief.Belief { return s.learner.Belief() }
 
+// Relation returns the data under annotation.
+func (s *Session) Relation() *dataset.Relation { return s.rel }
+
+// Pending returns the presented-but-unsubmitted round (nil when the
+// session is idle). The slice is shared; do not mutate.
+func (s *Session) Pending() []dataset.Pair { return s.pending }
+
+// RemainingPairs reports how many fresh candidate pairs the pool still
+// holds.
+func (s *Session) RemainingPairs() int { return len(s.pool.Remaining()) }
+
+// DiscardPending drops an unsubmitted round so the session can be
+// snapshotted, returning the discarded pairs (nil when idle). The pairs
+// stay consumed in this in-memory pool, but a session resumed from the
+// snapshot rebuilds its pool from submitted history only, so they
+// become presentable again.
+func (s *Session) DiscardPending() []dataset.Pair {
+	p := s.pending
+	s.pending = nil
+	return p
+}
+
 // Rounds returns how many rounds have been submitted.
 func (s *Session) Rounds() int { return len(s.history) }
 
@@ -143,7 +186,7 @@ func (s *Session) History() [][]belief.Labeling { return s.history }
 // first.
 func (s *Session) Snapshot() (*persist.Snapshot, error) {
 	if s.pending != nil {
-		return nil, fmt.Errorf("game: cannot snapshot with an unsubmitted round pending")
+		return nil, fmt.Errorf("cannot snapshot: %w", ErrRoundPending)
 	}
 	return persist.NewSnapshot(s.rel.Schema(), s.space, nil, s.learner.Belief(), s.history)
 }

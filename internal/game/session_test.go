@@ -1,6 +1,8 @@
 package game
 
 import (
+	"context"
+	"errors"
 	"testing"
 
 	"exptrain/internal/agents"
@@ -23,9 +25,9 @@ func TestSessionProtocol(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	// Submit before Next is rejected.
-	if err := s.Submit(nil); err == nil {
-		t.Fatal("Submit without Next should error")
+	// Submit before Next is rejected with the sentinel.
+	if err := s.Submit(nil); !errors.Is(err, ErrNoRoundPending) {
+		t.Fatalf("Submit without Next: err = %v, want ErrNoRoundPending", err)
 	}
 	pairs, err := s.Next()
 	if err != nil {
@@ -34,9 +36,13 @@ func TestSessionProtocol(t *testing.T) {
 	if len(pairs) != 5 {
 		t.Fatalf("presented %d pairs", len(pairs))
 	}
-	// Double Next is rejected.
-	if _, err := s.Next(); err == nil {
-		t.Fatal("Next with a round pending should error")
+	// Double Next is rejected with the sentinel, and so is snapshotting
+	// mid-round.
+	if _, err := s.Next(); !errors.Is(err, ErrRoundPending) {
+		t.Fatalf("Next with a round pending: err = %v, want ErrRoundPending", err)
+	}
+	if _, err := s.Snapshot(); !errors.Is(err, ErrRoundPending) {
+		t.Fatalf("Snapshot with a round pending: err = %v, want ErrRoundPending", err)
 	}
 	// Labeling an unpresented pair is rejected.
 	other := dataset.NewPair(100, 101)
@@ -199,11 +205,11 @@ func TestSessionConvergesWithSimulatedAnnotator(t *testing.T) {
 	lastMAE := initialMAE
 	for round := 0; round < 25; round++ {
 		pairs, err := s.Next()
+		if errors.Is(err, ErrPoolExhausted) {
+			break
+		}
 		if err != nil {
 			t.Fatal(err)
-		}
-		if pairs == nil {
-			break
 		}
 		annotator.Observe(rel, pairs)
 		if err := s.Submit(annotator.Label(rel, pairs)); err != nil {
@@ -216,5 +222,98 @@ func TestSessionConvergesWithSimulatedAnnotator(t *testing.T) {
 	}
 	if lastMAE > 0.25 {
 		t.Fatalf("final MAE %v too high", lastMAE)
+	}
+}
+
+func TestSessionPoolExhaustedSentinel(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 500, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drain the pool: with K far above the pool size every round takes
+	// everything that is left.
+	for rounds := 0; ; rounds++ {
+		pairs, err := s.Next()
+		if err != nil {
+			if !errors.Is(err, ErrPoolExhausted) {
+				t.Fatalf("draining Next: err = %v, want ErrPoolExhausted", err)
+			}
+			break
+		}
+		if len(pairs) == 0 {
+			t.Fatal("Next returned no pairs without ErrPoolExhausted")
+		}
+		if err := s.Submit(nil); err != nil {
+			t.Fatal(err)
+		}
+		if rounds > 10_000 {
+			t.Fatal("pool never exhausted")
+		}
+	}
+	if s.RemainingPairs() != 0 {
+		t.Fatalf("RemainingPairs = %d after exhaustion", s.RemainingPairs())
+	}
+}
+
+func TestSessionContextCancellation(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 4, Seed: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.NextContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("NextContext on canceled ctx: err = %v", err)
+	}
+	// The failed call must not have consumed pool state.
+	pairs, err := s.NextContext(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SubmitContext(ctx, nil); !errors.Is(err, context.Canceled) {
+		t.Fatalf("SubmitContext on canceled ctx: err = %v", err)
+	}
+	// The round is still pending after the canceled Submit.
+	if got := s.Pending(); len(got) != len(pairs) {
+		t.Fatalf("Pending = %d pairs, want %d", len(got), len(pairs))
+	}
+	if err := s.SubmitContext(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSessionDiscardPending(t *testing.T) {
+	rel, space := sessionFixture(t)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 4, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs, err := s.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if discarded := s.DiscardPending(); len(discarded) != len(pairs) {
+		t.Fatalf("DiscardPending = %d pairs, want %d", len(discarded), len(pairs))
+	}
+	if s.Pending() != nil {
+		t.Fatal("session still pending after DiscardPending")
+	}
+	if _, err := s.Snapshot(); err != nil {
+		t.Fatalf("Snapshot after DiscardPending: %v", err)
+	}
+}
+
+func TestRunContextCancellation(t *testing.T) {
+	rel, space := sessionFixture(t)
+	rng := stats.NewRNG(10)
+	trainer := agents.NewFPTrainer(belief.RandomPrior(space, rng, 0.1), rng.Split())
+	learner := agents.NewLearner(belief.DataEstimatePrior(space, rel, 0.12), sampling.Random{}, rng.Split())
+	pool := sampling.NewPool(rel, space, sampling.PoolConfig{Seed: 10})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := RunContext(ctx, rel, trainer, learner, pool, Config{Iterations: 5}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("RunContext on canceled ctx: err = %v", err)
 	}
 }

@@ -1,0 +1,238 @@
+package persist
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// ErrNotFound is the sentinel wrapped by Store implementations when a
+// snapshot id has nothing stored under it; test with errors.Is.
+var ErrNotFound = errors.New("persist: snapshot not found")
+
+// ErrBadID is the sentinel wrapped when a snapshot id is empty or
+// contains characters outside [A-Za-z0-9._-]. Restricting the alphabet
+// keeps ids usable verbatim as file names and URL path segments.
+var ErrBadID = errors.New("persist: invalid snapshot id")
+
+// Store is a keyed snapshot repository — the durability boundary of
+// the session service. Implementations must be safe for concurrent use
+// and must copy on Put/Get so callers cannot alias stored state.
+type Store interface {
+	// Put saves the snapshot under id, replacing any previous value.
+	Put(ctx context.Context, id string, snap *Snapshot) error
+	// Get loads the snapshot stored under id (ErrNotFound if absent).
+	Get(ctx context.Context, id string) (*Snapshot, error)
+	// Delete removes the snapshot under id (ErrNotFound if absent).
+	Delete(ctx context.Context, id string) error
+	// List returns the stored ids in lexicographic order.
+	List(ctx context.Context) ([]string, error)
+}
+
+// ValidateID checks a snapshot id against the store alphabet.
+func ValidateID(id string) error {
+	if id == "" {
+		return fmt.Errorf("%w: empty", ErrBadID)
+	}
+	for _, r := range id {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '_' || r == '-':
+		default:
+			return fmt.Errorf("%w: %q contains %q", ErrBadID, id, r)
+		}
+	}
+	if id == "." || id == ".." {
+		return fmt.Errorf("%w: %q", ErrBadID, id)
+	}
+	return nil
+}
+
+// MemStore is an in-memory Store. Snapshots are held in encoded form so
+// stored state never aliases live session state.
+type MemStore struct {
+	mu sync.RWMutex
+	m  map[string][]byte
+}
+
+// NewMemStore returns an empty in-memory store.
+func NewMemStore() *MemStore {
+	return &MemStore{m: make(map[string][]byte)}
+}
+
+// Put implements Store.
+func (s *MemStore) Put(ctx context.Context, id string, snap *Snapshot) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	s.m[id] = buf.Bytes()
+	s.mu.Unlock()
+	return nil
+}
+
+// Get implements Store.
+func (s *MemStore) Get(ctx context.Context, id string) (*Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	b, ok := s.m[id]
+	s.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return Read(bytes.NewReader(b))
+}
+
+// Delete implements Store.
+func (s *MemStore) Delete(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.m[id]; !ok {
+		return fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	delete(s.m, id)
+	return nil
+}
+
+// List implements Store.
+func (s *MemStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s.mu.RLock()
+	ids := make([]string, 0, len(s.m))
+	for id := range s.m {
+		ids = append(ids, id)
+	}
+	s.mu.RUnlock()
+	sort.Strings(ids)
+	return ids, nil
+}
+
+// snapExt is the file suffix DirStore uses, so unrelated files in the
+// directory are ignored.
+const snapExt = ".snapshot.json"
+
+// DirStore is a directory-backed Store: one "<id>.snapshot.json" file
+// per snapshot, written atomically (temp file + rename) so a crashed
+// writer never leaves a torn snapshot under a live id.
+type DirStore struct {
+	dir string
+	// mu serializes same-process writers; cross-process safety comes
+	// from the atomic rename.
+	mu sync.Mutex
+}
+
+// NewDirStore ensures the directory exists and returns a store over it.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+// Dir returns the backing directory.
+func (s *DirStore) Dir() string { return s.dir }
+
+func (s *DirStore) path(id string) string {
+	return filepath.Join(s.dir, id+snapExt)
+}
+
+// Put implements Store.
+func (s *DirStore) Put(ctx context.Context, id string, snap *Snapshot) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	tmp, err := os.CreateTemp(s.dir, "."+id+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	if err := snap.Write(tmp); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(id)); err != nil {
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// Get implements Store.
+func (s *DirStore) Get(ctx context.Context, id string) (*Snapshot, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ValidateID(id); err != nil {
+		return nil, err
+	}
+	snap, err := ReadFile(s.path(id))
+	if errors.Is(err, os.ErrNotExist) {
+		return nil, fmt.Errorf("%w: %q", ErrNotFound, id)
+	}
+	return snap, err
+}
+
+// Delete implements Store.
+func (s *DirStore) Delete(ctx context.Context, id string) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if err := ValidateID(id); err != nil {
+		return err
+	}
+	if err := os.Remove(s.path(id)); err != nil {
+		if errors.Is(err, os.ErrNotExist) {
+			return fmt.Errorf("%w: %q", ErrNotFound, id)
+		}
+		return fmt.Errorf("persist: %w", err)
+	}
+	return nil
+}
+
+// List implements Store.
+func (s *DirStore) List(ctx context.Context) ([]string, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return nil, fmt.Errorf("persist: %w", err)
+	}
+	var ids []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, snapExt) || strings.HasPrefix(name, ".") {
+			continue
+		}
+		ids = append(ids, strings.TrimSuffix(name, snapExt))
+	}
+	sort.Strings(ids)
+	return ids, nil
+}

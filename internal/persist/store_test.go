@@ -1,0 +1,146 @@
+package persist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"exptrain/internal/fd"
+)
+
+// storeFixture builds a small snapshot to shuttle through stores.
+func storeFixture(t *testing.T) *Snapshot {
+	t.Helper()
+	fds, err := fd.Enumerate(fd.SpaceConfig{Arity: 3, MaxLHS: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	space, err := fd.NewSpace(fds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := NewSnapshot(nil, space, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return snap
+}
+
+// testStore exercises the Store contract against any implementation.
+func testStore(t *testing.T, store Store) {
+	t.Helper()
+	ctx := context.Background()
+	snap := storeFixture(t)
+
+	if _, err := store.Get(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get missing: err = %v, want ErrNotFound", err)
+	}
+	if err := store.Delete(ctx, "missing"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Delete missing: err = %v, want ErrNotFound", err)
+	}
+	if err := store.Put(ctx, "../evil", snap); !errors.Is(err, ErrBadID) {
+		t.Fatalf("Put traversal id: err = %v, want ErrBadID", err)
+	}
+	if err := store.Put(ctx, "", snap); !errors.Is(err, ErrBadID) {
+		t.Fatalf("Put empty id: err = %v, want ErrBadID", err)
+	}
+
+	if err := store.Put(ctx, "s-1", snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ctx, "s-2", snap); err != nil {
+		t.Fatal(err)
+	}
+	got, err := store.Get(ctx, "s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Space) != len(snap.Space) {
+		t.Fatalf("restored space has %d FDs, want %d", len(got.Space), len(snap.Space))
+	}
+	// The returned snapshot must not alias the stored bytes.
+	got.Space = nil
+	again, err := store.Get(ctx, "s-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(again.Space) != len(snap.Space) {
+		t.Fatal("mutating a Get result corrupted the store")
+	}
+
+	ids, err := store.List(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != 2 || ids[0] != "s-1" || ids[1] != "s-2" {
+		t.Fatalf("List = %v", ids)
+	}
+	if err := store.Delete(ctx, "s-1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Get(ctx, "s-1"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("Get after Delete: err = %v, want ErrNotFound", err)
+	}
+
+	canceled, cancel := context.WithCancel(ctx)
+	cancel()
+	if err := store.Put(canceled, "s-3", snap); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put on canceled ctx: err = %v", err)
+	}
+}
+
+func TestMemStore(t *testing.T) { testStore(t, NewMemStore()) }
+
+func TestDirStore(t *testing.T) {
+	store, err := NewDirStore(t.TempDir() + "/snaps")
+	if err != nil {
+		t.Fatal(err)
+	}
+	testStore(t, store)
+}
+
+func TestDirStoreSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	store, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Put(ctx, "persisted", storeFixture(t)); err != nil {
+		t.Fatal(err)
+	}
+	reopened, err := NewDirStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := reopened.Get(ctx, "persisted"); err != nil {
+		t.Fatalf("Get after reopen: %v", err)
+	}
+}
+
+func TestMemStoreConcurrent(t *testing.T) {
+	store := NewMemStore()
+	snap := storeFixture(t)
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	for i := 0; i < 32; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			id := fmt.Sprintf("c-%d", i)
+			if err := store.Put(ctx, id, snap); err != nil {
+				t.Error(err)
+				return
+			}
+			if _, err := store.Get(ctx, id); err != nil {
+				t.Error(err)
+			}
+			if _, err := store.List(ctx); err != nil {
+				t.Error(err)
+			}
+		}(i)
+	}
+	wg.Wait()
+}

@@ -167,32 +167,22 @@ func softmaxSelect(pool []dataset.Pair, k int, gamma float64, rng *stats.RNG, sc
 
 // ByName constructs the sampler matching the paper's method name
 // ("Random", "US", "StochasticBR", "StochasticUS"); gamma applies to the
-// stochastic strategies.
+// stochastic strategies. Unknown names return an error wrapping
+// ErrUnknownMethod. Typed callers should prefer ParseMethod + New.
 func ByName(name string, gamma float64) (Sampler, error) {
-	switch name {
-	case "Random":
-		return Random{}, nil
-	case "US":
-		return Uncertainty{}, nil
-	case "StochasticBR":
-		return StochasticBR{Gamma: gamma}, nil
-	case "StochasticUS":
-		return StochasticUS{Gamma: gamma}, nil
-	case "QBC":
-		return QueryByCommittee{}, nil
-	case "EpsilonGreedy":
-		return EpsilonGreedy{}, nil
-	default:
-		return nil, fmt.Errorf("sampling: unknown sampler %q", name)
+	m, err := ParseMethod(name)
+	if err != nil {
+		return nil, err
 	}
+	return New(m, gamma)
 }
 
 // AllMethods lists the paper's four methods in presentation order.
 func AllMethods(gamma float64) []Sampler {
-	return []Sampler{
-		Random{},
-		Uncertainty{},
-		StochasticBR{Gamma: gamma},
-		StochasticUS{Gamma: gamma},
+	out := make([]Sampler, 0, 4)
+	for _, m := range Methods() {
+		s, _ := New(m, gamma)
+		out = append(out, s)
 	}
+	return out
 }

@@ -1,0 +1,25 @@
+// Package service hosts many live exploratory-training sessions behind
+// a concurrency-safe manager and an HTTP/JSON API — the long-lived,
+// multi-annotator host the step-wise game.Session protocol was built
+// for. Each session is an independent game.Session guarded by its own
+// lock; the manager adds idle eviction (sessions are checkpointed to a
+// persist.Store and transparently resumed on next access), max-session
+// backpressure, and graceful shutdown that checkpoints every live
+// session.
+package service
+
+import "errors"
+
+// Sentinel errors of the service surface; test with errors.Is. The
+// HTTP layer maps them onto status codes (see Server).
+var (
+	// ErrSessionNotFound: the id names neither a live nor a parked
+	// session.
+	ErrSessionNotFound = errors.New("service: session not found")
+	// ErrTooManySessions: the manager is at MaxSessions and no idle
+	// session could be evicted to make room (HTTP 429).
+	ErrTooManySessions = errors.New("service: too many live sessions")
+	// ErrShuttingDown: the manager is draining; no new work is accepted
+	// (HTTP 503).
+	ErrShuttingDown = errors.New("service: shutting down")
+)

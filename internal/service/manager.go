@@ -1,0 +1,729 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/datagen"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/game"
+	"exptrain/internal/persist"
+	"exptrain/internal/repair"
+	"exptrain/internal/sampling"
+)
+
+// Source says where a session's relation comes from. Exactly one of
+// CSV or Dataset must be set. The source is kept for the session's
+// whole life: an evicted session's relation is rebuilt from it when the
+// session is resumed (snapshots deliberately do not embed relations).
+type Source struct {
+	// Dataset is a synthetic paper dataset name ("OMDB", "AIRPORT",
+	// "Hospital", "Tax"); Rows and Seed make the build deterministic.
+	Dataset string
+	Rows    int
+	Seed    uint64
+	// CSV is an uploaded relation (header row + records).
+	CSV []byte
+}
+
+// build materializes the relation.
+func (s Source) build() (*dataset.Relation, error) {
+	switch {
+	case len(s.CSV) > 0 && s.Dataset != "":
+		return nil, fmt.Errorf("service: source has both CSV and dataset %q", s.Dataset)
+	case len(s.CSV) > 0:
+		return dataset.ReadCSV(bytes.NewReader(s.CSV))
+	case s.Dataset != "":
+		gen, err := datagen.ByName(s.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		rows := s.Rows
+		if rows <= 0 {
+			rows = 240
+		}
+		return gen(rows, s.Seed).Rel, nil
+	default:
+		return nil, fmt.Errorf("service: source needs a dataset name or CSV data")
+	}
+}
+
+// Spec configures one hosted session.
+type Spec struct {
+	Source Source
+	// Method is the learner's response strategy (MethodDefault →
+	// StochasticUS).
+	Method sampling.Method
+	// Gamma is the stochastic temperature (DefaultGamma when zero).
+	Gamma float64
+	// K is pairs per round (game.Session default when zero).
+	K int
+	// MaxLHS bounds the enumerated hypothesis space (default 2).
+	MaxLHS int
+	// MaxFDs truncates the space (0 = no cap).
+	MaxFDs int
+	// Seed drives pool construction and stochastic selection.
+	Seed uint64
+}
+
+// Info is a session's externally visible state.
+type Info struct {
+	ID        string          `json:"id"`
+	Method    sampling.Method `json:"method"`
+	K         int             `json:"k"`
+	Rounds    int             `json:"rounds"`
+	Pending   int             `json:"pending"`
+	Remaining int             `json:"remaining"`
+	Parked    bool            `json:"parked"`
+	Rows      int             `json:"rows"`
+	Space     int             `json:"space"`
+}
+
+// PairView is one presented pair with its rendered tuples, so a client
+// needs no separate data fetch to show the annotator the rows.
+type PairView struct {
+	A      int      `json:"a"`
+	B      int      `json:"b"`
+	ATuple []string `json:"a_tuple"`
+	BTuple []string `json:"b_tuple"`
+}
+
+// HypothesisView is one FD of the learner's belief, rendered.
+type HypothesisView struct {
+	FD         string  `json:"fd"`
+	Confidence float64 `json:"confidence"`
+	CILow      float64 `json:"ci_low"`
+	CIHigh     float64 `json:"ci_high"`
+}
+
+// RepairView is one suggested cell repair, rendered.
+type RepairView struct {
+	Row        int     `json:"row"`
+	Attr       string  `json:"attr"`
+	Old        string  `json:"old"`
+	New        string  `json:"new"`
+	Confidence float64 `json:"confidence"`
+	Source     string  `json:"source"`
+}
+
+// Options tunes the manager.
+type Options struct {
+	// MaxSessions bounds resident sessions (default 128). At the bound,
+	// creating or unparking first tries to evict the least-recently-used
+	// idle session; if none is evictable the request fails with
+	// ErrTooManySessions.
+	MaxSessions int
+	// IdleTTL parks sessions idle at least this long on each Sweep
+	// (default 15 minutes).
+	IdleTTL time.Duration
+	// Store receives eviction and shutdown checkpoints (default: a
+	// fresh in-memory store).
+	Store persist.Store
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxSessions <= 0 {
+		o.MaxSessions = 128
+	}
+	if o.IdleTTL <= 0 {
+		o.IdleTTL = 15 * time.Minute
+	}
+	if o.Store == nil {
+		o.Store = persist.NewMemStore()
+	}
+	return o
+}
+
+// entry is one resident session. Its mutex serializes the session
+// protocol; lastUsed is guarded by the manager's mutex (it is bumped
+// during lookup, which already holds it).
+type entry struct {
+	mu       sync.Mutex
+	id       string
+	spec     Spec
+	sess     *game.Session
+	lastUsed time.Time
+	// gone marks the entry evicted or shut down. A goroutine that won
+	// the entry lock after blocking must re-check it and retry the
+	// lookup: the session now lives in the store, not here.
+	gone bool
+}
+
+// Manager hosts the sessions. All methods are safe for concurrent use.
+//
+// Lock order: the manager mutex is only ever held for short map/metadata
+// critical sections and never blocks on an entry lock (TryLock is
+// allowed); entry locks may be held across session work and may take
+// the manager mutex. That asymmetry is what makes per-session locking
+// deadlock-free.
+type Manager struct {
+	opts  Options
+	store persist.Store
+	// now is the clock; a test hook.
+	now func() time.Time
+
+	mu       sync.Mutex
+	live     map[string]*entry
+	parked   map[string]Spec // evicted sessions: snapshot in store, spec here
+	seq      uint64
+	draining bool
+}
+
+// NewManager builds a manager.
+func NewManager(opts Options) *Manager {
+	opts = opts.withDefaults()
+	return &Manager{
+		opts:   opts,
+		store:  opts.Store,
+		now:    time.Now,
+		live:   make(map[string]*entry),
+		parked: make(map[string]Spec),
+	}
+}
+
+// Store returns the checkpoint store.
+func (m *Manager) Store() persist.Store { return m.store }
+
+// buildSession constructs the game.Session for a spec, optionally
+// resuming from a snapshot.
+func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, error) {
+	rel, err := spec.Source.build()
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := sampling.New(spec.Method, spec.Gamma)
+	if err != nil {
+		return nil, err
+	}
+	cfg := game.SessionConfig{
+		Relation: rel,
+		Sampler:  sampler,
+		K:        spec.K,
+		Seed:     spec.Seed,
+	}
+	if snap != nil {
+		return game.ResumeSession(snap, cfg)
+	}
+	maxLHS := spec.MaxLHS
+	if maxLHS <= 0 {
+		maxLHS = 2
+	}
+	fds, err := fd.Enumerate(fd.SpaceConfig{
+		Arity:  rel.Schema().Arity(),
+		MaxLHS: maxLHS,
+		MaxFDs: spec.MaxFDs,
+	})
+	if err != nil {
+		return nil, err
+	}
+	space, err := fd.NewSpace(fds)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Space = space
+	return game.NewSession(cfg)
+}
+
+// Create builds and registers a new session, evicting an idle session
+// if the manager is full. The returned Info carries the new id.
+func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
+	if err := ctx.Err(); err != nil {
+		return Info{}, err
+	}
+	sess, err := buildSession(spec, nil)
+	if err != nil {
+		return Info{}, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Info{}, ErrShuttingDown
+	}
+	m.seq++
+	id := fmt.Sprintf("sess-%d", m.seq)
+	m.mu.Unlock()
+
+	e := &entry{id: id, spec: spec, sess: sess}
+	if err := m.install(ctx, e); err != nil {
+		return Info{}, err
+	}
+	return m.infoOf(e, false), nil
+}
+
+// Resume registers a new session restored from a snapshot previously
+// saved in the store (for example by a prior process before shutdown).
+// The snapshot's history is replayed against a relation rebuilt from
+// spec.Source, which must describe the same data.
+func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Info, error) {
+	if err := ctx.Err(); err != nil {
+		return Info{}, err
+	}
+	snap, err := m.store.Get(ctx, snapshotID)
+	if err != nil {
+		return Info{}, err
+	}
+	sess, err := buildSession(spec, snap)
+	if err != nil {
+		return Info{}, err
+	}
+	m.mu.Lock()
+	if m.draining {
+		m.mu.Unlock()
+		return Info{}, ErrShuttingDown
+	}
+	m.seq++
+	id := fmt.Sprintf("sess-%d", m.seq)
+	m.mu.Unlock()
+
+	e := &entry{id: id, spec: spec, sess: sess}
+	if err := m.install(ctx, e); err != nil {
+		return Info{}, err
+	}
+	return m.infoOf(e, false), nil
+}
+
+// install registers a built entry, making room first if needed.
+func (m *Manager) install(ctx context.Context, e *entry) error {
+	for {
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return ErrShuttingDown
+		}
+		if len(m.live) < m.opts.MaxSessions {
+			e.lastUsed = m.now()
+			m.live[e.id] = e
+			m.mu.Unlock()
+			return nil
+		}
+		victim := m.lruVictimLocked()
+		m.mu.Unlock()
+		if victim == nil {
+			return ErrTooManySessions
+		}
+		if err := m.evict(ctx, victim); err != nil {
+			return fmt.Errorf("service: evicting %s for capacity: %w", victim.id, err)
+		}
+	}
+}
+
+// lruVictimLocked picks the least-recently-used live entry whose lock
+// is immediately free (an entry mid-request is never evicted). Caller
+// holds m.mu; the returned entry is locked.
+func (m *Manager) lruVictimLocked() *entry {
+	var candidates []*entry
+	for _, e := range m.live {
+		candidates = append(candidates, e)
+	}
+	sort.Slice(candidates, func(i, j int) bool {
+		return candidates[i].lastUsed.Before(candidates[j].lastUsed)
+	})
+	for _, e := range candidates {
+		if e.mu.TryLock() {
+			if e.gone {
+				e.mu.Unlock()
+				continue
+			}
+			return e
+		}
+	}
+	return nil
+}
+
+// evict checkpoints a locked entry into the store and parks it. The
+// entry lock is released before returning.
+func (m *Manager) evict(ctx context.Context, e *entry) error {
+	defer e.mu.Unlock()
+	// An unsubmitted round is dropped: it carries no annotator evidence,
+	// and resuming rebuilds the pool from submitted history so its pairs
+	// become presentable again.
+	e.sess.DiscardPending()
+	snap, err := e.sess.Snapshot()
+	if err != nil {
+		return err
+	}
+	if err := m.store.Put(ctx, e.id, snap); err != nil {
+		return err
+	}
+	e.gone = true
+	m.mu.Lock()
+	delete(m.live, e.id)
+	m.parked[e.id] = e.spec
+	m.mu.Unlock()
+	return nil
+}
+
+// acquire returns the locked entry for id, transparently unparking an
+// evicted session. The caller must unlock it. Lookup loops because an
+// entry can be evicted between the map read and winning its lock.
+func (m *Manager) acquire(ctx context.Context, id string) (*entry, error) {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		m.mu.Lock()
+		if m.draining {
+			m.mu.Unlock()
+			return nil, ErrShuttingDown
+		}
+		if e, ok := m.live[id]; ok {
+			e.lastUsed = m.now()
+			m.mu.Unlock()
+			e.mu.Lock()
+			if e.gone {
+				e.mu.Unlock()
+				continue // evicted while we waited; retry (now parked)
+			}
+			return e, nil
+		}
+		spec, ok := m.parked[id]
+		if !ok {
+			m.mu.Unlock()
+			return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
+		}
+		// Unpark: insert a locked placeholder so concurrent requests for
+		// the same id queue on its lock instead of double-resuming, then
+		// do the store read and replay without holding the manager lock.
+		e := &entry{id: id, spec: spec, lastUsed: m.now()}
+		e.mu.Lock()
+		delete(m.parked, id)
+		m.live[id] = e
+		m.mu.Unlock()
+
+		if len(m.live) > m.opts.MaxSessions {
+			// Over capacity after insertion: make room. Failure rolls the
+			// placeholder back to parked.
+			if err := m.makeRoomFor(ctx, e); err != nil {
+				m.unparkFailed(e)
+				return nil, err
+			}
+		}
+		snap, err := m.store.Get(ctx, id)
+		if err == nil {
+			var sess *game.Session
+			sess, err = buildSession(spec, snap)
+			if err == nil {
+				e.sess = sess
+				return e, nil
+			}
+		}
+		m.unparkFailed(e)
+		return nil, fmt.Errorf("service: resuming parked session %q: %w", id, err)
+	}
+}
+
+// makeRoomFor evicts LRU entries other than keep until the manager is
+// within capacity. Caller holds keep's lock.
+func (m *Manager) makeRoomFor(ctx context.Context, keep *entry) error {
+	for {
+		m.mu.Lock()
+		if len(m.live) <= m.opts.MaxSessions {
+			m.mu.Unlock()
+			return nil
+		}
+		var victim *entry
+		var candidates []*entry
+		for _, e := range m.live {
+			if e != keep {
+				candidates = append(candidates, e)
+			}
+		}
+		sort.Slice(candidates, func(i, j int) bool {
+			return candidates[i].lastUsed.Before(candidates[j].lastUsed)
+		})
+		for _, e := range candidates {
+			if e.mu.TryLock() {
+				if e.gone {
+					e.mu.Unlock()
+					continue
+				}
+				victim = e
+				break
+			}
+		}
+		m.mu.Unlock()
+		if victim == nil {
+			return ErrTooManySessions
+		}
+		if err := m.evict(ctx, victim); err != nil {
+			return err
+		}
+	}
+}
+
+// unparkFailed rolls a placeholder back to parked after a failed
+// resume; the snapshot is still in the store.
+func (m *Manager) unparkFailed(e *entry) {
+	e.gone = true
+	m.mu.Lock()
+	delete(m.live, e.id)
+	m.parked[e.id] = e.spec
+	m.mu.Unlock()
+	e.mu.Unlock()
+}
+
+// infoOf renders a locked (or freshly built) entry.
+func (m *Manager) infoOf(e *entry, parked bool) Info {
+	info := Info{
+		ID:     e.id,
+		Method: e.spec.Method.Resolve(),
+		K:      e.spec.K,
+		Parked: parked,
+	}
+	if e.sess != nil {
+		info.Rounds = e.sess.Rounds()
+		info.Pending = len(e.sess.Pending())
+		info.Remaining = e.sess.RemainingPairs()
+		info.Rows = e.sess.Relation().NumRows()
+		info.Space = e.sess.Belief().Size()
+	}
+	return info
+}
+
+// Get returns a session's state. A parked session is reported from its
+// parked metadata without resuming it.
+func (m *Manager) Get(ctx context.Context, id string) (Info, error) {
+	if err := ctx.Err(); err != nil {
+		return Info{}, err
+	}
+	m.mu.Lock()
+	if spec, ok := m.parked[id]; ok {
+		m.mu.Unlock()
+		return Info{ID: id, Method: spec.Method.Resolve(), K: spec.K, Parked: true}, nil
+	}
+	m.mu.Unlock()
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return Info{}, err
+	}
+	defer e.mu.Unlock()
+	return m.infoOf(e, false), nil
+}
+
+// List reports every session, live and parked, ordered by id.
+func (m *Manager) List(ctx context.Context) ([]Info, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	m.mu.Lock()
+	out := make([]Info, 0, len(m.live)+len(m.parked))
+	for _, e := range m.live {
+		// Metadata only — reading counters without the entry lock would
+		// race with in-flight rounds.
+		out = append(out, Info{ID: e.id, Method: e.spec.Method.Resolve(), K: e.spec.K})
+	}
+	for id, spec := range m.parked {
+		out = append(out, Info{ID: id, Method: spec.Method.Resolve(), K: spec.K, Parked: true})
+	}
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out, nil
+}
+
+// Next presents the session's next round of pairs.
+func (m *Manager) Next(ctx context.Context, id string) ([]PairView, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	pairs, err := e.sess.NextContext(ctx)
+	if err != nil {
+		return nil, err
+	}
+	rel := e.sess.Relation()
+	out := make([]PairView, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairView{
+			A: p.A, B: p.B,
+			ATuple: append([]string(nil), rel.Row(p.A)...),
+			BTuple: append([]string(nil), rel.Row(p.B)...),
+		}
+	}
+	return out, nil
+}
+
+// Submit consumes the pending round's annotations.
+func (m *Manager) Submit(ctx context.Context, id string, labeled []belief.Labeling) (Info, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return Info{}, err
+	}
+	defer e.mu.Unlock()
+	if err := e.sess.SubmitContext(ctx, labeled); err != nil {
+		return Info{}, err
+	}
+	return m.infoOf(e, false), nil
+}
+
+// TopBelief returns the learner's k leading hypotheses with 90%
+// credible intervals.
+func (m *Manager) TopBelief(ctx context.Context, id string, k int) ([]HypothesisView, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	if k <= 0 {
+		k = 10
+	}
+	b := e.sess.Belief()
+	names := e.sess.Relation().Schema().Names()
+	var out []HypothesisView
+	for _, i := range b.TopK(k) {
+		lo, hi := b.CredibleInterval(i, 0.9)
+		out = append(out, HypothesisView{
+			FD:         b.Space().FD(i).Render(names),
+			Confidence: b.Confidence(i),
+			CILow:      lo,
+			CIHigh:     hi,
+		})
+	}
+	return out, nil
+}
+
+// Repairs derives minority-to-plurality cell repairs from the FDs the
+// learner currently believes at confidence at least tau (default 0.5).
+func (m *Manager) Repairs(ctx context.Context, id string, tau float64) ([]RepairView, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	if tau <= 0 {
+		tau = 0.5
+	}
+	b := e.sess.Belief()
+	var believed []repair.BelievedFD
+	for _, f := range b.BelievedFDs(tau) {
+		i, ok := b.Space().Index(f)
+		if !ok {
+			continue
+		}
+		believed = append(believed, repair.BelievedFD{FD: f, Confidence: b.Confidence(i)})
+	}
+	rel := e.sess.Relation()
+	suggestions, err := repair.Suggest(rel, believed, repair.Config{})
+	if err != nil {
+		return nil, err
+	}
+	names := rel.Schema().Names()
+	out := make([]RepairView, len(suggestions))
+	for i, s := range suggestions {
+		out[i] = RepairView{
+			Row:        s.Row,
+			Attr:       names[s.Attr],
+			Old:        s.Old,
+			New:        s.New,
+			Confidence: s.Confidence,
+			Source:     s.Source.Render(names),
+		}
+	}
+	return out, nil
+}
+
+// Snapshot checkpoints the session into the store under its own id and
+// returns that id. The session stays live.
+func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return "", err
+	}
+	defer e.mu.Unlock()
+	snap, err := e.sess.Snapshot()
+	if err != nil {
+		return "", err
+	}
+	if err := m.store.Put(ctx, e.id, snap); err != nil {
+		return "", err
+	}
+	return e.id, nil
+}
+
+// Evict checkpoints the session and parks it, freeing its memory. The
+// next access transparently resumes it from the store.
+func (m *Manager) Evict(ctx context.Context, id string) error {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return err
+	}
+	return m.evict(ctx, e) // releases the lock
+}
+
+// Sweep parks every session idle for at least the manager's IdleTTL.
+// It returns the parked session ids. Call it periodically (cmd/etserve
+// runs it on a ticker) or directly in tests.
+func (m *Manager) Sweep(ctx context.Context) ([]string, error) {
+	cutoff := m.now().Add(-m.opts.IdleTTL)
+	m.mu.Lock()
+	var idle []*entry
+	for _, e := range m.live {
+		if e.lastUsed.Before(cutoff) {
+			idle = append(idle, e)
+		}
+	}
+	m.mu.Unlock()
+	var swept []string
+	for _, e := range idle {
+		if !e.mu.TryLock() {
+			continue // mid-request: not idle after all
+		}
+		if e.gone {
+			e.mu.Unlock()
+			continue
+		}
+		m.mu.Lock()
+		still := m.live[e.id] == e && !e.lastUsed.After(cutoff)
+		m.mu.Unlock()
+		if !still {
+			e.mu.Unlock()
+			continue
+		}
+		if err := m.evict(ctx, e); err != nil {
+			return swept, err
+		}
+		swept = append(swept, e.id)
+	}
+	sort.Strings(swept)
+	return swept, nil
+}
+
+// Counts reports how many sessions are live and parked.
+func (m *Manager) Counts() (live, parked int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.live), len(m.parked)
+}
+
+// Shutdown drains the manager: new requests fail with ErrShuttingDown,
+// and every live session is checkpointed into the store. It blocks on
+// in-flight per-session work (each entry lock is acquired), so once it
+// returns no submitted round is lost. Safe to call more than once.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	m.draining = true
+	entries := make([]*entry, 0, len(m.live))
+	for _, e := range m.live {
+		entries = append(entries, e)
+	}
+	m.mu.Unlock()
+
+	var firstErr error
+	for _, e := range entries {
+		e.mu.Lock()
+		if e.gone {
+			e.mu.Unlock()
+			continue
+		}
+		if err := m.evict(ctx, e); err != nil && firstErr == nil { // releases the lock
+			firstErr = err
+		}
+	}
+	return firstErr
+}

@@ -1,0 +1,305 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/game"
+	"exptrain/internal/persist"
+	"exptrain/internal/sampling"
+)
+
+// ServerOptions tunes the HTTP layer.
+type ServerOptions struct {
+	// RequestTimeout bounds each request's context (default 30s).
+	RequestTimeout time.Duration
+	// MaxBodyBytes bounds request bodies, CSV uploads included
+	// (default 8 MiB).
+	MaxBodyBytes int64
+}
+
+func (o ServerOptions) withDefaults() ServerOptions {
+	if o.RequestTimeout <= 0 {
+		o.RequestTimeout = 30 * time.Second
+	}
+	if o.MaxBodyBytes <= 0 {
+		o.MaxBodyBytes = 8 << 20
+	}
+	return o
+}
+
+// Server is the HTTP/JSON front of a Manager. It implements
+// http.Handler; mount it on any mux or serve it directly.
+//
+// Routes (all JSON):
+//
+//	POST   /v1/sessions              create (or resume with "resume")
+//	GET    /v1/sessions              list
+//	GET    /v1/sessions/{id}         inspect
+//	POST   /v1/sessions/{id}/next    present the next round
+//	POST   /v1/sessions/{id}/submit  submit the round's labelings
+//	GET    /v1/sessions/{id}/belief  top hypotheses (?k=10)
+//	GET    /v1/sessions/{id}/repairs believed-FD cell repairs (?tau=0.5)
+//	POST   /v1/sessions/{id}/snapshot  checkpoint to the store
+//	DELETE /v1/sessions/{id}         checkpoint and park
+//	GET    /v1/healthz               liveness
+type Server struct {
+	mgr  *Manager
+	opts ServerOptions
+	mux  *http.ServeMux
+}
+
+// NewServer wires the routes.
+func NewServer(mgr *Manager, opts ServerOptions) *Server {
+	s := &Server{mgr: mgr, opts: opts.withDefaults(), mux: http.NewServeMux()}
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreate)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleList)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGet)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/next", s.handleNext)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/belief", s.handleBelief)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/repairs", s.handleRepairs)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshot)
+	return s
+}
+
+// ServeHTTP implements http.Handler: every request runs under the
+// configured timeout and body limit.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+	defer cancel()
+	r = r.WithContext(ctx)
+	if r.Body != nil {
+		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
+	}
+	s.mux.ServeHTTP(w, r)
+}
+
+// CreateRequest is the POST /v1/sessions body. Resume (an id whose
+// snapshot the store holds) restores that checkpoint instead of
+// starting fresh; the source fields must then describe the same data.
+type CreateRequest struct {
+	Dataset string          `json:"dataset,omitempty"`
+	Rows    int             `json:"rows,omitempty"`
+	CSV     string          `json:"csv,omitempty"`
+	Method  sampling.Method `json:"method,omitempty"`
+	Gamma   float64         `json:"gamma,omitempty"`
+	K       int             `json:"k,omitempty"`
+	MaxLHS  int             `json:"max_lhs,omitempty"`
+	MaxFDs  int             `json:"max_fds,omitempty"`
+	Seed    uint64          `json:"seed,omitempty"`
+	Resume  string          `json:"resume,omitempty"`
+}
+
+func (req CreateRequest) spec() Spec {
+	return Spec{
+		Source: Source{
+			Dataset: req.Dataset,
+			Rows:    req.Rows,
+			Seed:    req.Seed,
+			CSV:     []byte(req.CSV),
+		},
+		Method: req.Method,
+		Gamma:  req.Gamma,
+		K:      req.K,
+		MaxLHS: req.MaxLHS,
+		MaxFDs: req.MaxFDs,
+		Seed:   req.Seed,
+	}
+}
+
+// LabelingWire is one annotation on the wire: the pair's row indices,
+// the attribute positions marked erroneous, or an abstention.
+type LabelingWire = persist.LabelingJSON
+
+// SubmitRequest is the POST /v1/sessions/{id}/submit body.
+type SubmitRequest struct {
+	Labels []LabelingWire `json:"labels"`
+}
+
+// errorBody is the JSON error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+	Kind  string `json:"kind,omitempty"`
+}
+
+// httpStatus maps service and protocol sentinels to status codes — the
+// errors.Is-able surface is what makes this a switch instead of string
+// matching.
+func httpStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, ErrSessionNotFound), errors.Is(err, persist.ErrNotFound):
+		return http.StatusNotFound, "not_found"
+	case errors.Is(err, ErrTooManySessions):
+		return http.StatusTooManyRequests, "too_many_sessions"
+	case errors.Is(err, ErrShuttingDown):
+		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, game.ErrRoundPending):
+		return http.StatusConflict, "round_pending"
+	case errors.Is(err, game.ErrNoRoundPending):
+		return http.StatusConflict, "no_round_pending"
+	case errors.Is(err, game.ErrPoolExhausted):
+		return http.StatusGone, "pool_exhausted"
+	case errors.Is(err, sampling.ErrUnknownMethod), errors.Is(err, persist.ErrBadID):
+		return http.StatusBadRequest, "bad_request"
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout, "timeout"
+	case errors.Is(err, context.Canceled):
+		return 499, "canceled" // nginx's client-closed-request
+	default:
+		return http.StatusInternalServerError, "internal"
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, err error) {
+	status, kind := httpStatus(err)
+	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+}
+
+func decodeBody(r *http.Request, v any) error {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	live, parked := s.mgr.Counts()
+	writeJSON(w, http.StatusOK, map[string]int{"live": live, "parked": parked})
+}
+
+func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
+	var req CreateRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
+	var (
+		info Info
+		err  error
+	)
+	if req.Resume != "" {
+		info, err = s.mgr.Resume(r.Context(), req.Resume, req.spec())
+	} else {
+		info, err = s.mgr.Create(r.Context(), req.spec())
+	}
+	if err != nil {
+		// Spec/source validation failures (bad CSV, unknown dataset,
+		// malformed snapshot pairing) have no sentinel of their own;
+		// they are client input problems, so anything that would
+		// otherwise map to 500 here surfaces as 400.
+		if status, _ := httpStatus(err); status == http.StatusInternalServerError {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+			return
+		}
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, info)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	infos, err := s.mgr.List(r.Context())
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	info, err := s.mgr.Get(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
+	pairs, err := s.mgr.Next(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"pairs": pairs})
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+		return
+	}
+	labeled := make([]belief.Labeling, 0, len(req.Labels))
+	for _, lw := range req.Labels {
+		l, err := lw.ToLabeling()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+			return
+		}
+		labeled = append(labeled, l)
+	}
+	info, err := s.mgr.Submit(r.Context(), r.PathValue("id"), labeled)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleBelief(w http.ResponseWriter, r *http.Request) {
+	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
+	hyps, err := s.mgr.TopBelief(r.Context(), r.PathValue("id"), k)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"hypotheses": hyps})
+}
+
+func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) {
+	tau, _ := strconv.ParseFloat(r.URL.Query().Get("tau"), 64)
+	repairs, err := s.mgr.Repairs(r.Context(), r.PathValue("id"), tau)
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"repairs": repairs})
+}
+
+func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
+	snapID, err := s.mgr.Snapshot(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"snapshot": snapID})
+}
+
+func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := s.mgr.Evict(r.Context(), id); err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"parked": id})
+}

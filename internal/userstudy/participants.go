@@ -1,6 +1,7 @@
 package userstudy
 
 import (
+	"context"
 	"fmt"
 
 	"exptrain/internal/agents"
@@ -105,6 +106,13 @@ type Study struct {
 // scenario for 9-15 iterations of SampleSize random tuples (§A.2),
 // declaring their hypothesized FD each iteration.
 func Simulate(cfg StudyConfig) (*Study, error) {
+	return SimulateContext(context.Background(), cfg)
+}
+
+// SimulateContext is Simulate with cancellation checked between
+// participant × scenario sessions: a done context returns ctx.Err()
+// and discards the partial study.
+func SimulateContext(ctx context.Context, cfg StudyConfig) (*Study, error) {
 	cfg = cfg.withDefaults()
 	scenarios, err := BuildScenarios(cfg.Rows, cfg.Seed)
 	if err != nil {
@@ -115,6 +123,9 @@ func Simulate(cfg StudyConfig) (*Study, error) {
 	for pid := 0; pid < cfg.Participants; pid++ {
 		p := makeParticipant(pid, master.Split())
 		for _, sc := range scenarios {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			traj, err := simulateSession(p, sc, cfg, master.Split())
 			if err != nil {
 				return nil, fmt.Errorf("userstudy: participant %d scenario %d: %w", pid, sc.ID, err)
