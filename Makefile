@@ -2,9 +2,9 @@ GO ?= go
 # Extra flags for `make bench`, e.g. BENCHFLAGS='-benchtime 3s -count 5'
 BENCHFLAGS ?=
 # Hot-path benchmarks that get a machine-readable BENCH_<name>.json each.
-BENCHES := FullGame G1 Discovery GameScaling
+BENCHES := FullGame G1 Discovery GameScaling SessionRound
 
-.PHONY: all build vet test race verify bench clean
+.PHONY: all build vet test race check verify bench clean
 
 all: build
 
@@ -20,10 +20,23 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Static analysis beyond vet: govulncheck when installed, else
+# staticcheck, else skip — the tools aren't vendored, so their absence
+# must not fail the tier-1 bar.
+check:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		echo "== govulncheck"; govulncheck ./...; \
+	elif command -v staticcheck >/dev/null 2>&1; then \
+		echo "== staticcheck"; staticcheck ./...; \
+	else \
+		echo "== check skipped (neither govulncheck nor staticcheck installed)"; \
+	fi
+
 # Tier-1 verification: build, vet, the full test suite, then the suite
 # again under the race detector (the experiment harness, game evaluator
-# and session service all run goroutines, so -race is part of the bar).
-verify: build vet test race
+# and session service all run goroutines, so -race is part of the bar),
+# plus whatever static analyzer the machine has.
+verify: build vet test race check
 
 # Run each hot-path benchmark and convert its output into a
 # machine-readable baseline (BENCH_FullGame.json, BENCH_G1.json, ...)

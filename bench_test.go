@@ -12,6 +12,7 @@
 package exptrain
 
 import (
+	"errors"
 	"fmt"
 	"testing"
 
@@ -240,6 +241,48 @@ func runStationaryGame(b *testing.B, method string) float64 {
 		b.Fatal(err)
 	}
 	return res.FinalMAE()
+}
+
+// BenchmarkSessionRound measures one step-wise session round — present,
+// label, incorporate, measure — through the same round engine game.Run
+// uses, at the service's default shape (OMDB, StochasticUS).
+func BenchmarkSessionRound(b *testing.B) {
+	ds := datagen.OMDB(240, 1)
+	space := ds.Space(3, 38)
+	newSession := func(seed uint64) *game.Session {
+		sess, err := game.NewSession(game.SessionConfig{
+			Relation: ds.Rel,
+			Space:    space,
+			Sampler:  sampling.StochasticUS{},
+			K:        10,
+			Seed:     seed,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return sess
+	}
+	sess := newSession(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pairs, err := sess.Next()
+		if errors.Is(err, game.ErrPoolExhausted) {
+			b.StopTimer()
+			sess = newSession(uint64(i) + 2)
+			b.StartTimer()
+			pairs, err = sess.Next()
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+		labeled := make([]belief.Labeling, len(pairs))
+		for j, p := range pairs {
+			labeled[j] = belief.Labeling{Pair: p}
+		}
+		if err := sess.Submit(labeled); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // --- micro-benchmarks for the substrate hot paths ---

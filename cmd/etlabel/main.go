@@ -148,6 +148,11 @@ func run(inPath string, cfg config, in io.Reader, out io.Writer) error {
 		if err := session.Submit(labeled); err != nil {
 			return err
 		}
+		if recs := session.Records(); len(recs) > 0 {
+			rec := recs[len(recs)-1]
+			fmt.Fprintf(out, "round %d scored: MAE vs reference %.4f, payoff %.4f\n",
+				session.Rounds(), rec.MAE, rec.TrainerPayoff)
+		}
 		printTop(out, session.Belief(), names, 5)
 	}
 

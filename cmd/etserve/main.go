@@ -12,8 +12,11 @@
 //
 // With -store, snapshots go to DIR and survive restarts (resume one
 // with POST /v1/sessions {"resume": "<id>", ...}); without it they
-// live in memory for the life of the process. See the README for the
-// API routes and a curl transcript.
+// live in memory for the life of the process. Sessions created with
+// "eval": true additionally score the learner's believed model on a
+// held-out split every round; GET /v1/sessions/{id}/rounds serves the
+// per-round MAE/payoff (and detection F1) series either way. See the
+// README for the API routes and a curl transcript.
 package main
 
 import (

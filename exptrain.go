@@ -99,6 +99,15 @@ type (
 	TrainingSession = game.Session
 	// TrainingSessionConfig assembles a step-wise session.
 	TrainingSessionConfig = game.SessionConfig
+	// RoundObserver receives the round engine's structured per-round
+	// events; batch runs, step-wise sessions and the HTTP service all
+	// emit the same stream.
+	RoundObserver = game.Observer
+	// NopRoundObserver is the no-op RoundObserver; embed it to implement
+	// only the events of interest.
+	NopRoundObserver = game.NopObserver
+	// IterationRecord is one completed round of a game or session.
+	IterationRecord = game.IterationRecord
 	// PRF1 bundles precision, recall and F1.
 	PRF1 = metrics.PRF1
 )
@@ -313,6 +322,8 @@ type SessionConfig struct {
 	LearnerForgetRate float64
 	// Seed makes the session reproducible.
 	Seed uint64
+	// Observer receives the engine's per-round events (default: no-op).
+	Observer RoundObserver
 }
 
 // RunSession plays one exploratory-training game and returns its
@@ -367,5 +378,9 @@ func RunSessionContext(ctx context.Context, cfg SessionConfig) (*GameResult, err
 	learner := agents.NewLearner(learnerPrior, sampler, rng.Split())
 	learner.ForgetRate = cfg.LearnerForgetRate
 	pool := sampling.NewPool(cfg.Relation, space, sampling.PoolConfig{Seed: cfg.Seed ^ 0x9001})
-	return game.RunContext(ctx, cfg.Relation, trainer, learner, pool, game.Config{K: cfg.K, Iterations: cfg.Iterations})
+	return game.RunContext(ctx, cfg.Relation, trainer, learner, pool, game.Config{
+		K:          cfg.K,
+		Iterations: cfg.Iterations,
+		Observer:   cfg.Observer,
+	})
 }

@@ -82,6 +82,16 @@ func (l *Learner) Revise(rel *dataset.Relation, revised []belief.Labeling) {
 	}
 }
 
+// RestoreHistory reseeds the labeling memory without touching the
+// belief — used when a session is rebuilt from a snapshot whose belief
+// already contains the labelings' evidence, so that a later revision of
+// a pre-snapshot label still reverses the right evidence.
+func (l *Learner) RestoreHistory(labeled []belief.Labeling) {
+	for _, lp := range labeled {
+		l.history[lp.Pair] = lp
+	}
+}
+
 // LabelHistory returns the learner's last-seen labeling for a pair.
 func (l *Learner) LabelHistory(p dataset.Pair) (belief.Labeling, bool) {
 	lp, ok := l.history[p]

@@ -79,13 +79,7 @@ func CrossPairs(pairs []dataset.Pair) []dataset.Pair {
 		rows = append(rows, r)
 	}
 	sort.Ints(rows)
-	out := make([]dataset.Pair, 0, len(rows)*(len(rows)-1)/2)
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			out = append(out, dataset.NewPair(rows[i], rows[j]))
-		}
-	}
-	return out
+	return dataset.PairsAmong(rows)
 }
 
 // Observe implements Trainer: fictitious-play counting over the

@@ -369,6 +369,22 @@ func NewPair(a, b int) Pair {
 // String renders the pair for logs and error messages.
 func (p Pair) String() string { return fmt.Sprintf("(%d,%d)", p.A, p.B) }
 
+// PairsAmong lists every pair of distinct rows in the sample, in the
+// slice's order (rows[i] is paired with each later rows[j]). Rows must
+// be distinct; duplicate rows would panic in NewPair.
+func PairsAmong(rows []int) []Pair {
+	if len(rows) < 2 {
+		return nil
+	}
+	out := make([]Pair, 0, len(rows)*(len(rows)-1)/2)
+	for i := 0; i < len(rows); i++ {
+		for j := i + 1; j < len(rows); j++ {
+			out = append(out, NewPair(rows[i], rows[j]))
+		}
+	}
+	return out
+}
+
 // AllPairs enumerates every unordered pair over n rows, in lexicographic
 // order. Quadratic; intended for the small relations in tests and for
 // exact g₁ computation on modest data.

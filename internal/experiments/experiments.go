@@ -73,6 +73,12 @@ type Config struct {
 	// trainer's prior — the paper's "models in agreement" companion
 	// setting, where increasing the violation degree should not matter.
 	SharedPrior bool
+	// BelievedTau is the confidence threshold for exporting FDs to the
+	// per-iteration detection evaluator. A zero BelievedTau with
+	// BelievedTauSet false uses the game default (0.5); BelievedTauSet
+	// makes an explicit 0 expressible, mirroring Degree/DegreeSet.
+	BelievedTau    float64
+	BelievedTauSet bool
 }
 
 func (c Config) withDefaults() Config {
@@ -312,8 +318,10 @@ func runGame(ctx context.Context, cfg Config, gen datagen.Generator, method samp
 	pool := sampling.NewPool(rel, space, sampling.PoolConfig{Seed: seed ^ 0x6001})
 
 	return game.RunContext(ctx, rel, trainer, learner, pool, game.Config{
-		K:          cfg.K,
-		Iterations: cfg.Iterations,
-		Eval:       &game.Evaluator{TestRel: testRel, DirtyRows: dirty},
+		K:              cfg.K,
+		Iterations:     cfg.Iterations,
+		Eval:           &game.Evaluator{TestRel: testRel, DirtyRows: dirty},
+		BelievedTau:    cfg.BelievedTau,
+		BelievedTauSet: cfg.BelievedTauSet,
 	})
 }

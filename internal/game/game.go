@@ -2,6 +2,7 @@ package game
 
 import (
 	"context"
+	"errors"
 	"fmt"
 
 	"exptrain/internal/agents"
@@ -24,13 +25,23 @@ type Config struct {
 	// (Figure 7's per-iteration F1).
 	Eval *Evaluator
 	// BelievedTau is the confidence threshold above which the learner
-	// exports an FD to the evaluator (default 0.5).
+	// exports an FD to the evaluator. A zero BelievedTau with
+	// BelievedTauSet false defaults to 0.5.
 	BelievedTau float64
+	// BelievedTauSet marks BelievedTau as intentionally specified.
+	// Threshold 0 is a meaningful configuration (export every
+	// hypothesis with any confidence), but it is also the zero value, so
+	// it only takes effect when BelievedTauSet is true; otherwise the
+	// 0.5 default applies.
+	BelievedTauSet bool
 	// MaxBelievedStd is the maximum posterior standard deviation for an
 	// FD to be exported — it keeps prior-only hypotheses with no actual
 	// evidence out of the detection model (default 0.1; set negative to
 	// disable the filter).
 	MaxBelievedStd float64
+	// Observer receives the engine's structured per-round events
+	// (default: no-op). Calls are serialized within one game.
+	Observer Observer
 }
 
 func (c Config) withDefaults() Config {
@@ -40,7 +51,7 @@ func (c Config) withDefaults() Config {
 	if c.Iterations <= 0 {
 		c.Iterations = 30
 	}
-	if c.BelievedTau == 0 {
+	if c.BelievedTau == 0 && !c.BelievedTauSet {
 		c.BelievedTau = 0.5
 	}
 	if c.MaxBelievedStd == 0 {
@@ -141,53 +152,54 @@ func Run(rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner,
 
 // RunContext is Run with cancellation checked between interactions: a
 // done context returns ctx.Err() and discards the partial trajectory.
+//
+// Run is a driver over the step-wise Session: it builds a session
+// around the caller's learner and pool, then plugs the simulated
+// trainer into the alternating Next/submit protocol, so the per-round
+// mechanics (incorporation, revision reversal, measurement, observer
+// events) execute in the exact same engine the interactive and HTTP
+// paths use.
 func RunContext(ctx context.Context, rel *dataset.Relation, trainer agents.Trainer, learner *agents.Learner, pool *sampling.Pool, cfg Config) (*Result, error) {
 	cfg = cfg.withDefaults()
 	if trainer.Belief().Size() != learner.Belief().Size() {
 		return nil, fmt.Errorf("game: trainer and learner hypothesis spaces differ (%d vs %d)",
 			trainer.Belief().Size(), learner.Belief().Size())
 	}
-	res := &Result{Frequencies: NewFrequencies()}
+	s := &Session{
+		rel:   rel,
+		space: learner.Belief().Space(),
+		pool:  pool,
+		k:     cfg.K,
+		eng: newRoundEngine(engineConfig{
+			rel:             rel,
+			learner:         learner,
+			annotatorBelief: trainer.Belief,
+			eval:            cfg.Eval,
+			believedTau:     cfg.BelievedTau,
+			maxBelievedStd:  cfg.MaxBelievedStd,
+			obs:             cfg.Observer,
+		}),
+	}
 	for t := 0; t < cfg.Iterations; t++ {
-		if err := ctx.Err(); err != nil {
+		presented, err := s.NextContext(ctx)
+		if errors.Is(err, ErrPoolExhausted) {
+			break // nothing fresh to present
+		}
+		if err != nil {
 			return nil, err
 		}
-		remaining := pool.Remaining()
-		if len(remaining) == 0 {
-			break // pool exhausted: nothing fresh to present
-		}
-		presented := learner.Present(rel, remaining, cfg.K)
-		pool.MarkShown(presented)
 
 		trainer.Observe(rel, presented)
 		labeled := trainer.Label(rel, presented)
-		learner.Incorporate(rel, labeled)
 
 		// A relabeling annotator may correct earlier labels after its
-		// belief moved (Yan et al. 2016); the learner reverses the old
-		// evidence and applies the new.
+		// belief moved (Yan et al. 2016); the engine routes revisions
+		// through the learner's exact-reversal path.
 		var revisions []belief.Labeling
 		if rl, ok := trainer.(agents.Relabeler); ok {
 			revisions = rl.Revisions(rel)
-			learner.Revise(rel, revisions)
 		}
-
-		rec := IterationRecord{
-			Presented:     presented,
-			Labeled:       labeled,
-			Revisions:     revisions,
-			MAE:           trainer.Belief().MAE(learner.Belief()),
-			TrainerPayoff: TrainerPayoff(trainer.Belief(), rel, labeled),
-		}
-		if cfg.Eval != nil {
-			believed := learner.Belief().BelievedFDs(cfg.BelievedTau)
-			if cfg.MaxBelievedStd > 0 {
-				believed = learner.Belief().ConfidentFDs(cfg.BelievedTau, cfg.MaxBelievedStd)
-			}
-			rec.Detection = cfg.Eval.Score(believed)
-		}
-		res.Frequencies.Record(presented, labeled)
-		res.Iterations = append(res.Iterations, rec)
+		s.finishRound(labeled, revisions)
 	}
-	return res, nil
+	return &Result{Iterations: s.eng.records, Frequencies: s.eng.freqs}, nil
 }

@@ -1,0 +1,140 @@
+package game
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"testing"
+
+	"exptrain/internal/agents"
+	"exptrain/internal/belief"
+	"exptrain/internal/sampling"
+	"exptrain/internal/stats"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite testdata golden trajectories")
+
+// goldenTrajectory is the serialized form of one seeded Run: every
+// per-iteration quantity the engine computes, with floats rendered in
+// hex so the file pins exact bit patterns.
+type goldenTrajectory struct {
+	MAE       []string   `json:"mae"`
+	Payoff    []string   `json:"payoff"`
+	F1        []string   `json:"f1"`
+	Precision []string   `json:"precision"`
+	Recall    []string   `json:"recall"`
+	Presented [][][2]int `json:"presented"`
+	Revised   []int      `json:"revised"`
+	DirtyRate string     `json:"dirty_rate"`
+	FreqTotal int        `json:"freq_total"`
+}
+
+func hexFloat(v float64) string { return strconv.FormatFloat(v, 'x', -1, 64) }
+
+func trajectoryOf(res *Result) goldenTrajectory {
+	g := goldenTrajectory{
+		DirtyRate: hexFloat(res.Frequencies.DirtyRate()),
+		FreqTotal: res.Frequencies.Total(),
+	}
+	for _, it := range res.Iterations {
+		g.MAE = append(g.MAE, hexFloat(it.MAE))
+		g.Payoff = append(g.Payoff, hexFloat(it.TrainerPayoff))
+		g.F1 = append(g.F1, hexFloat(it.Detection.F1))
+		g.Precision = append(g.Precision, hexFloat(it.Detection.Precision))
+		g.Recall = append(g.Recall, hexFloat(it.Detection.Recall))
+		pairs := make([][2]int, len(it.Presented))
+		for i, p := range it.Presented {
+			pairs[i] = [2]int{p.A, p.B}
+		}
+		g.Presented = append(g.Presented, pairs)
+		g.Revised = append(g.Revised, len(it.Revisions))
+	}
+	return g
+}
+
+// goldenRuns are the seeded games whose full trajectories are pinned
+// bit-for-bit: a plain FP trainer with held-out evaluation, a
+// relabeling trainer (exercising the revision-reversal path), and an
+// abstaining trainer (labelings that carry no evidence). Together they
+// cover every branch of the round engine.
+func goldenRuns(t *testing.T) map[string]func() (*Result, error) {
+	t.Helper()
+	withEval := func(seed uint64) (*Result, error) {
+		rel, space, pool, ground := buildWorld(t, seed)
+		rng := stats.NewRNG(seed ^ 0xFACE)
+		_, testRows := rel.Split(rng.Split(), 0.7)
+		testRel := rel.Subset(testRows)
+		dirty := map[int]struct{}{}
+		for newIdx, orig := range testRows {
+			if _, bad := ground.DirtyRows[orig]; bad {
+				dirty[newIdx] = struct{}{}
+			}
+		}
+		trainer := agents.NewFPTrainer(belief.RandomPrior(space, rng.Split(), 0.1), nil)
+		learner := agents.NewLearner(belief.DataEstimatePrior(space, rel, 0.1), sampling.StochasticUS{}, rng.Split())
+		return Run(rel, trainer, learner, pool, Config{
+			K: 10, Iterations: 12,
+			Eval: &Evaluator{TestRel: testRel, DirtyRows: dirty},
+		})
+	}
+	return map[string]func() (*Result, error){
+		"fp_stochastic_us_eval": func() (*Result, error) { return withEval(21) },
+		"relabel_stochastic_br": func() (*Result, error) {
+			rel, space, pool, _ := buildWorld(t, 23)
+			rng := stats.NewRNG(24)
+			inner := agents.NewFPTrainer(belief.RandomPrior(space, rng.Split(), 0.1), nil)
+			trainer := agents.NewRelabelingTrainer(inner)
+			learner := agents.NewLearner(belief.DataEstimatePrior(space, rel, 0.1), sampling.StochasticBR{}, rng.Split())
+			return Run(rel, trainer, learner, pool, Config{K: 8, Iterations: 12})
+		},
+		"abstain_random": func() (*Result, error) {
+			rel, space, pool, _ := buildWorld(t, 25)
+			rng := stats.NewRNG(26)
+			inner := agents.NewFPTrainer(belief.RandomPrior(space, rng.Split(), 0.1), nil)
+			trainer := agents.NewAbstainingTrainer(inner, 0.08)
+			learner := agents.NewLearner(belief.DataEstimatePrior(space, rel, 0.1), sampling.Random{}, rng.Split())
+			return Run(rel, trainer, learner, pool, Config{K: 10, Iterations: 10})
+		},
+	}
+}
+
+// TestGoldenRunTrajectories proves the round-engine refactor is
+// output-equivalent to the original inline Run loop: the trajectories
+// below were recorded before Run became a Session driver over the
+// shared engine and must never move — not MAE, not payoff, not F1,
+// not the presented pairs, not the action frequencies. Regenerate
+// deliberately with: go test ./internal/game -run TestGoldenRun -update
+func TestGoldenRunTrajectories(t *testing.T) {
+	for name, play := range goldenRuns(t) {
+		t.Run(name, func(t *testing.T) {
+			res, err := play()
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(trajectoryOf(res), "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			path := filepath.Join("testdata", fmt.Sprintf("golden_run_%s.json", name))
+			if *updateGolden {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, append(got, '\n'), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if string(want) != string(got)+"\n" {
+				t.Errorf("seeded Run trajectory diverged from recorded golden %s;\nthe engine-backed Run is not output-equivalent to the pre-refactor loop", path)
+			}
+		})
+	}
+}

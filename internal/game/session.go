@@ -19,13 +19,18 @@ import (
 // instead alternates explicit Next (present fresh pairs) and Submit
 // (consume the annotations) calls, and can checkpoint/resume through
 // internal/persist.
+//
+// Both forms execute the same round engine, so a Session round carries
+// the full per-round protocol: label incorporation, revision reversal
+// for corrected earlier labels, action-frequency recording, MAE and
+// trainer-payoff measurement against the reference belief, optional
+// held-out detection scoring, and observer events.
 type Session struct {
 	rel     *dataset.Relation
 	space   *fd.Space
-	learner *agents.Learner
+	eng     *roundEngine
 	pool    *sampling.Pool
 	k       int
-	history [][]belief.Labeling
 	pending []dataset.Pair
 }
 
@@ -44,6 +49,28 @@ type SessionConfig struct {
 	K int
 	// Seed drives pool construction and stochastic selection.
 	Seed uint64
+	// Eval, when non-nil, scores the learner's believed model on a
+	// held-out split after every submitted round (the per-round
+	// Detection in Records).
+	Eval *Evaluator
+	// BelievedTau is the confidence threshold for exporting FDs to the
+	// evaluator. A zero BelievedTau with BelievedTauSet false defaults
+	// to 0.5; set BelievedTauSet to make an explicit 0 expressible.
+	BelievedTau    float64
+	BelievedTauSet bool
+	// MaxBelievedStd caps the posterior standard deviation of exported
+	// FDs (default 0.1; negative disables the filter).
+	MaxBelievedStd float64
+	// Reference is the annotator-side belief the per-round MAE and
+	// TrainerPayoff are measured against. A live annotator's true
+	// belief is unobservable, so the default is the data-estimate
+	// belief — the belief a fully informed annotator would hold — which
+	// makes the MAE series a convergence proxy and the payoff series a
+	// label-consistency signal.
+	Reference *belief.Belief
+	// Observer receives the engine's structured per-round events
+	// (default: no-op). Calls are serialized per session.
+	Observer Observer
 }
 
 // NewSession validates the configuration and builds the session.
@@ -69,13 +96,43 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 	if k <= 0 {
 		k = 10
 	}
+	reference := cfg.Reference
+	if reference == nil {
+		if cfg.Prior == nil {
+			// The default prior is already the data estimate; clone it
+			// so the learner's updates do not move the reference.
+			reference = prior.Clone()
+		} else {
+			reference = belief.DataEstimatePrior(cfg.Space, cfg.Relation, 0.12)
+		}
+	}
+	if reference.Size() != cfg.Space.Size() {
+		return nil, fmt.Errorf("game: reference covers %d hypotheses, space has %d", reference.Size(), cfg.Space.Size())
+	}
+	tau := cfg.BelievedTau
+	if tau == 0 && !cfg.BelievedTauSet {
+		tau = 0.5
+	}
+	maxStd := cfg.MaxBelievedStd
+	if maxStd == 0 {
+		maxStd = 0.1
+	}
 	rng := stats.NewRNG(cfg.Seed ^ 0x5E5510)
+	learner := agents.NewLearner(prior, sampler, rng.Split())
 	return &Session{
-		rel:     cfg.Relation,
-		space:   cfg.Space,
-		learner: agents.NewLearner(prior, sampler, rng.Split()),
-		pool:    sampling.NewPool(cfg.Relation, cfg.Space, sampling.PoolConfig{Seed: cfg.Seed ^ 0x9001}),
-		k:       k,
+		rel:   cfg.Relation,
+		space: cfg.Space,
+		pool:  sampling.NewPool(cfg.Relation, cfg.Space, sampling.PoolConfig{Seed: cfg.Seed ^ 0x9001}),
+		k:     k,
+		eng: newRoundEngine(engineConfig{
+			rel:             cfg.Relation,
+			learner:         learner,
+			annotatorBelief: func() *belief.Belief { return reference },
+			eval:            cfg.Eval,
+			believedTau:     tau,
+			maxBelievedStd:  maxStd,
+			obs:             cfg.Observer,
+		}),
 	}, nil
 }
 
@@ -96,20 +153,25 @@ func (s *Session) NextContext(ctx context.Context) ([]dataset.Pair, error) {
 	if s.pending != nil {
 		return nil, fmt.Errorf("%w; submit it before calling Next", ErrRoundPending)
 	}
-	remaining := s.pool.Remaining()
-	if len(remaining) == 0 {
-		return nil, fmt.Errorf("%w after %d rounds", ErrPoolExhausted, len(s.history))
+	if s.pool.RemainingCount() == 0 {
+		return nil, fmt.Errorf("%w after %d rounds", ErrPoolExhausted, s.Rounds())
 	}
-	presented := s.learner.Present(s.rel, remaining, s.k)
+	t := s.eng.round()
+	s.eng.obs.RoundStarted(t)
+	presented := s.eng.learner.Present(s.rel, s.pool.Remaining(), s.k)
 	s.pool.MarkShown(presented)
 	s.pending = presented
+	s.eng.obs.PairsPresented(t, presented)
 	return presented, nil
 }
 
 // Submit consumes the annotations for the pending round. Every labeling
-// must reference a pending pair; pending pairs missing from the batch
-// are treated as abstained (no evidence). Submitting with no round
-// pending returns an error wrapping ErrNoRoundPending.
+// must reference either a pending pair or a pair labeled in an earlier
+// round: the latter are treated as revisions (the annotator correcting
+// an earlier judgment, Yan et al. 2016) and routed through the
+// learner's exact evidence-reversal path. Pending pairs missing from
+// the batch are treated as abstained (no evidence). Submitting with no
+// round pending returns an error wrapping ErrNoRoundPending.
 func (s *Session) Submit(labeled []belief.Labeling) error {
 	return s.SubmitContext(context.Background(), labeled)
 }
@@ -128,40 +190,62 @@ func (s *Session) SubmitContext(ctx context.Context, labeled []belief.Labeling) 
 		allowed[p] = struct{}{}
 	}
 	seen := make(map[dataset.Pair]struct{}, len(labeled))
+	var fresh, revisions []belief.Labeling
 	for _, lp := range labeled {
-		if _, ok := allowed[lp.Pair]; !ok {
-			return fmt.Errorf("game: labeling for pair %v which was not presented this round", lp.Pair)
-		}
 		if _, dup := seen[lp.Pair]; dup {
 			return fmt.Errorf("game: duplicate labeling for pair %v", lp.Pair)
 		}
 		seen[lp.Pair] = struct{}{}
+		if _, ok := allowed[lp.Pair]; ok {
+			fresh = append(fresh, lp)
+			continue
+		}
+		if _, before := s.eng.learner.LabelHistory(lp.Pair); before {
+			revisions = append(revisions, lp)
+			continue
+		}
+		return fmt.Errorf("game: labeling for pair %v which was neither presented this round nor labeled before", lp.Pair)
 	}
-	full := append([]belief.Labeling(nil), labeled...)
+	full := fresh
 	for _, p := range s.pending {
 		if _, ok := seen[p]; !ok {
 			full = append(full, belief.Labeling{Pair: p, Abstained: true})
 		}
 	}
-	s.learner.Incorporate(s.rel, full)
-	s.history = append(s.history, full)
-	s.pending = nil
+	s.finishRound(full, revisions)
 	return nil
 }
 
+// finishRound runs the shared engine step for the pending round and
+// clears it. Callers own validation: Submit splits user input into
+// fresh labels and revisions; the Run driver passes the simulated
+// trainer's output directly.
+func (s *Session) finishRound(labeled, revisions []belief.Labeling) IterationRecord {
+	rec := s.eng.step(s.pending, labeled, revisions)
+	s.pending = nil
+	return rec
+}
+
 // Belief exposes the learner's current belief.
-func (s *Session) Belief() *belief.Belief { return s.learner.Belief() }
+func (s *Session) Belief() *belief.Belief { return s.eng.learner.Belief() }
 
 // Relation returns the data under annotation.
 func (s *Session) Relation() *dataset.Relation { return s.rel }
 
-// Pending returns the presented-but-unsubmitted round (nil when the
-// session is idle). The slice is shared; do not mutate.
-func (s *Session) Pending() []dataset.Pair { return s.pending }
+// Pending returns a copy of the presented-but-unsubmitted round (nil
+// when the session is idle). Mutating the returned slice cannot corrupt
+// engine state.
+func (s *Session) Pending() []dataset.Pair {
+	return append([]dataset.Pair(nil), s.pending...)
+}
+
+// PendingCount reports how many pairs the unsubmitted round holds (0
+// when idle) without copying.
+func (s *Session) PendingCount() int { return len(s.pending) }
 
 // RemainingPairs reports how many fresh candidate pairs the pool still
-// holds.
-func (s *Session) RemainingPairs() int { return len(s.pool.Remaining()) }
+// holds — an O(1) counter, no slice materialization.
+func (s *Session) RemainingPairs() int { return s.pool.RemainingCount() }
 
 // DiscardPending drops an unsubmitted round so the session can be
 // snapshotted, returning the discarded pairs (nil when idle). The pairs
@@ -175,25 +259,59 @@ func (s *Session) DiscardPending() []dataset.Pair {
 }
 
 // Rounds returns how many rounds have been submitted.
-func (s *Session) Rounds() int { return len(s.history) }
+func (s *Session) Rounds() int { return s.eng.round() }
 
-// History returns the submitted labelings per round (shared slices; do
-// not mutate).
-func (s *Session) History() [][]belief.Labeling { return s.history }
+// History returns the submitted labelings per round as defensive
+// copies; mutating them cannot corrupt engine state.
+func (s *Session) History() [][]belief.Labeling {
+	out := make([][]belief.Labeling, len(s.eng.records))
+	for i, rec := range s.eng.records {
+		out[i] = append([]belief.Labeling(nil), rec.Labeled...)
+	}
+	return out
+}
 
-// Snapshot checkpoints the session (learner belief + history). A
-// pending unsubmitted round is not captured; submit or discard it
-// first.
+// Records returns the full per-round trajectory: for every submitted
+// round the labelings, revisions, MAE and trainer payoff against the
+// reference belief, and the detection score when an evaluator is
+// configured. The outer slice is a copy; the records' inner slices are
+// shared with the engine and must not be mutated.
+func (s *Session) Records() []IterationRecord {
+	return append([]IterationRecord(nil), s.eng.records...)
+}
+
+// Frequencies exposes the empirical action distributions Φ_t over the
+// session's submitted rounds.
+func (s *Session) Frequencies() *Frequencies { return s.eng.freqs }
+
+// Snapshot checkpoints the session: learner belief plus the full
+// per-round records (labelings, revisions, MAE/payoff, detection), so
+// a resumed session keeps its history of scores. A pending unsubmitted
+// round is not captured; submit or discard it first.
 func (s *Session) Snapshot() (*persist.Snapshot, error) {
 	if s.pending != nil {
 		return nil, fmt.Errorf("cannot snapshot: %w", ErrRoundPending)
 	}
-	return persist.NewSnapshot(s.rel.Schema(), s.space, nil, s.learner.Belief(), s.history)
+	rounds := make([]persist.Round, len(s.eng.records))
+	for i, rec := range s.eng.records {
+		rounds[i] = persist.Round{
+			Labeled:   rec.Labeled,
+			Revisions: rec.Revisions,
+			MAE:       rec.MAE,
+			Payoff:    rec.TrainerPayoff,
+		}
+		if s.eng.eval != nil {
+			d := rec.Detection
+			rounds[i].Detection = &d
+		}
+	}
+	return persist.NewSnapshotRounds(s.rel.Schema(), s.space, nil, s.Belief(), rounds)
 }
 
 // ResumeSession rebuilds a session from a snapshot against the same
-// relation: the hypothesis space and learner belief are restored, and
-// previously labeled pairs are excluded from future rounds.
+// relation: the hypothesis space, learner belief and per-round records
+// are restored, and previously labeled pairs are excluded from future
+// rounds.
 func ResumeSession(snap *persist.Snapshot, cfg SessionConfig) (*Session, error) {
 	if cfg.Relation == nil {
 		return nil, fmt.Errorf("game: SessionConfig.Relation is required")
@@ -209,7 +327,7 @@ func ResumeSession(snap *persist.Snapshot, cfg SessionConfig) (*Session, error) 
 	if err != nil {
 		return nil, err
 	}
-	history, err := snap.RestoreHistory()
+	rounds, err := snap.RestoreRounds()
 	if err != nil {
 		return nil, err
 	}
@@ -221,13 +339,24 @@ func ResumeSession(snap *persist.Snapshot, cfg SessionConfig) (*Session, error) 
 	if err != nil {
 		return nil, err
 	}
-	s.history = history
-	for _, round := range history {
-		shown := make([]dataset.Pair, 0, len(round))
-		for _, lp := range round {
-			shown = append(shown, lp.Pair)
+	records := make([]IterationRecord, len(rounds))
+	for i, r := range rounds {
+		presented := make([]dataset.Pair, 0, len(r.Labeled))
+		for _, lp := range r.Labeled {
+			presented = append(presented, lp.Pair)
 		}
-		s.pool.MarkShown(shown)
+		records[i] = IterationRecord{
+			Presented:     presented,
+			Labeled:       r.Labeled,
+			Revisions:     r.Revisions,
+			MAE:           r.MAE,
+			TrainerPayoff: r.Payoff,
+		}
+		if r.Detection != nil {
+			records[i].Detection = *r.Detection
+		}
+		s.pool.MarkShown(presented)
 	}
+	s.eng.restore(records)
 	return s, nil
 }

@@ -15,6 +15,7 @@ import (
 	"exptrain/internal/belief"
 	"exptrain/internal/dataset"
 	"exptrain/internal/fd"
+	"exptrain/internal/metrics"
 	"exptrain/internal/stats"
 )
 
@@ -56,9 +57,40 @@ type LabelingJSON struct {
 	Abstained bool   `json:"abstained,omitempty"`
 }
 
-// InteractionJSON is one interaction's labelings.
+// InteractionJSON is one interaction's labelings plus the optional
+// per-round measurements. The measurement fields are omitempty
+// additions to the Version-1 format: snapshots written before they
+// existed parse unchanged, and a history-only snapshot still serializes
+// byte-identically.
 type InteractionJSON struct {
 	Labeled []LabelingJSON `json:"labeled"`
+	// Revisions are corrected labelings for pairs from earlier rounds.
+	Revisions []LabelingJSON `json:"revisions,omitempty"`
+	// MAE and Payoff are the round's measurements against the
+	// annotator-side reference belief.
+	MAE    float64 `json:"mae,omitempty"`
+	Payoff float64 `json:"payoff,omitempty"`
+	// Detection is the held-out detection score, present only when the
+	// session ran with an evaluator.
+	Detection *PRF1JSON `json:"detection,omitempty"`
+}
+
+// PRF1JSON is the wire form of a precision/recall/F1 score.
+type PRF1JSON struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// Round is one submitted round's state as persisted: the labelings and
+// revisions that were applied plus the measurements recorded for the
+// round. Detection is nil when no evaluator scored the round.
+type Round struct {
+	Labeled   []belief.Labeling
+	Revisions []belief.Labeling
+	MAE       float64
+	Payoff    float64
+	Detection *metrics.PRF1
 }
 
 // FromFD converts an FD to wire form.
@@ -118,8 +150,19 @@ func beliefToJSON(b *belief.Belief) []BetaJSON {
 }
 
 // NewSnapshot captures a session: the schema, the space, optional agent
-// beliefs (either may be nil) and the labeling history.
+// beliefs (either may be nil) and the labeling history. Measurements
+// are left empty; use NewSnapshotRounds to persist full round records.
 func NewSnapshot(schema *dataset.Schema, space *fd.Space, trainer, learner *belief.Belief, history [][]belief.Labeling) (*Snapshot, error) {
+	rounds := make([]Round, len(history))
+	for i, interaction := range history {
+		rounds[i] = Round{Labeled: interaction}
+	}
+	return NewSnapshotRounds(schema, space, trainer, learner, rounds)
+}
+
+// NewSnapshotRounds captures a session with full per-round records:
+// labelings, revisions and the round's measurements.
+func NewSnapshotRounds(schema *dataset.Schema, space *fd.Space, trainer, learner *belief.Belief, rounds []Round) (*Snapshot, error) {
 	if space == nil {
 		return nil, fmt.Errorf("persist: nil hypothesis space")
 	}
@@ -138,10 +181,20 @@ func NewSnapshot(schema *dataset.Schema, space *fd.Space, trainer, learner *beli
 	}
 	snap.Trainer = beliefToJSON(trainer)
 	snap.Learner = beliefToJSON(learner)
-	for _, interaction := range history {
-		ij := InteractionJSON{}
-		for _, l := range interaction {
+	for _, r := range rounds {
+		ij := InteractionJSON{MAE: r.MAE, Payoff: r.Payoff}
+		for _, l := range r.Labeled {
 			ij.Labeled = append(ij.Labeled, FromLabeling(l))
+		}
+		for _, l := range r.Revisions {
+			ij.Revisions = append(ij.Revisions, FromLabeling(l))
+		}
+		if r.Detection != nil {
+			ij.Detection = &PRF1JSON{
+				Precision: r.Detection.Precision,
+				Recall:    r.Detection.Recall,
+				F1:        r.Detection.F1,
+			}
 		}
 		snap.History = append(snap.History, ij)
 	}
@@ -248,6 +301,38 @@ func (s *Snapshot) RestoreHistory() ([][]belief.Labeling, error) {
 			interaction = append(interaction, l)
 		}
 		out = append(out, interaction)
+	}
+	return out, nil
+}
+
+// RestoreRounds rebuilds the full per-round records, including
+// revisions and measurements.
+func (s *Snapshot) RestoreRounds() ([]Round, error) {
+	out := make([]Round, 0, len(s.History))
+	for _, ij := range s.History {
+		r := Round{MAE: ij.MAE, Payoff: ij.Payoff}
+		for _, lj := range ij.Labeled {
+			l, err := lj.ToLabeling()
+			if err != nil {
+				return nil, err
+			}
+			r.Labeled = append(r.Labeled, l)
+		}
+		for _, lj := range ij.Revisions {
+			l, err := lj.ToLabeling()
+			if err != nil {
+				return nil, err
+			}
+			r.Revisions = append(r.Revisions, l)
+		}
+		if ij.Detection != nil {
+			r.Detection = &metrics.PRF1{
+				Precision: ij.Detection.Precision,
+				Recall:    ij.Detection.Recall,
+				F1:        ij.Detection.F1,
+			}
+		}
+		out = append(out, r)
 	}
 	return out, nil
 }

@@ -122,6 +122,11 @@ func (p *Pool) MarkShown(pairs []dataset.Pair) {
 	p.unshown = buf
 }
 
+// RemainingCount returns how many fresh pairs the pool still holds —
+// an O(1) counter for callers that only need the number (no slice
+// exposure, no aliasing concerns).
+func (p *Pool) RemainingCount() int { return len(p.unshown) }
+
 // Size returns the total pool size (shown and unshown).
 func (p *Pool) Size() int { return p.total }
 

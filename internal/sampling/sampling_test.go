@@ -251,6 +251,28 @@ func TestPoolMarkShownExcludes(t *testing.T) {
 	}
 }
 
+func TestPoolRemainingCount(t *testing.T) {
+	rel, space := fixture()
+	pool := NewPool(rel, space, PoolConfig{Seed: 4})
+	if pool.RemainingCount() != len(pool.Remaining()) {
+		t.Fatalf("RemainingCount = %d, Remaining has %d", pool.RemainingCount(), len(pool.Remaining()))
+	}
+	total := pool.RemainingCount()
+	show := append([]dataset.Pair(nil), pool.Remaining()[:3]...)
+	pool.MarkShown(show)
+	if pool.RemainingCount() != total-3 {
+		t.Fatalf("RemainingCount after MarkShown = %d, want %d", pool.RemainingCount(), total-3)
+	}
+	// Re-marking shown pairs is a no-op for the counter.
+	pool.MarkShown(show)
+	if pool.RemainingCount() != total-3 {
+		t.Fatalf("RemainingCount after duplicate MarkShown = %d, want %d", pool.RemainingCount(), total-3)
+	}
+	if pool.RemainingCount() != len(pool.Remaining()) {
+		t.Fatal("RemainingCount and Remaining diverged")
+	}
+}
+
 func TestPoolPerFDCap(t *testing.T) {
 	// A relation with one huge LHS group; cap must bound the pool.
 	rel := dataset.New(dataset.MustSchema("a", "b"))

@@ -11,11 +11,13 @@ import (
 	"exptrain/internal/belief"
 	"exptrain/internal/datagen"
 	"exptrain/internal/dataset"
+	"exptrain/internal/errgen"
 	"exptrain/internal/fd"
 	"exptrain/internal/game"
 	"exptrain/internal/persist"
 	"exptrain/internal/repair"
 	"exptrain/internal/sampling"
+	"exptrain/internal/stats"
 )
 
 // Source says where a session's relation comes from. Exactly one of
@@ -34,23 +36,33 @@ type Source struct {
 
 // build materializes the relation.
 func (s Source) build() (*dataset.Relation, error) {
+	rel, _, err := s.materialize()
+	return rel, err
+}
+
+// materialize builds the relation and, for synthetic sources, also
+// returns the generated dataset (its exact FDs are the evaluator's
+// injection targets). ds is nil for CSV sources.
+func (s Source) materialize() (rel *dataset.Relation, ds *datagen.Dataset, err error) {
 	switch {
 	case len(s.CSV) > 0 && s.Dataset != "":
-		return nil, fmt.Errorf("service: source has both CSV and dataset %q", s.Dataset)
+		return nil, nil, fmt.Errorf("service: source has both CSV and dataset %q", s.Dataset)
 	case len(s.CSV) > 0:
-		return dataset.ReadCSV(bytes.NewReader(s.CSV))
+		rel, err = dataset.ReadCSV(bytes.NewReader(s.CSV))
+		return rel, nil, err
 	case s.Dataset != "":
 		gen, err := datagen.ByName(s.Dataset)
 		if err != nil {
-			return nil, err
+			return nil, nil, err
 		}
 		rows := s.Rows
 		if rows <= 0 {
 			rows = 240
 		}
-		return gen(rows, s.Seed).Rel, nil
+		d := gen(rows, s.Seed)
+		return d.Rel, d, nil
 	default:
-		return nil, fmt.Errorf("service: source needs a dataset name or CSV data")
+		return nil, nil, fmt.Errorf("service: source needs a dataset name or CSV data")
 	}
 }
 
@@ -70,6 +82,16 @@ type Spec struct {
 	MaxFDs int
 	// Seed drives pool construction and stochastic selection.
 	Seed uint64
+	// Eval turns on per-round held-out detection scoring (§C.1's F1
+	// series): errors are injected into the generated relation at the
+	// given Degree against the dataset's exact FDs, 30% of the rows are
+	// held out, and every submitted round scores the learner's believed
+	// model on that split. Requires a synthetic Dataset source — a CSV
+	// upload has no ground-truth FDs to injure or score against.
+	Eval bool
+	// Degree is the injected violation degree in (0, 1) when Eval is
+	// set (default 0.1).
+	Degree float64
 }
 
 // Info is a session's externally visible state.
@@ -148,6 +170,7 @@ type entry struct {
 	id       string
 	spec     Spec
 	sess     *game.Session
+	stats    *roundStats
 	lastUsed time.Time
 	// gone marks the entry evicted or shut down. A goroutine that won
 	// the entry lock after blocking must re-check it and retry the
@@ -191,24 +214,65 @@ func NewManager(opts Options) *Manager {
 func (m *Manager) Store() persist.Store { return m.store }
 
 // buildSession constructs the game.Session for a spec, optionally
-// resuming from a snapshot.
-func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, error) {
-	rel, err := spec.Source.build()
+// resuming from a snapshot, along with its stats-collecting observer.
+// Everything is deterministic in the spec (injection, split and pool
+// all derive from spec.Seed), so an evicted session unparks onto an
+// identical world.
+func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats, error) {
+	rel, ds, err := spec.Source.materialize()
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	sampler, err := sampling.New(spec.Method, spec.Gamma)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
+	rs := &roundStats{eval: spec.Eval}
 	cfg := game.SessionConfig{
 		Relation: rel,
 		Sampler:  sampler,
 		K:        spec.K,
 		Seed:     spec.Seed,
+		Observer: rs,
+	}
+	if spec.Eval {
+		if ds == nil {
+			return nil, nil, fmt.Errorf("service: eval needs a synthetic dataset source (no ground-truth FDs for CSV data)")
+		}
+		degree := spec.Degree
+		if degree == 0 {
+			degree = 0.1
+		}
+		injected, err := errgen.InjectDegree(rel, errgen.DegreeConfig{
+			FDs:        ds.ExactFDs,
+			Degree:     degree,
+			MaxChanges: rel.NumRows() / 3,
+			Seed:       spec.Seed ^ 0xE44,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		rel = injected.Rel
+		cfg.Relation = rel
+		// 30% held-out test split, as in the paper's evaluation.
+		rng := stats.NewRNG(spec.Seed ^ 0x9A3E)
+		_, testRows := rel.Split(rng.Split(), 0.7)
+		dirty := make(map[int]struct{})
+		for newIdx, orig := range testRows {
+			if _, bad := injected.DirtyRows[orig]; bad {
+				dirty[newIdx] = struct{}{}
+			}
+		}
+		cfg.Eval = &game.Evaluator{TestRel: rel.Subset(testRows), DirtyRows: dirty}
 	}
 	if snap != nil {
-		return game.ResumeSession(snap, cfg)
+		sess, err := game.ResumeSession(snap, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		// Restored rounds replay without observer events; backfill them.
+		rs.prime(sess.Records())
+		return sess, rs, nil
 	}
 	maxLHS := spec.MaxLHS
 	if maxLHS <= 0 {
@@ -220,14 +284,18 @@ func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, error) {
 		MaxFDs: spec.MaxFDs,
 	})
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	space, err := fd.NewSpace(fds)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	cfg.Space = space
-	return game.NewSession(cfg)
+	sess, err := game.NewSession(cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return sess, rs, nil
 }
 
 // Create builds and registers a new session, evicting an idle session
@@ -236,7 +304,7 @@ func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	if err := ctx.Err(); err != nil {
 		return Info{}, err
 	}
-	sess, err := buildSession(spec, nil)
+	sess, rs, err := buildSession(spec, nil)
 	if err != nil {
 		return Info{}, err
 	}
@@ -249,7 +317,7 @@ func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	id := fmt.Sprintf("sess-%d", m.seq)
 	m.mu.Unlock()
 
-	e := &entry{id: id, spec: spec, sess: sess}
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
 	if err := m.install(ctx, e); err != nil {
 		return Info{}, err
 	}
@@ -268,7 +336,7 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	if err != nil {
 		return Info{}, err
 	}
-	sess, err := buildSession(spec, snap)
+	sess, rs, err := buildSession(spec, snap)
 	if err != nil {
 		return Info{}, err
 	}
@@ -281,7 +349,7 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	id := fmt.Sprintf("sess-%d", m.seq)
 	m.mu.Unlock()
 
-	e := &entry{id: id, spec: spec, sess: sess}
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
 	if err := m.install(ctx, e); err != nil {
 		return Info{}, err
 	}
@@ -407,9 +475,11 @@ func (m *Manager) acquire(ctx context.Context, id string) (*entry, error) {
 		snap, err := m.store.Get(ctx, id)
 		if err == nil {
 			var sess *game.Session
-			sess, err = buildSession(spec, snap)
+			var rs *roundStats
+			sess, rs, err = buildSession(spec, snap)
 			if err == nil {
 				e.sess = sess
+				e.stats = rs
 				return e, nil
 			}
 		}
@@ -478,7 +548,7 @@ func (m *Manager) infoOf(e *entry, parked bool) Info {
 	}
 	if e.sess != nil {
 		info.Rounds = e.sess.Rounds()
-		info.Pending = len(e.sess.Pending())
+		info.Pending = e.sess.PendingCount()
 		info.Remaining = e.sess.RemainingPairs()
 		info.Rows = e.sess.Relation().NumRows()
 		info.Space = e.sess.Belief().Size()

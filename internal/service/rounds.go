@@ -1,0 +1,110 @@
+package service
+
+import (
+	"context"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/game"
+)
+
+// DetectionView is a round's held-out error-detection score, rendered.
+type DetectionView struct {
+	Precision float64 `json:"precision"`
+	Recall    float64 `json:"recall"`
+	F1        float64 `json:"f1"`
+}
+
+// RoundView is one submitted round's measurements: how many pairs were
+// labeled and revised, the learner's distance to the reference belief
+// (MAE), the round's trainer payoff, and — for sessions created with
+// eval — the believed model's detection score on the held-out split.
+type RoundView struct {
+	Round     int            `json:"round"`
+	Labeled   int            `json:"labeled"`
+	Revised   int            `json:"revised"`
+	MAE       float64        `json:"mae"`
+	Payoff    float64        `json:"payoff"`
+	Detection *DetectionView `json:"detection,omitempty"`
+}
+
+// roundStats is the per-session observer the manager installs on every
+// hosted session: it folds the engine's RoundScored events into the
+// rendered per-round series served by GET /sessions/{id}/rounds.
+//
+// No internal locking: the engine serializes events per session, and
+// every read goes through the entry lock that also guards the session
+// itself, so the entry mutex is the synchronization point.
+type roundStats struct {
+	game.NopObserver
+	eval   bool
+	rounds []RoundView
+	// events is the flat observer-event trace (kind, round) in emission
+	// order — the ordering contract made inspectable, exercised by the
+	// race tests.
+	events []statEvent
+}
+
+type statEvent struct {
+	kind  string
+	round int
+}
+
+func (s *roundStats) RoundStarted(t int) {
+	s.events = append(s.events, statEvent{"started", t})
+}
+
+func (s *roundStats) PairsPresented(t int, pairs []dataset.Pair) {
+	s.events = append(s.events, statEvent{"presented", t})
+}
+
+func (s *roundStats) RoundSubmitted(t int, labeled, revisions []belief.Labeling) {
+	s.events = append(s.events, statEvent{"submitted", t})
+}
+
+func (s *roundStats) BeliefUpdated(t int, b *belief.Belief) {
+	s.events = append(s.events, statEvent{"updated", t})
+}
+
+func (s *roundStats) RoundScored(t int, rec game.IterationRecord) {
+	s.events = append(s.events, statEvent{"scored", t})
+	s.rounds = append(s.rounds, s.render(t, rec))
+}
+
+func (s *roundStats) render(t int, rec game.IterationRecord) RoundView {
+	v := RoundView{
+		Round:   t,
+		Labeled: len(rec.Labeled),
+		Revised: len(rec.Revisions),
+		MAE:     rec.MAE,
+		Payoff:  rec.TrainerPayoff,
+	}
+	if s.eval {
+		v.Detection = &DetectionView{
+			Precision: rec.Detection.Precision,
+			Recall:    rec.Detection.Recall,
+			F1:        rec.Detection.F1,
+		}
+	}
+	return v
+}
+
+// prime backfills views for rounds restored from a snapshot, which are
+// replayed without observer events.
+func (s *roundStats) prime(records []game.IterationRecord) {
+	for t, rec := range records {
+		s.rounds = append(s.rounds, s.render(t, rec))
+	}
+}
+
+// Rounds returns the session's per-round measurement series, one entry
+// per submitted round in order. Sessions created with eval include the
+// held-out detection score per round.
+func (m *Manager) Rounds(ctx context.Context, id string) ([]RoundView, error) {
+	e, err := m.acquire(ctx, id)
+	if err != nil {
+		return nil, err
+	}
+	defer e.mu.Unlock()
+	return append([]RoundView(nil), e.stats.rounds...), nil
+}

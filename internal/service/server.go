@@ -44,6 +44,7 @@ func (o ServerOptions) withDefaults() ServerOptions {
 //	GET    /v1/sessions/{id}         inspect
 //	POST   /v1/sessions/{id}/next    present the next round
 //	POST   /v1/sessions/{id}/submit  submit the round's labelings
+//	GET    /v1/sessions/{id}/rounds  per-round MAE/payoff (and F1 with eval)
 //	GET    /v1/sessions/{id}/belief  top hypotheses (?k=10)
 //	GET    /v1/sessions/{id}/repairs believed-FD cell repairs (?tau=0.5)
 //	POST   /v1/sessions/{id}/snapshot  checkpoint to the store
@@ -65,6 +66,7 @@ func NewServer(mgr *Manager, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/next", s.handleNext)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/submit", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/rounds", s.handleRounds)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/belief", s.handleBelief)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/repairs", s.handleRepairs)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/snapshot", s.handleSnapshot)
@@ -97,6 +99,11 @@ type CreateRequest struct {
 	MaxFDs  int             `json:"max_fds,omitempty"`
 	Seed    uint64          `json:"seed,omitempty"`
 	Resume  string          `json:"resume,omitempty"`
+	// Eval turns on per-round held-out detection scoring; synthetic
+	// dataset sources only. Degree is the injected violation degree
+	// (default 0.1).
+	Eval   bool    `json:"eval,omitempty"`
+	Degree float64 `json:"degree,omitempty"`
 }
 
 func (req CreateRequest) spec() Spec {
@@ -113,6 +120,8 @@ func (req CreateRequest) spec() Spec {
 		MaxLHS: req.MaxLHS,
 		MaxFDs: req.MaxFDs,
 		Seed:   req.Seed,
+		Eval:   req.Eval,
+		Degree: req.Degree,
 	}
 }
 
@@ -264,6 +273,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
+}
+
+func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	rounds, err := s.mgr.Rounds(r.Context(), r.PathValue("id"))
+	if err != nil {
+		writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"rounds": rounds})
 }
 
 func (s *Server) handleBelief(w http.ResponseWriter, r *http.Request) {

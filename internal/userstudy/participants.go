@@ -245,13 +245,7 @@ func declareFD(trainer agents.Trainer, sc *Scenario, noise float64, rng *stats.R
 	return sc.Space.FD(choice)
 }
 
-// pairsAmong lists all tuple pairs within a sample of rows.
-func pairsAmong(rows []int) []dataset.Pair {
-	var out []dataset.Pair
-	for i := 0; i < len(rows); i++ {
-		for j := i + 1; j < len(rows); j++ {
-			out = append(out, dataset.NewPair(rows[i], rows[j]))
-		}
-	}
-	return out
-}
+// pairsAmong lists all tuple pairs within a sample of rows; the shared
+// expansion lives in dataset.PairsAmong (agents.CrossPairs uses it
+// too).
+func pairsAmong(rows []int) []dataset.Pair { return dataset.PairsAmong(rows) }
