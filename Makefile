@@ -3,8 +3,15 @@ GO ?= go
 BENCHFLAGS ?=
 # Hot-path benchmarks that get a machine-readable BENCH_<name>.json each.
 BENCHES := FullGame G1 Discovery GameScaling SessionRound
+# How long `make fuzz` runs each native fuzz target (corpus smoke).
+FUZZTIME ?= 5s
+# Package:Target pairs for `make fuzz` (go test -fuzz takes one target
+# per invocation).
+FUZZERS := ./internal/sampling:FuzzParseMethod \
+           ./internal/persist:FuzzSnapshotDecode \
+           ./internal/service:FuzzServerJSON
 
-.PHONY: all build vet test race check verify bench clean
+.PHONY: all build vet lint test race check verify bench fuzz clean
 
 all: build
 
@@ -13,6 +20,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific determinism & concurrency rules (internal/lint):
+# detrand, detclock, maporder, lockedfield, printclean, floatcmp.
+# Exits non-zero on any finding or unjustified suppression.
+lint:
+	$(GO) run ./cmd/etlint ./...
 
 test:
 	$(GO) test ./...
@@ -32,11 +45,22 @@ check:
 		echo "== check skipped (neither govulncheck nor staticcheck installed)"; \
 	fi
 
-# Tier-1 verification: build, vet, the full test suite, then the suite
-# again under the race detector (the experiment harness, game evaluator
-# and session service all run goroutines, so -race is part of the bar),
-# plus whatever static analyzer the machine has.
-verify: build vet test race check
+# Tier-1 verification: build, vet, the project lint rules, the full
+# test suite, then the suite again under the race detector (the
+# experiment harness, game evaluator and session service all run
+# goroutines, so -race is part of the bar), plus whatever static
+# analyzer the machine has.
+verify: build vet lint test race check
+
+# Corpus-smoke each native fuzz target for FUZZTIME. Failing inputs
+# land in the package's testdata/fuzz and then fail `go test` forever —
+# exactly the regression-pinning behavior we want.
+fuzz:
+	@for ft in $(FUZZERS); do \
+		pkg=$${ft%:*}; target=$${ft#*:}; \
+		echo "== fuzz $$target ($$pkg, $(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
+	done
 
 # Run each hot-path benchmark and convert its output into a
 # machine-readable baseline (BENCH_FullGame.json, BENCH_G1.json, ...)

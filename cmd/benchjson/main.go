@@ -19,13 +19,19 @@ import (
 	"strings"
 )
 
-// Benchmark is one parsed benchmark result line.
+// Benchmark is one benchmark's result. A `-count>1` run emits the same
+// benchmark name several times; those lines are aggregated into one
+// entry whose metrics are the arithmetic means across runs, with
+// Samples recording how many lines were folded in.
 type Benchmark struct {
 	// Name is the benchmark name with the -N GOMAXPROCS suffix trimmed.
 	Name string `json:"name"`
-	// Iterations is the b.N the reported means were measured over.
+	// Iterations is the total b.N across the aggregated lines.
 	Iterations int64 `json:"iterations"`
-	// Metrics maps unit → value, e.g. "ns/op": 22844256.
+	// Samples is the number of result lines aggregated; omitted when 1.
+	Samples int `json:"samples,omitempty"`
+	// Metrics maps unit → mean value across samples, e.g.
+	// "ns/op": 22844256.
 	Metrics map[string]float64 `json:"metrics"`
 }
 
@@ -55,6 +61,10 @@ func main() {
 func parse(sc *bufio.Scanner) (*Baseline, error) {
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	base := &Baseline{}
+	// sums accumulates repeated lines per name (a -count>1 run) in
+	// first-seen order; entries are finalized into means afterwards.
+	sums := make(map[string]*benchSum)
+	var order []string
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
 		switch {
@@ -68,18 +78,51 @@ func parse(sc *bufio.Scanner) (*Baseline, error) {
 			base.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
 		case strings.HasPrefix(line, "Benchmark"):
 			b, ok := parseLine(line)
-			if ok {
-				base.Benchmarks = append(base.Benchmarks, b)
+			if !ok {
+				continue
+			}
+			s := sums[b.Name]
+			if s == nil {
+				s = &benchSum{metrics: make(map[string]float64)}
+				sums[b.Name] = s
+				order = append(order, b.Name)
+			}
+			s.samples++
+			s.iterations += b.Iterations
+			for unit, v := range b.Metrics {
+				s.metrics[unit] += v
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
 		return nil, err
 	}
-	if len(base.Benchmarks) == 0 {
+	if len(order) == 0 {
 		return nil, fmt.Errorf("no benchmark lines found on stdin")
 	}
+	for _, name := range order {
+		base.Benchmarks = append(base.Benchmarks, sums[name].finalize(name))
+	}
 	return base, nil
+}
+
+// benchSum accumulates one benchmark's repeated result lines.
+type benchSum struct {
+	samples    int
+	iterations int64
+	metrics    map[string]float64
+}
+
+// finalize turns accumulated sums into the mean-valued Benchmark.
+func (s *benchSum) finalize(name string) Benchmark {
+	b := Benchmark{Name: name, Iterations: s.iterations, Metrics: make(map[string]float64, len(s.metrics))}
+	for unit, total := range s.metrics {
+		b.Metrics[unit] = total / float64(s.samples)
+	}
+	if s.samples > 1 {
+		b.Samples = s.samples
+	}
+	return b
 }
 
 // parseLine parses "BenchmarkName-8  3  123 ns/op  456 B/op ..." into a

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bufio"
+	"math"
+	"strings"
+	"testing"
+)
+
+func parseText(t *testing.T, text string) *Baseline {
+	t.Helper()
+	base, err := parse(bufio.NewScanner(strings.NewReader(text)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return base
+}
+
+// TestSingleRun: one line per benchmark stays byte-compatible — no
+// samples field, iterations as printed.
+func TestSingleRun(t *testing.T) {
+	base := parseText(t, `
+goos: linux
+pkg: exptrain
+BenchmarkFullGame-8   45   24600000 ns/op   123456 B/op   12000 allocs/op
+`)
+	if len(base.Benchmarks) != 1 {
+		t.Fatalf("want 1 benchmark, got %d", len(base.Benchmarks))
+	}
+	b := base.Benchmarks[0]
+	if b.Name != "BenchmarkFullGame" || b.Iterations != 45 || b.Samples != 0 {
+		t.Errorf("unexpected benchmark: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 24600000 || b.Metrics["allocs/op"] != 12000 {
+		t.Errorf("unexpected metrics: %v", b.Metrics)
+	}
+}
+
+// TestCountAggregation: a -count=3 run folds into one entry with mean
+// metrics, summed iterations, and the sample count recorded.
+func TestCountAggregation(t *testing.T) {
+	base := parseText(t, `
+BenchmarkG1-8   100   10 ns/op   5 allocs/op
+BenchmarkG1-8   110   20 ns/op   5 allocs/op
+BenchmarkG1-8   120   60 ns/op   5 allocs/op
+BenchmarkOther-8  7  1000 ns/op
+`)
+	if len(base.Benchmarks) != 2 {
+		t.Fatalf("want 2 benchmarks, got %d: %+v", len(base.Benchmarks), base.Benchmarks)
+	}
+	g1 := base.Benchmarks[0]
+	if g1.Name != "BenchmarkG1" {
+		t.Fatalf("first-seen order not kept: %+v", base.Benchmarks)
+	}
+	if g1.Samples != 3 || g1.Iterations != 330 {
+		t.Errorf("want samples=3 iterations=330, got %+v", g1)
+	}
+	if math.Abs(g1.Metrics["ns/op"]-30) > 1e-9 || math.Abs(g1.Metrics["allocs/op"]-5) > 1e-9 {
+		t.Errorf("want mean ns/op=30 allocs/op=5, got %v", g1.Metrics)
+	}
+	if other := base.Benchmarks[1]; other.Samples != 0 || other.Iterations != 7 {
+		t.Errorf("single-sample entry mangled: %+v", other)
+	}
+}
+
+// TestMalformedLinesSkipped: interleaved test output cannot break the
+// stream, and a stream with no valid lines errors.
+func TestMalformedLinesSkipped(t *testing.T) {
+	base := parseText(t, `
+BenchmarkOK-8   10   100 ns/op
+Benchmark oops not a line
+BenchmarkNoMetrics-8   10
+BenchmarkOK-8   10   300 ns/op
+`)
+	if len(base.Benchmarks) != 1 || base.Benchmarks[0].Samples != 2 {
+		t.Fatalf("want 1 aggregated benchmark with 2 samples, got %+v", base.Benchmarks)
+	}
+	if base.Benchmarks[0].Metrics["ns/op"] != 200 {
+		t.Errorf("want mean 200 ns/op, got %v", base.Benchmarks[0].Metrics)
+	}
+	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
+		t.Error("benchmark-free stream should error")
+	}
+}

@@ -1,0 +1,106 @@
+// Command etlint runs the project's determinism & concurrency lint
+// rules (internal/lint) over the whole module and exits non-zero on
+// findings. It is part of `make verify`:
+//
+//	etlint [-rules detrand,maporder] [-json] [-list] [./...]
+//
+// Package patterns are accepted for muscle-memory compatibility with
+// go vet, but the tool always lints the entire module containing the
+// working directory — the invariants it checks are repo-wide.
+//
+// Exit status: 0 clean, 1 findings, 2 usage or load error.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"exptrain/internal/lint"
+)
+
+func main() {
+	var (
+		rulesCSV = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
+		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array instead of text")
+		list     = flag.Bool("list", false, "print the rule registry and exit")
+	)
+	flag.Parse()
+	code, err := run(os.Stdout, *rulesCSV, *jsonOut, *list, ".")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "etlint:", err)
+		os.Exit(2)
+	}
+	os.Exit(code)
+}
+
+// run executes the lint pass rooted at the module containing dir and
+// reports the process exit code.
+func run(w io.Writer, rulesCSV string, jsonOut, list bool, dir string) (int, error) {
+	rules := lint.AllRules()
+	if rulesCSV != "" {
+		var err error
+		rules, err = lint.RulesByID(strings.Split(rulesCSV, ","))
+		if err != nil {
+			return 2, err
+		}
+	}
+	if list {
+		for _, r := range rules {
+			fmt.Fprintf(w, "%-12s %s\n", r.ID(), r.Doc())
+		}
+		return 0, nil
+	}
+	root, err := findModuleRoot(dir)
+	if err != nil {
+		return 2, err
+	}
+	pkgs, err := lint.LoadModule(root)
+	if err != nil {
+		return 2, err
+	}
+	findings := lint.Run(pkgs, rules)
+	if findings == nil {
+		findings = []lint.Finding{} // -json promises an array, not null
+	}
+	if jsonOut {
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(findings); err != nil {
+			return 2, err
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Fprintln(w, f)
+		}
+	}
+	if len(findings) > 0 {
+		if !jsonOut {
+			fmt.Fprintf(w, "etlint: %d finding(s)\n", len(findings))
+		}
+		return 1, nil
+	}
+	return 0, nil
+}
+
+// findModuleRoot walks up from dir to the directory holding go.mod.
+func findModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("no go.mod found above %s", dir)
+		}
+		dir = parent
+	}
+}

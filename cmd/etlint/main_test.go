@@ -1,0 +1,73 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestListRules: -list prints every rule with its doc line.
+func TestListRules(t *testing.T) {
+	var sb strings.Builder
+	code, err := run(&sb, "", false, true, ".")
+	if err != nil || code != 0 {
+		t.Fatalf("run(-list) = %d, %v", code, err)
+	}
+	for _, id := range []string{"detrand", "detclock", "maporder", "lockedfield", "printclean", "floatcmp"} {
+		if !strings.Contains(sb.String(), id) {
+			t.Errorf("rule %s missing from -list output:\n%s", id, sb.String())
+		}
+	}
+}
+
+// TestListSubset: -rules narrows -list, and unknown rules error.
+func TestListSubset(t *testing.T) {
+	var sb strings.Builder
+	code, err := run(&sb, "detrand,floatcmp", false, true, ".")
+	if err != nil || code != 0 {
+		t.Fatalf("run = %d, %v", code, err)
+	}
+	if strings.Contains(sb.String(), "maporder") {
+		t.Errorf("-rules subset leaked other rules:\n%s", sb.String())
+	}
+	if code, err := run(&sb, "nosuchrule", false, true, "."); err == nil || code != 2 {
+		t.Errorf("unknown rule: want exit 2 with error, got %d, %v", code, err)
+	}
+}
+
+// TestModuleClean: the real tree lints clean from a subdirectory (the
+// tool walks up to go.mod), in both text and JSON modes.
+func TestModuleClean(t *testing.T) {
+	var sb strings.Builder
+	code, err := run(&sb, "", false, false, ".")
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if code != 0 {
+		t.Fatalf("module should lint clean, exit %d:\n%s", code, sb.String())
+	}
+	if sb.Len() != 0 {
+		t.Errorf("clean run should print nothing, got:\n%s", sb.String())
+	}
+
+	sb.Reset()
+	code, err = run(&sb, "", true, false, ".")
+	if err != nil || code != 0 {
+		t.Fatalf("json run = %d, %v", code, err)
+	}
+	var findings []map[string]any
+	if err := json.Unmarshal([]byte(sb.String()), &findings); err != nil {
+		t.Fatalf("-json output is not a JSON array: %v\n%s", err, sb.String())
+	}
+	if len(findings) != 0 {
+		t.Errorf("clean run: want empty findings array, got %v", findings)
+	}
+}
+
+// TestNoModuleRoot: starting outside any module errors cleanly.
+func TestNoModuleRoot(t *testing.T) {
+	var sb strings.Builder
+	if code, err := run(&sb, "", false, false, t.TempDir()); err == nil || code != 2 {
+		t.Errorf("want exit 2 with error outside a module, got %d, %v", code, err)
+	}
+}

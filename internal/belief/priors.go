@@ -126,7 +126,7 @@ type PriorSpec struct {
 // estimate and rng the random means.
 func (s PriorSpec) Build(space *fd.Space, rel *dataset.Relation, rng *stats.RNG) (*Belief, error) {
 	sigma := s.Sigma
-	if sigma == 0 {
+	if sigma == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		sigma = DefaultPriorSigma
 	}
 	switch s.Kind {

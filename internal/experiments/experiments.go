@@ -85,10 +85,10 @@ func (c Config) withDefaults() Config {
 	if c.Rows <= 0 {
 		c.Rows = 240
 	}
-	if c.Degree == 0 && !c.DegreeSet {
+	if c.Degree == 0 && !c.DegreeSet { //etlint:ignore floatcmp zero value means unset; DegreeSet disambiguates a literal 0
 		c.Degree = 0.1
 	}
-	if c.Gamma == 0 {
+	if c.Gamma == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		c.Gamma = sampling.DefaultGamma
 	}
 	if c.K <= 0 {
@@ -106,7 +106,7 @@ func (c Config) withDefaults() Config {
 	if c.MaxFDs == 0 {
 		c.MaxFDs = 38
 	}
-	if c.PriorSigma == 0 {
+	if c.PriorSigma == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		// §C does not pin the prior strength. σ = 0.12 (≈16 pseudo-
 		// observations per hypothesis) lets 30 interactions of evidence
 		// meaningfully move the priors; §A.2's σ = 0.05 is reserved for
@@ -290,10 +290,10 @@ func runGame(ctx context.Context, cfg Config, gen datagen.Generator, method samp
 	}
 
 	trainerSpec, learnerSpec := cfg.TrainerPrior, cfg.LearnerPrior
-	if trainerSpec.Sigma == 0 {
+	if trainerSpec.Sigma == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		trainerSpec.Sigma = cfg.PriorSigma
 	}
-	if learnerSpec.Sigma == 0 {
+	if learnerSpec.Sigma == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		learnerSpec.Sigma = cfg.PriorSigma
 	}
 	trainerPrior, err := trainerSpec.Build(space, rel, rng.Split())

@@ -51,10 +51,10 @@ func (c Config) withDefaults() Config {
 	if c.Iterations <= 0 {
 		c.Iterations = 30
 	}
-	if c.BelievedTau == 0 && !c.BelievedTauSet {
+	if c.BelievedTau == 0 && !c.BelievedTauSet { //etlint:ignore floatcmp zero value means unset; BelievedTauSet disambiguates a literal 0
 		c.BelievedTau = 0.5
 	}
-	if c.MaxBelievedStd == 0 {
+	if c.MaxBelievedStd == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		c.MaxBelievedStd = 0.1
 	}
 	return c

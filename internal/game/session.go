@@ -110,11 +110,11 @@ func NewSession(cfg SessionConfig) (*Session, error) {
 		return nil, fmt.Errorf("game: reference covers %d hypotheses, space has %d", reference.Size(), cfg.Space.Size())
 	}
 	tau := cfg.BelievedTau
-	if tau == 0 && !cfg.BelievedTauSet {
+	if tau == 0 && !cfg.BelievedTauSet { //etlint:ignore floatcmp zero value means unset; BelievedTauSet disambiguates a literal 0
 		tau = 0.5
 	}
 	maxStd := cfg.MaxBelievedStd
-	if maxStd == 0 {
+	if maxStd == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		maxStd = 0.1
 	}
 	rng := stats.NewRNG(cfg.Seed ^ 0x5E5510)

@@ -1,0 +1,43 @@
+package lint
+
+import "go/ast"
+
+// detClock forbids wall-clock reads in the deterministic core. MAE,
+// trainer payoff and detection F1 are only comparable across runs
+// because a fixed seed replays the exact same trajectory; a time.Now
+// in a scoring or sampling path silently couples results to the
+// machine. Service and persistence layers are exempt — they legitimately
+// timestamp (TTL sweeps, lastUsed bumps).
+type detClock struct{}
+
+func (detClock) ID() string { return "detclock" }
+
+func (detClock) Doc() string {
+	return "no time.Now/Since/Until in the deterministic core (internal/{game,belief,agents,sampling,fd,experiments,errgen,datagen})"
+}
+
+// clockFns are the package time functions that read the wall clock.
+var clockFns = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func (r detClock) Check(p *Package) []Finding {
+	if !p.Core() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			path, name, ok := p.pkgSel(sel)
+			if !ok || path != "time" || !clockFns[name] {
+				return true
+			}
+			out = append(out, p.finding(r.ID(), n,
+				"time.%s reads the wall clock in the deterministic core; inject a clock or move the timing out of the core", name))
+			return true
+		})
+	}
+	return out
+}

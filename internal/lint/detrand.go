@@ -1,0 +1,54 @@
+package lint
+
+import "go/ast"
+
+// detRand forbids math/rand's package-global randomness outside cmd/
+// (and test files, which are never loaded). The project's determinism
+// contract is that every stochastic choice flows through a threaded,
+// explicitly seeded generator (*stats.RNG, or a *rand.Rand built from
+// an explicit source); the top-level rand functions draw from hidden
+// global state, so two runs of the same seed diverge and golden
+// trajectory tests go flaky.
+type detRand struct{}
+
+func (detRand) ID() string { return "detrand" }
+
+func (detRand) Doc() string {
+	return "no math/rand top-level functions outside cmd/; thread a seeded generator instead"
+}
+
+// randOK are the math/rand (and /v2) names that do not touch the
+// global source: constructors taking an explicit source or seed, and
+// the types themselves.
+var randOK = map[string]bool{
+	"New": true, "NewSource": true, "NewZipf": true,
+	"NewPCG": true, "NewChaCha8": true,
+	"Rand": true, "Source": true, "Source64": true,
+	"Zipf": true, "PCG": true, "ChaCha8": true,
+}
+
+func (r detRand) Check(p *Package) []Finding {
+	if p.Cmd() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			path, name, ok := p.pkgSel(sel)
+			if !ok || (path != "math/rand" && path != "math/rand/v2") {
+				return true
+			}
+			if randOK[name] {
+				return true
+			}
+			out = append(out, p.finding(r.ID(), n,
+				"rand.%s draws from the package-global source; thread an explicitly seeded *rand.Rand or stats.RNG instead", name))
+			return true
+		})
+	}
+	return out
+}

@@ -1,0 +1,58 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// floatCmp flags == and != between floating-point expressions in the
+// deterministic core. Belief updates, MAE series and payoff sums are
+// chains of float arithmetic; an exact comparison on their results is
+// either dead (never equal) or a latent divergence between platforms.
+// Compare against an explicit epsilon, or suppress with the reason the
+// exact comparison is intentional (flag sentinels like "Degree == 0 is
+// the unset zero value" are the classic legitimate case).
+type floatCmp struct{}
+
+func (floatCmp) ID() string { return "floatcmp" }
+
+func (floatCmp) Doc() string {
+	return "no ==/!= on floats in the deterministic core; use an epsilon or justify the exact comparison"
+}
+
+func (r floatCmp) Check(p *Package) []Finding {
+	if !p.Core() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, isBin := n.(*ast.BinaryExpr)
+			if !isBin || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloat(p.Info.TypeOf(bin.X)) && !isFloat(p.Info.TypeOf(bin.Y)) {
+				return true
+			}
+			// Two constants compare at compile time; that is arithmetic,
+			// not a runtime equality on computed values.
+			if p.Info.Types[bin.X].Value != nil && p.Info.Types[bin.Y].Value != nil {
+				return true
+			}
+			out = append(out, p.finding(r.ID(), n,
+				"exact float comparison (%s); computed floats are never reliably equal — use an epsilon or justify with //etlint:ignore floatcmp <reason>", bin.Op))
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether t's underlying type is a floating-point kind.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}

@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// mapOrder flags range-over-map loops in the deterministic core whose
+// bodies accumulate into order-sensitive state: appending to a slice
+// declared outside the loop, or compound-assigning (+= and friends)
+// onto an outer float or string. Go randomizes map iteration order, so
+// such a loop produces a different slice ordering — or a different
+// float sum, since float addition is not associative — on every run.
+//
+// The canonical fix is the collect-then-sort idiom, which the rule
+// recognizes: if every slice the loop appends into is passed to a
+// sort.* or slices.Sort* call later in the same block, the loop is
+// clean. Order-insensitive accumulation (integer counters, writes into
+// another map, per-iteration locals) is never flagged.
+type mapOrder struct{}
+
+func (mapOrder) ID() string { return "maporder" }
+
+func (mapOrder) Doc() string {
+	return "range over a map in the deterministic core must not leak iteration order; sort what it collects"
+}
+
+func (r mapOrder) Check(p *Package) []Finding {
+	var out []Finding
+	if !p.Core() {
+		return nil
+	}
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			var list []ast.Stmt
+			switch s := n.(type) {
+			case *ast.BlockStmt:
+				list = s.List
+			case *ast.CaseClause:
+				list = s.Body
+			case *ast.CommClause:
+				list = s.Body
+			default:
+				return true
+			}
+			for i, stmt := range list {
+				rs, isRange := stmt.(*ast.RangeStmt)
+				if !isRange || !isMap(p.Info.TypeOf(rs.X)) {
+					continue
+				}
+				if f, bad := r.analyze(p, rs, list[i+1:]); bad {
+					out = append(out, f)
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// analyze inspects one map-range loop; following are the statements
+// after the loop in its enclosing block, searched for absolving sorts.
+func (r mapOrder) analyze(p *Package, rs *ast.RangeStmt, following []ast.Stmt) (Finding, bool) {
+	appended := make(map[types.Object]bool) // outer slices appended to
+	direct := make(map[types.Object]bool)   // outer floats/strings accumulated into
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		as, isAssign := n.(*ast.AssignStmt)
+		if !isAssign {
+			return true
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if obj := outerVar(p, lhs, rs); obj != nil && orderSensitive(obj.Type()) {
+					direct[obj] = true
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if !isAppendCall(p, rhs) || i >= len(as.Lhs) {
+					continue
+				}
+				if obj := outerVar(p, as.Lhs[i], rs); obj != nil {
+					appended[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	var names []string
+	for obj := range direct {
+		names = append(names, obj.Name())
+	}
+	for obj := range appended {
+		if !sortedAfter(p, obj, following) {
+			names = append(names, obj.Name())
+		}
+	}
+	if len(names) == 0 {
+		return Finding{}, false
+	}
+	sort.Strings(names)
+	return p.finding(r.ID(), rs,
+		"map iteration order leaks into %s; sort the collected slice after the loop (or range over sorted keys), or justify with //etlint:ignore maporder <reason>",
+		strings.Join(names, ", ")), true
+}
+
+// outerVar resolves e to a variable declared outside the range
+// statement, or nil.
+func outerVar(p *Package, e ast.Expr, rs *ast.RangeStmt) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	obj := p.Info.ObjectOf(id)
+	if obj == nil {
+		return nil
+	}
+	if _, isVar := obj.(*types.Var); !isVar {
+		return nil
+	}
+	if obj.Pos() >= rs.Pos() && obj.Pos() < rs.End() {
+		return nil // declared inside the loop: per-iteration state
+	}
+	return obj
+}
+
+// orderSensitive reports whether compound accumulation into t depends
+// on iteration order: float addition is non-associative and string
+// concatenation is positional. Integer arithmetic is commutative and
+// exact, so counters stay legal.
+func orderSensitive(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsString) != 0
+}
+
+func isAppendCall(p *Package, e ast.Expr) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := p.Info.ObjectOf(id).(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether any statement after the loop calls into
+// sort.* or slices.Sort* with obj among its (possibly nested)
+// arguments — the collect-then-sort idiom.
+func sortedAfter(p *Package, obj types.Object, following []ast.Stmt) bool {
+	for _, stmt := range following {
+		found := false
+		ast.Inspect(stmt, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || found {
+				return !found
+			}
+			path, name, ok := p.pkgSel(call.Fun)
+			if !ok {
+				return true
+			}
+			isSort := path == "sort" || (path == "slices" && strings.HasPrefix(name, "Sort"))
+			if !isSort {
+				return true
+			}
+			for _, arg := range call.Args {
+				ast.Inspect(arg, func(an ast.Node) bool {
+					if id, ok := an.(*ast.Ident); ok && p.Info.ObjectOf(id) == obj {
+						found = true
+					}
+					return !found
+				})
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}

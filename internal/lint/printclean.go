@@ -1,0 +1,47 @@
+package lint
+
+import "go/ast"
+
+// printClean forbids writing to the process's stdout from library code
+// under internal/. Commands own the terminal; a library that prints
+// corrupts machine-readable output (cmd/benchjson parses bench streams,
+// etlabel and fddiscover emit line protocols) and cannot be tested
+// through an io.Writer. Libraries take a writer or stay silent.
+type printClean struct{}
+
+func (printClean) ID() string { return "printclean" }
+
+func (printClean) Doc() string {
+	return "no fmt.Print*/os.Stdout writes under internal/; write to an injected io.Writer"
+}
+
+var printFns = map[string]bool{"Print": true, "Printf": true, "Println": true}
+
+func (r printClean) Check(p *Package) []Finding {
+	if !p.Internal() {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, isSel := n.(*ast.SelectorExpr)
+			if !isSel {
+				return true
+			}
+			path, name, ok := p.pkgSel(sel)
+			if !ok {
+				return true
+			}
+			switch {
+			case path == "fmt" && printFns[name]:
+				out = append(out, p.finding(r.ID(), n,
+					"fmt.%s writes to process stdout from library code; take an io.Writer instead", name))
+			case path == "os" && name == "Stdout":
+				out = append(out, p.finding(r.ID(), n,
+					"os.Stdout referenced in library code; take an io.Writer instead"))
+			}
+			return true
+		})
+	}
+	return out
+}

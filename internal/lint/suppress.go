@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"strings"
+)
+
+// ignoreDirective is the comment prefix of a suppression. The full
+// grammar is:
+//
+//	//etlint:ignore <rule> <reason...>
+//
+// The directive suppresses findings of <rule> on its own line and on
+// the line directly below it, so it works both as a trailing comment
+// and on a line of its own above the flagged statement. The reason is
+// mandatory — it is the written justification a reviewer audits.
+const ignoreDirective = "etlint:ignore"
+
+// suppressions is the per-package suppression index.
+type suppressions struct {
+	// lines maps file → line → suppressed rule IDs on that line.
+	lines map[string]map[int]map[string]bool
+}
+
+func (s *suppressions) covers(f Finding) bool {
+	return s.lines[f.File][f.Line][f.Rule]
+}
+
+func (s *suppressions) add(file string, line int, rule string) {
+	if s.lines == nil {
+		s.lines = make(map[string]map[int]map[string]bool)
+	}
+	byLine := s.lines[file]
+	if byLine == nil {
+		byLine = make(map[int]map[string]bool)
+		s.lines[file] = byLine
+	}
+	for _, l := range [2]int{line, line + 1} {
+		if byLine[l] == nil {
+			byLine[l] = make(map[string]bool)
+		}
+		byLine[l][rule] = true
+	}
+}
+
+// suppressionsFor scans a package's comments for etlint:ignore
+// directives. Malformed directives — missing rule, unknown rule, or a
+// missing reason — come back as findings of the meta-rule "suppress":
+// an unjustified suppression is itself a violation.
+func suppressionsFor(p *Package) (*suppressions, []Finding) {
+	known := make(map[string]bool)
+	for _, r := range AllRules() {
+		known[r.ID()] = true
+	}
+	sup := &suppressions{}
+	var bad []Finding
+	for _, file := range p.Files {
+		for _, group := range file.Comments {
+			for _, c := range group.List {
+				text, ok := directiveText(c.Text)
+				if !ok {
+					continue
+				}
+				fields := strings.Fields(text)
+				pos := p.Fset.Position(c.Pos())
+				switch {
+				case len(fields) == 0:
+					bad = append(bad, Finding{
+						Rule: "suppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "etlint:ignore needs a rule ID and a reason: //etlint:ignore <rule> <why>",
+					})
+				case !known[fields[0]]:
+					bad = append(bad, Finding{
+						Rule: "suppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "etlint:ignore names unknown rule \"" + fields[0] + "\"",
+					})
+				case len(fields) < 2:
+					bad = append(bad, Finding{
+						Rule: "suppress", File: pos.Filename, Line: pos.Line, Col: pos.Column,
+						Message: "etlint:ignore " + fields[0] + " has no reason; justify the suppression",
+					})
+				default:
+					sup.add(pos.Filename, pos.Line, fields[0])
+				}
+			}
+		}
+	}
+	return sup, bad
+}
+
+// directiveText extracts the payload after etlint:ignore, reporting
+// whether the comment is a directive at all. Like go:build directives,
+// the marker must open the comment (no leading space after //).
+func directiveText(comment string) (string, bool) {
+	body, ok := strings.CutPrefix(comment, "//")
+	if !ok {
+		return "", false // block comments are never directives
+	}
+	rest, ok := strings.CutPrefix(body, ignoreDirective)
+	if !ok {
+		return "", false
+	}
+	if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+		return "", false // e.g. etlint:ignoreXYZ is not a directive
+	}
+	return strings.TrimSpace(rest), true
+}

@@ -1,0 +1,20 @@
+// Package bad exercises detclock: wall-clock reads in the
+// deterministic core couple results to the machine.
+package bad
+
+import "time"
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now() // want detclock
+}
+
+// Age measures elapsed wall time.
+func Age(t0 time.Time) time.Duration {
+	return time.Since(t0) // want detclock
+}
+
+// Left reads the clock through Until.
+func Left(deadline time.Time) time.Duration {
+	return time.Until(deadline) // want detclock
+}

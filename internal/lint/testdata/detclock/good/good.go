@@ -1,0 +1,15 @@
+// Package good shows the accepted shape: the clock is injected, so
+// tests and replays control it.
+package good
+
+import "time"
+
+// Timed carries its clock.
+type Timed struct {
+	now func() time.Time
+}
+
+// Stamp reads the injected clock.
+func (t Timed) Stamp() time.Time {
+	return t.now()
+}

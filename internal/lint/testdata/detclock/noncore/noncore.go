@@ -1,0 +1,11 @@
+// Package noncore shows the scope boundary: service and persistence
+// layers legitimately timestamp (TTL sweeps, lastUsed bumps), so
+// detclock does not apply outside the deterministic core.
+package noncore
+
+import "time"
+
+// Touch records a wall-clock timestamp.
+func Touch() time.Time {
+	return time.Now()
+}

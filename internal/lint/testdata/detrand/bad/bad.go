@@ -1,0 +1,19 @@
+// Package bad exercises detrand: every draw from math/rand's hidden
+// package-global source is a reproducibility leak.
+package bad
+
+import (
+	mrand "math/rand"
+	"math/rand"
+)
+
+// Roll draws from the global source.
+func Roll() int {
+	return rand.Intn(6) // want detrand
+}
+
+// Mix shuffles through the global source, aliased import included.
+func Mix(xs []int) float64 {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want detrand
+	return mrand.Float64()                                               // want detrand
+}

@@ -1,0 +1,10 @@
+// Package main shows the cmd/ exemption: commands may use convenience
+// randomness (jitter, ephemeral ports); determinism is a library
+// contract.
+package main
+
+import "math/rand"
+
+func main() {
+	_ = rand.Intn(6)
+}

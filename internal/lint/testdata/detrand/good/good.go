@@ -1,0 +1,15 @@
+// Package good shows the accepted shapes: randomness threaded as a
+// *rand.Rand built from an explicit seed, never the global source.
+package good
+
+import "math/rand"
+
+// Roll uses a threaded generator.
+func Roll(rng *rand.Rand) int {
+	return rng.Intn(6)
+}
+
+// NewRNG builds an explicitly seeded generator.
+func NewRNG(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}

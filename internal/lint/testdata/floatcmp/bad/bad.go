@@ -1,0 +1,22 @@
+// Package bad exercises floatcmp: exact equality on computed floats.
+package bad
+
+// Converged compares two computed floats exactly.
+func Converged(prev, next float64) bool {
+	return prev == next // want floatcmp
+}
+
+// Different negates the same mistake.
+func Different(a, b float64) bool {
+	return a != b // want floatcmp
+}
+
+// AgainstZero compares a runtime value to a literal; still exact.
+func AgainstZero(x float64) bool {
+	return x == 0 // want floatcmp
+}
+
+// Narrow applies to float32 too.
+func Narrow(a, b float32) bool {
+	return a == b // want floatcmp
+}

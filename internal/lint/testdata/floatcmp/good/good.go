@@ -1,0 +1,33 @@
+// Package good shows the accepted shapes for float comparison in the
+// deterministic core.
+package good
+
+import "math"
+
+const eps = 1e-9
+
+// Converged compares within an explicit epsilon.
+func Converged(prev, next float64) bool {
+	return math.Abs(prev-next) < eps
+}
+
+// Same compares integers, which are exact.
+func Same(a, b int) bool {
+	return a == b
+}
+
+// Folded compares two constants; that folds at compile time.
+func Folded() bool {
+	return 1.5 == 1.5
+}
+
+// Unset keeps a zero-value sentinel with a written justification.
+func Unset(sigma float64) bool {
+	//etlint:ignore floatcmp zero value means "unset"; callers assign literals, never arithmetic
+	return sigma == 0
+}
+
+// Ordering comparisons are not equality and stay legal.
+func Less(a, b float64) bool {
+	return a < b
+}

@@ -1,0 +1,22 @@
+// Package bad exercises lockedfield: a documented guard that a method
+// ignores.
+package bad
+
+import "sync"
+
+// Counter is a lock-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	// count is the number of observed events; guarded by mu.
+	count int
+}
+
+// Peek reads count without the lock.
+func (c *Counter) Peek() int {
+	return c.count // want lockedfield
+}
+
+// Bump writes count without the lock.
+func (c *Counter) Bump() {
+	c.count++ // want lockedfield
+}

@@ -1,0 +1,44 @@
+// Package good shows the accepted shapes for documented lock guards.
+package good
+
+import "sync"
+
+// Counter is a lock-guarded counter.
+type Counter struct {
+	mu sync.Mutex
+	// count is the number of observed events; guarded by mu.
+	count int
+}
+
+// Add locks before touching count.
+func (c *Counter) Add() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.count++
+}
+
+// snapshotLocked uses the caller-holds-the-lock convention.
+func (c *Counter) snapshotLocked() int {
+	return c.count
+}
+
+// Gauge uses a reader lock for reads.
+type Gauge struct {
+	mu sync.RWMutex
+	// value is the current reading; guarded by mu.
+	value float64
+}
+
+// Get takes the read lock.
+func (g *Gauge) Get() float64 {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return g.value
+}
+
+// Set takes the write lock.
+func (g *Gauge) Set(v float64) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.value = v
+}

@@ -1,0 +1,43 @@
+// Package bad exercises maporder: map iteration order leaking into
+// order-sensitive accumulators.
+package bad
+
+// Keys returns map keys in iteration (i.e. random) order.
+func Keys(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want maporder
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// Total sums floats in iteration order; float addition is not
+// associative, so the result is run-dependent in the last bits.
+func Total(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want maporder
+		sum += v
+	}
+	return sum
+}
+
+// Join concatenates values positionally.
+func Join(m map[string]string) string {
+	out := ""
+	for _, v := range m { // want maporder
+		out += v
+	}
+	return out
+}
+
+// Nested still counts: the append target lives outside the loop even
+// with an if in between.
+func Nested(m map[string]int) []int {
+	var big []int
+	for _, v := range m { // want maporder
+		if v > 10 {
+			big = append(big, v)
+		}
+	}
+	return big
+}

@@ -1,0 +1,75 @@
+// Package good shows the accepted shapes around ranging over maps in
+// the deterministic core.
+package good
+
+import "sort"
+
+// Keys collects then sorts — the canonical idiom the rule recognizes.
+func Keys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Pairs sorts through sort.Slice; any sort.*/slices.Sort* call naming
+// the collected slice absolves the loop.
+func Pairs(m map[string]int) []string {
+	var out []string
+	for k, v := range m {
+		if v > 0 {
+			out = append(out, k)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Count is order-insensitive integer accumulation.
+func Count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// Sum over ints is commutative and exact.
+func Sum(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+// Invert writes into another map: per-key, order-free.
+func Invert(m map[string]int) map[int]string {
+	out := make(map[int]string, len(m))
+	for k, v := range m {
+		out[v] = k
+	}
+	return out
+}
+
+// Locals appends into per-iteration state only.
+func Locals(m map[string][]int) int {
+	n := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		n += len(local)
+	}
+	return n
+}
+
+// Slices ranges over a slice, which iterates in index order.
+func Slices(xs []float64) float64 {
+	var sum float64
+	for _, v := range xs {
+		sum += v
+	}
+	return sum
+}

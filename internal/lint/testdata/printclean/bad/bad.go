@@ -1,0 +1,15 @@
+// Package bad exercises printclean: library code that owns the
+// process's stdout.
+package bad
+
+import (
+	"fmt"
+	"os"
+)
+
+// Report prints from library code.
+func Report(n int) {
+	fmt.Println("n =", n)             // want printclean
+	fmt.Printf("n = %d\n", n)         // want printclean
+	fmt.Fprintf(os.Stdout, "%d\n", n) // want printclean
+}

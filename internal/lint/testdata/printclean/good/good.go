@@ -1,0 +1,19 @@
+// Package good shows the accepted shape: output goes through an
+// injected io.Writer (stderr diagnostics are also fine).
+package good
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+// Report writes to the caller's writer.
+func Report(w io.Writer, n int) {
+	fmt.Fprintf(w, "%d\n", n)
+}
+
+// Complain writes diagnostics to stderr, which stays legal.
+func Complain(err error) {
+	fmt.Fprintln(os.Stderr, "bad:", err)
+}

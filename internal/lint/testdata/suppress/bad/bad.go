@@ -1,0 +1,22 @@
+// Package bad exercises the suppression meta-rule: a malformed
+// etlint:ignore is itself a finding and suppresses nothing.
+package bad
+
+// NoReason has a directive without a justification; the underlying
+// floatcmp finding still fires.
+func NoReason(x float64) bool {
+	//etlint:ignore floatcmp
+	return x == 0
+}
+
+// UnknownRule names a rule that does not exist.
+func UnknownRule(x float64) bool {
+	//etlint:ignore nosuchrule because reasons
+	return x != 0
+}
+
+// Bare has neither rule nor reason.
+func Bare(x float64) bool {
+	//etlint:ignore
+	return x == 1
+}

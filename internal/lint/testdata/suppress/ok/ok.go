@@ -1,0 +1,14 @@
+// Package ok shows a well-formed suppression: rule ID plus a written
+// reason, on the line above the finding it covers.
+package ok
+
+// Unset keeps the zero-value sentinel.
+func Unset(sigma float64) bool {
+	//etlint:ignore floatcmp zero value means unset; callers set sigma explicitly
+	return sigma == 0
+}
+
+// Trailing suppressions on the flagged line itself also work.
+func UnsetTrailing(tau float64) bool {
+	return tau == 0 //etlint:ignore floatcmp zero value means unset
+}

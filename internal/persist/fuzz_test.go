@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"bytes"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -32,6 +33,58 @@ func TestReadNeverPanicsOnGarbage(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// FuzzSnapshotDecode: native fuzzing over the checkpoint decode path.
+// Arbitrary bytes must come back as an error, never a panic; any bytes
+// that do decode must survive every restore path, and a decoded
+// version-1 snapshot must round-trip through Write/Read to a stable
+// canonical form (Write∘Read is idempotent on Write's output).
+func FuzzSnapshotDecode(f *testing.F) {
+	f.Add([]byte(`{"version":1}`))
+	f.Add([]byte(`{"version":1,"schema":["a","b"],"space":[{"lhs":[0],"rhs":1}],` +
+		`"trainer":[{"alpha":2,"beta":3}],"learner":[{"alpha":1,"beta":1}],` +
+		`"history":[{"labeled":[{"pair":[0,1],"marked":[1]}],"mae":0.25,"payoff":1.5,` +
+		`"detection":{"precision":1,"recall":0.5,"f1":0.6666666666666666}}]}`))
+	f.Add([]byte(`{"version":2}`))
+	f.Add([]byte(`{"version":1,"history":[{"revisions":[{"pair":[0,2],"abstained":true}]}]}`))
+	f.Add([]byte(`not json at all`))
+	f.Add([]byte{0xff, 0xfe, 0x00})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		snap, err := Read(bytes.NewReader(data))
+		if err != nil {
+			return // rejected cleanly
+		}
+		// Every restore path must tolerate whatever decoded.
+		if space, err := snap.RestoreSpace(); err == nil {
+			if _, err := snap.RestoreTrainer(space); err != nil {
+				_ = err
+			}
+			if _, err := snap.RestoreLearner(space); err != nil {
+				_ = err
+			}
+		}
+		_, _ = snap.RestoreHistory()
+		_, _ = snap.RestoreRounds()
+
+		// Canonical round-trip: write, re-read, write again — the two
+		// serializations must be byte-identical.
+		var first bytes.Buffer
+		if err := snap.Write(&first); err != nil {
+			t.Fatalf("writing decoded snapshot: %v", err)
+		}
+		again, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading written snapshot: %v\n%s", err, first.Bytes())
+		}
+		var second bytes.Buffer
+		if err := again.Write(&second); err != nil {
+			t.Fatalf("re-writing snapshot: %v", err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatalf("canonical form unstable:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
+		}
+	})
 }
 
 // TestReadStructuredCorruption: syntactically valid JSON with invalid

@@ -72,7 +72,7 @@ func (EpsilonGreedy) Name() string { return "EpsilonGreedy" }
 // Select implements Sampler.
 func (s EpsilonGreedy) Select(rel *dataset.Relation, pool []dataset.Pair, b *belief.Belief, k int, rng *stats.RNG) []dataset.Pair {
 	eps := s.Epsilon
-	if eps == 0 {
+	if eps == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		eps = 0.2
 	}
 	if k > len(pool) {

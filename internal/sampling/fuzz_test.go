@@ -1,0 +1,49 @@
+package sampling
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzParseMethod: ParseMethod on arbitrary names either errors with
+// ErrUnknownMethod or returns a valid method whose String round-trips
+// exactly — and it never panics. The method enum rides JSON wire
+// formats (service CreateRequest), so hostile names reach it directly.
+func FuzzParseMethod(f *testing.F) {
+	for _, m := range Methods() {
+		f.Add(m.String())
+	}
+	f.Add("QBC")
+	f.Add("EpsilonGreedy")
+	f.Add("")
+	f.Add("stochasticus") // wrong case must not match
+	f.Add("StochasticUS ")
+	f.Add("Method(3)")
+	f.Fuzz(func(t *testing.T, name string) {
+		m, err := ParseMethod(name)
+		if err != nil {
+			if !errors.Is(err, ErrUnknownMethod) {
+				t.Fatalf("ParseMethod(%q) error %v does not wrap ErrUnknownMethod", name, err)
+			}
+			if m != MethodDefault {
+				t.Fatalf("ParseMethod(%q) errored but returned %v, want MethodDefault", name, m)
+			}
+			return
+		}
+		if !m.Valid() {
+			t.Fatalf("ParseMethod(%q) = %d, invalid without error", name, int(m))
+		}
+		if m.String() != name {
+			t.Fatalf("round-trip broken: ParseMethod(%q).String() = %q", name, m.String())
+		}
+		// The wire form must agree with the parser.
+		text, err := m.MarshalText()
+		if err != nil {
+			t.Fatalf("MarshalText(%v): %v", m, err)
+		}
+		var back Method
+		if err := back.UnmarshalText(text); err != nil || back != m {
+			t.Fatalf("text round-trip: %q → %v, %v (want %v)", text, back, err, m)
+		}
+	})
+}

@@ -114,7 +114,7 @@ func (s StochasticUS) Select(rel *dataset.Relation, pool []dataset.Pair, b *beli
 }
 
 func gammaOrDefault(g float64) float64 {
-	if g == 0 {
+	if g == 0 { //etlint:ignore floatcmp zero value means unset; callers assign literals
 		return DefaultGamma
 	}
 	if g < 0 {

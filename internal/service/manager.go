@@ -191,10 +191,15 @@ type Manager struct {
 	// now is the clock; a test hook.
 	now func() time.Time
 
-	mu       sync.Mutex
-	live     map[string]*entry
-	parked   map[string]Spec // evicted sessions: snapshot in store, spec here
-	seq      uint64
+	mu sync.Mutex
+	// live holds resident sessions; guarded by mu.
+	live map[string]*entry
+	// parked maps evicted sessions to their spec (snapshot in store);
+	// guarded by mu.
+	parked map[string]Spec
+	// seq numbers sessions; guarded by mu.
+	seq uint64
+	// draining rejects new work during Shutdown; guarded by mu.
 	draining bool
 }
 
