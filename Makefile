@@ -9,9 +9,10 @@ FUZZTIME ?= 5s
 # per invocation).
 FUZZERS := ./internal/sampling:FuzzParseMethod \
            ./internal/persist:FuzzSnapshotDecode \
+           ./internal/persist:FuzzSnapshotChecksum \
            ./internal/service:FuzzServerJSON
 
-.PHONY: all build vet lint test race check verify bench fuzz clean
+.PHONY: all build vet lint test race check verify bench fuzz chaos clean
 
 all: build
 
@@ -48,9 +49,18 @@ check:
 # Tier-1 verification: build, vet, the project lint rules, the full
 # test suite, then the suite again under the race detector (the
 # experiment harness, game evaluator and session service all run
-# goroutines, so -race is part of the bar), plus whatever static
-# analyzer the machine has.
-verify: build vet lint test race check
+# goroutines, so -race is part of the bar), the fault-injection chaos
+# suite, plus whatever static analyzer the machine has.
+verify: build vet lint test race chaos check
+
+# Fault-injection suite under the race detector: crash-point property
+# tests for the snapshot commit protocol, torn-write invariants, the
+# degraded-mode manager tests, and the 64-session flaky-store workload
+# (ET_CHAOS=1 extends the workload to more rounds per session).
+chaos:
+	ET_CHAOS=1 $(GO) test -race -count=1 \
+		-run 'TestCrashPointProperty|TestTornWritesNeverCorrupt|TestFault|TestManagerEvictFailure|TestManagerUnparkFailed|TestManagerSweepContinues|TestManagerShutdownKeeps|TestServerFaultSurface|TestChaos' \
+		./internal/persist/... ./internal/service/...
 
 # Corpus-smoke each native fuzz target for FUZZTIME. Failing inputs
 # land in the package's testdata/fuzz and then fail `go test` forever —

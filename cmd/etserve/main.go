@@ -9,10 +9,18 @@
 //
 //	etserve [-addr :8080] [-store DIR] [-max-sessions 128]
 //	        [-idle-ttl 15m] [-sweep 1m] [-timeout 30s]
+//	        [-retry-attempts 4] [-retry-base 5ms] [-retry-max 250ms]
 //
 // With -store, snapshots go to DIR and survive restarts (resume one
 // with POST /v1/sessions {"resume": "<id>", ...}); without it they
-// live in memory for the life of the process. Sessions created with
+// live in memory for the life of the process. On startup the store is
+// scanned: snapshots that fail their checksum are quarantined to
+// "<id>.corrupt" (and logged) so one rotten checkpoint cannot block the
+// rest from resuming, and orphaned temp files from crashed writers are
+// removed. Store operations retry with exponential backoff per the
+// -retry-* flags; a session whose checkpoint keeps failing stays live
+// in degraded mode (GET /v1/healthz reports it and flips to 503 so a
+// load balancer can route around the replica). Sessions created with
 // "eval": true additionally score the learner's believed model on a
 // held-out split every round; GET /v1/sessions/{id}/rounds serves the
 // per-round MAE/payoff (and detection F1) series either way. See the
@@ -38,12 +46,15 @@ import (
 
 // config is the flag surface of the server.
 type config struct {
-	addr        string
-	storeDir    string
-	maxSessions int
-	idleTTL     time.Duration
-	sweepEvery  time.Duration
-	timeout     time.Duration
+	addr          string
+	storeDir      string
+	maxSessions   int
+	idleTTL       time.Duration
+	sweepEvery    time.Duration
+	timeout       time.Duration
+	retryAttempts int
+	retryBase     time.Duration
+	retryMax      time.Duration
 }
 
 func main() {
@@ -54,6 +65,9 @@ func main() {
 	flag.DurationVar(&cfg.idleTTL, "idle-ttl", 15*time.Minute, "park sessions idle longer than this")
 	flag.DurationVar(&cfg.sweepEvery, "sweep", time.Minute, "idle-session sweep interval")
 	flag.DurationVar(&cfg.timeout, "timeout", 30*time.Second, "per-request timeout")
+	flag.IntVar(&cfg.retryAttempts, "retry-attempts", 4, "store operation attempts before degrading (1 disables retries)")
+	flag.DurationVar(&cfg.retryBase, "retry-base", 5*time.Millisecond, "store retry backoff before the second attempt (doubles per attempt)")
+	flag.DurationVar(&cfg.retryMax, "retry-max", 250*time.Millisecond, "store retry backoff cap")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -108,12 +122,31 @@ func start(cfg config) (*app, error) {
 		if err != nil {
 			return nil, fmt.Errorf("opening store: %w", err)
 		}
+		// Recovery scan: verify every checkpoint, quarantine the rotten
+		// ones instead of letting a single bad file block startup, and
+		// clean up temp files a crashed writer left behind.
+		res, err := dir.Scan(context.Background())
+		if err != nil {
+			return nil, fmt.Errorf("scanning store: %w", err)
+		}
+		for _, id := range res.Quarantined {
+			log.Printf("store: snapshot %q failed verification; quarantined to %s.corrupt", id, id)
+		}
+		if res.TempsRemoved > 0 {
+			log.Printf("store: removed %d orphaned temp file(s) from a crashed writer", res.TempsRemoved)
+		}
+		log.Printf("store: %d snapshot(s) verified in %s", len(res.OK), cfg.storeDir)
 		store = dir
 	}
 	mgr := service.NewManager(service.Options{
 		MaxSessions: cfg.maxSessions,
 		IdleTTL:     cfg.idleTTL,
 		Store:       store,
+		Retry: service.RetryPolicy{
+			MaxAttempts: cfg.retryAttempts,
+			BaseDelay:   cfg.retryBase,
+			MaxDelay:    cfg.retryMax,
+		},
 	})
 	srv := &http.Server{
 		Handler: service.NewServer(mgr, service.ServerOptions{RequestTimeout: cfg.timeout}),

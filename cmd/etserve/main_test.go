@@ -106,3 +106,89 @@ func TestServeSmoke(t *testing.T) {
 		t.Fatalf("no snapshot for %s in %s (dir has %d entries)", info.ID, dir, len(entries))
 	}
 }
+
+// TestStartupRecoveryScan boots against a store holding one intact
+// snapshot, one corrupted snapshot, and an orphaned temp file from a
+// "crashed writer". Startup must quarantine the corrupt file, remove
+// the orphan, and still serve — one rotten checkpoint must not take the
+// process down. The intact snapshot stays resumable.
+func TestStartupRecoveryScan(t *testing.T) {
+	dir := t.TempDir()
+
+	// First boot: create a session, snapshot it, shut down cleanly.
+	app, err := start(config{
+		addr: "127.0.0.1:0", storeDir: dir, maxSessions: 8,
+		idleTTL: time.Hour, sweepEvery: time.Hour, timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + app.addr.String()
+	body, _ := json.Marshal(map[string]any{"dataset": "OMDB", "rows": 60, "k": 4, "seed": 7})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := app.shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+
+	// Rot a copy of the good snapshot under another id, and leave an
+	// orphaned temp file behind.
+	good := filepath.Join(dir, info.ID+".snapshot.json")
+	raw, err := os.ReadFile(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)/3] ^= 0x20
+	if err := os.WriteFile(filepath.Join(dir, "rotten.snapshot.json"), raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, ".rotten.tmp-42"), []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	// Second boot runs the recovery scan.
+	app, err = start(config{
+		addr: "127.0.0.1:0", storeDir: dir, maxSessions: 8,
+		idleTTL: time.Hour, sweepEvery: time.Hour, timeout: 10 * time.Second,
+	})
+	if err != nil {
+		t.Fatalf("start over a store with a corrupt snapshot: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.shutdown(ctx)
+	}()
+	if _, err := os.Stat(filepath.Join(dir, "rotten.corrupt")); err != nil {
+		t.Fatalf("corrupt snapshot not quarantined: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "rotten.snapshot.json")); !os.IsNotExist(err) {
+		t.Fatalf("corrupt snapshot still live: %v", err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, ".rotten.tmp-42")); !os.IsNotExist(err) {
+		t.Fatalf("orphaned temp not removed: %v", err)
+	}
+
+	// The intact snapshot still resumes over HTTP.
+	base = "http://" + app.addr.String()
+	body, _ = json.Marshal(map[string]any{"resume": info.ID, "dataset": "OMDB", "rows": 60, "k": 4, "seed": 7})
+	resp, err = http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("resume after recovery: status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,314 @@
+package faulty_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+	"exptrain/internal/persist"
+	"exptrain/internal/persist/faulty"
+	"exptrain/internal/stats"
+)
+
+// snapshotPair builds two distinguishable snapshots over the same
+// schema, standing in for "the checkpoint already on disk" and "the
+// checkpoint being written when the crash hits".
+func snapshotPair(t *testing.T) (oldSnap, newSnap *persist.Snapshot) {
+	t.Helper()
+	schema := dataset.MustSchema("a", "b", "c")
+	space := fd.MustNewSpace(fd.MustEnumerate(fd.SpaceConfig{Arity: 3, MaxLHS: 2}))
+	trainer := belief.New(space, stats.NewBeta(2, 3))
+	learner := belief.New(space, stats.NewBeta(1, 1))
+	mk := func(history [][]belief.Labeling) *persist.Snapshot {
+		snap, err := persist.NewSnapshot(schema, space, trainer, learner, history)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return snap
+	}
+	oldSnap = mk([][]belief.Labeling{{{Pair: dataset.NewPair(0, 1), Marked: fd.NewAttrSet(1)}}})
+	newSnap = mk([][]belief.Labeling{
+		{{Pair: dataset.NewPair(0, 1), Marked: fd.NewAttrSet(1)}},
+		{{Pair: dataset.NewPair(2, 5), Abstained: true}},
+	})
+	return oldSnap, newSnap
+}
+
+func encode(t *testing.T, s *persist.Snapshot) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := s.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestCrashPointProperty is the crash-safety property test: for a crash
+// simulated at EVERY step of DirStore.Put's commit protocol — with the
+// temp file torn to several different prefixes at the fsync step — a
+// recovery Scan plus Get must yield exactly the old snapshot or exactly
+// the new one. Never ErrCorrupt on the live file, never a third state.
+func TestCrashPointProperty(t *testing.T) {
+	ctx := context.Background()
+	oldSnap, newSnap := snapshotPair(t)
+	oldBytes, newBytes := encode(t, oldSnap), encode(t, newSnap)
+	if bytes.Equal(oldBytes, newBytes) {
+		t.Fatal("fixture snapshots must differ")
+	}
+
+	for _, step := range persist.PutSteps() {
+		for _, keep := range []float64{0, 0.33, 0.66, 1} {
+			for _, preexisting := range []bool{true, false} {
+				name := fmt.Sprintf("%s/keep=%.2f/preexisting=%t", step, keep, preexisting)
+				t.Run(name, func(t *testing.T) {
+					dir, err := persist.NewDirStore(t.TempDir())
+					if err != nil {
+						t.Fatal(err)
+					}
+					if preexisting {
+						if err := dir.Put(ctx, "s", oldSnap); err != nil {
+							t.Fatal(err)
+						}
+					}
+					err = faulty.CrashPut(ctx, dir, "s", newSnap, step, keep)
+					if !errors.Is(err, faulty.ErrInjected) {
+						t.Fatalf("CrashPut error = %v, want ErrInjected", err)
+					}
+
+					// The live file must be readable (or absent) even before
+					// recovery runs — atomicity does not depend on Scan.
+					committed := step == persist.StepSyncDir
+					checkGet := func(when string) {
+						got, err := dir.Get(ctx, "s")
+						switch {
+						case committed:
+							if err != nil {
+								t.Fatalf("%s: Get after commit-point crash: %v", when, err)
+							}
+							if !bytes.Equal(encode(t, got), newBytes) {
+								t.Fatalf("%s: Get returned a state that is not the new snapshot", when)
+							}
+						case preexisting:
+							if err != nil {
+								t.Fatalf("%s: Get after pre-commit crash: %v", when, err)
+							}
+							if !bytes.Equal(encode(t, got), oldBytes) {
+								t.Fatalf("%s: Get returned a state that is not the old snapshot", when)
+							}
+						default:
+							if !errors.Is(err, persist.ErrNotFound) {
+								t.Fatalf("%s: Get = %v, want ErrNotFound", when, err)
+							}
+						}
+					}
+					checkGet("pre-scan")
+
+					res, err := dir.Scan(ctx)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if len(res.Quarantined) != 0 {
+						t.Fatalf("Scan quarantined %v; crash must never corrupt the live file", res.Quarantined)
+					}
+					wantTemps := 0
+					if !committed {
+						wantTemps = 1 // the crashed writer's orphan
+					}
+					if res.TempsRemoved != wantTemps {
+						t.Fatalf("Scan removed %d temps, want %d", res.TempsRemoved, wantTemps)
+					}
+					checkGet("post-scan")
+
+					// Recovery over: the next Put must succeed cleanly.
+					if err := dir.Put(ctx, "s", newSnap); err != nil {
+						t.Fatal(err)
+					}
+					checkAfter, err := dir.Get(ctx, "s")
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !bytes.Equal(encode(t, checkAfter), newBytes) {
+						t.Fatal("clean Put after recovery did not land the new snapshot")
+					}
+				})
+			}
+		}
+	}
+}
+
+// opError runs one scripted operation and reports its error.
+func opError(ctx context.Context, s *faulty.Store, i int, snap *persist.Snapshot) error {
+	switch i % 4 {
+	case 0:
+		return s.Put(ctx, "det", snap)
+	case 1:
+		_, err := s.Get(ctx, "det")
+		return err
+	case 2:
+		_, err := s.List(ctx)
+		return err
+	default:
+		err := s.Delete(ctx, "det")
+		if errors.Is(err, persist.ErrNotFound) {
+			return nil // a prior injected Put fault legitimately leaves nothing to delete
+		}
+		return err
+	}
+}
+
+func TestFaultScheduleDeterministic(t *testing.T) {
+	ctx := context.Background()
+	snap, _ := snapshotPair(t)
+	cfg := faulty.Config{Seed: 42, FailRate: 0.4, AmbiguousCancelRate: 0.2}
+	run := func() []string {
+		s := faulty.Wrap(persist.NewMemStore(), cfg)
+		var outcomes []string
+		for i := 0; i < 64; i++ {
+			if err := opError(ctx, s, i, snap); err != nil {
+				outcomes = append(outcomes, fmt.Sprintf("%d:%v", i, err))
+			} else {
+				outcomes = append(outcomes, fmt.Sprintf("%d:ok", i))
+			}
+		}
+		return outcomes
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("op %d diverged across identically seeded runs:\n  %s\n  %s", i, a[i], b[i])
+		}
+	}
+	if s := faulty.Wrap(persist.NewMemStore(), cfg); s.Seed() != 42 {
+		t.Fatalf("Seed() = %d, want the configured 42", s.Seed())
+	}
+}
+
+func TestFailEveryN(t *testing.T) {
+	ctx := context.Background()
+	snap, _ := snapshotPair(t)
+	s := faulty.Wrap(persist.NewMemStore(), faulty.Config{Seed: 1, FailEveryN: 3})
+	var failed int
+	for i := 0; i < 9; i++ {
+		if err := s.Put(ctx, "n", snap); err != nil {
+			if !errors.Is(err, faulty.ErrInjected) {
+				t.Fatalf("op %d: %v", i, err)
+			}
+			failed++
+		}
+	}
+	if failed != 3 {
+		t.Fatalf("FailEveryN=3 over 9 ops injected %d faults, want 3", failed)
+	}
+	if ops, injected := s.Stats(); ops != 9 || injected != 3 {
+		t.Fatalf("Stats() = (%d, %d), want (9, 3)", ops, injected)
+	}
+}
+
+func TestOpsFilterAndClearFaults(t *testing.T) {
+	ctx := context.Background()
+	snap, _ := snapshotPair(t)
+	s := faulty.Wrap(persist.NewMemStore(), faulty.Config{
+		Seed: 7, FailRate: 1, Ops: []faulty.Op{faulty.OpGet},
+	})
+	if err := s.Put(ctx, "f", snap); err != nil {
+		t.Fatalf("Put is outside Ops filter but failed: %v", err)
+	}
+	if _, err := s.Get(ctx, "f"); !errors.Is(err, faulty.ErrInjected) {
+		t.Fatalf("Get error = %v, want ErrInjected", err)
+	}
+	s.ClearFaults()
+	if _, err := s.Get(ctx, "f"); err != nil {
+		t.Fatalf("Get after ClearFaults: %v", err)
+	}
+}
+
+// TestAmbiguousCancel checks the wrapper's nastiest fault: the caller
+// sees context.Canceled but the write actually landed.
+func TestAmbiguousCancel(t *testing.T) {
+	ctx := context.Background()
+	snap, _ := snapshotPair(t)
+	inner := persist.NewMemStore()
+	s := faulty.Wrap(inner, faulty.Config{Seed: 3, AmbiguousCancelRate: 1})
+	err := s.Put(ctx, "amb", snap)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Put error = %v, want context.Canceled", err)
+	}
+	if _, err := inner.Get(ctx, "amb"); err != nil {
+		t.Fatalf("ambiguous cancel must leave the write landed; inner Get: %v", err)
+	}
+}
+
+func TestCustomError(t *testing.T) {
+	ctx := context.Background()
+	snap, _ := snapshotPair(t)
+	sentinel := errors.New("disk on fire")
+	s := faulty.Wrap(persist.NewMemStore(), faulty.Config{Seed: 5, FailRate: 1, Err: sentinel})
+	if err := s.Put(ctx, "c", snap); !errors.Is(err, sentinel) {
+		t.Fatalf("Put error = %v, want the configured sentinel", err)
+	}
+}
+
+// TestTornWritesNeverCorrupt drives many seeded torn Puts against one
+// DirStore and checks the invariant the wrapper exists to prove: the
+// live snapshot is always exactly the last committed one.
+func TestTornWritesNeverCorrupt(t *testing.T) {
+	ctx := context.Background()
+	oldSnap, newSnap := snapshotPair(t)
+	snaps := []*persist.Snapshot{oldSnap, newSnap}
+	encs := [][]byte{encode(t, oldSnap), encode(t, newSnap)}
+
+	dir, err := persist.NewDirStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := faulty.Wrap(dir, faulty.Config{Seed: 99, FailRate: 0.5, TornWrites: true})
+	current := -1 // live snapshot index, -1 = absent
+	for i := 0; i < 100; i++ {
+		which := i % 2
+		err := s.Put(ctx, "torn", snaps[which])
+		// A clean Put commits; a simulated crash leaves either the prior
+		// state or — when the crash lands after the rename — the new one.
+		allowed := map[int]bool{which: true}
+		if err != nil {
+			if !errors.Is(err, faulty.ErrInjected) {
+				t.Fatalf("put %d: %v", i, err)
+			}
+			allowed[current] = true
+		}
+		got, gerr := dir.Get(ctx, "torn")
+		if gerr != nil {
+			if !errors.Is(gerr, persist.ErrNotFound) || !allowed[-1] {
+				t.Fatalf("put %d: Get = %v (allowed states %v)", i, gerr, allowed)
+			}
+			current = -1
+			continue
+		}
+		enc := encode(t, got)
+		switch {
+		case bytes.Equal(enc, encs[0]):
+			current = 0
+		case bytes.Equal(enc, encs[1]):
+			current = 1
+		default:
+			t.Fatalf("put %d: live snapshot matches neither old nor new — a mangled third state", i)
+		}
+		if !allowed[current] {
+			t.Fatalf("put %d: live snapshot %d not in allowed states %v", i, current, allowed)
+		}
+	}
+	if _, injected := s.Stats(); injected == 0 {
+		t.Fatal("fault schedule injected nothing; the test exercised no crashes")
+	}
+	res, err := dir.Scan(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Quarantined) != 0 {
+		t.Fatalf("Scan quarantined %v after torn writes", res.Quarantined)
+	}
+}

@@ -2,6 +2,7 @@ package persist
 
 import (
 	"bytes"
+	"errors"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -84,6 +85,65 @@ func FuzzSnapshotDecode(f *testing.F) {
 		if !bytes.Equal(first.Bytes(), second.Bytes()) {
 			t.Fatalf("canonical form unstable:\nfirst:\n%s\nsecond:\n%s", first.Bytes(), second.Bytes())
 		}
+	})
+}
+
+// FuzzSnapshotChecksum: flip one byte anywhere in a canonical encoded
+// snapshot. The decode must return ErrCorrupt or a valid snapshot —
+// never panic, and never quietly hand back a half-parsed body under a
+// non-corruption error. An unflipped decode must round-trip
+// byte-identically.
+func FuzzSnapshotChecksum(f *testing.F) {
+	snap := &Snapshot{
+		Version: Version,
+		Schema:  []string{"a", "b", "c"},
+		Space:   []FDJSON{{LHS: []int{0}, RHS: 1}, {LHS: []int{0, 2}, RHS: 1}},
+		Trainer: []BetaJSON{{Alpha: 2, Beta: 3}, {Alpha: 10, Beta: 1}},
+		Learner: []BetaJSON{{Alpha: 1, Beta: 1}, {Alpha: 0.5, Beta: 7.25}},
+		History: []InteractionJSON{{Labeled: []LabelingJSON{{Pair: [2]int{0, 1}, Marked: []int{1}}}}},
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		f.Fatal(err)
+	}
+	enc := buf.Bytes()
+
+	f.Add(uint32(0), byte(0))             // unflipped round-trip
+	f.Add(uint32(10), byte(0x01))         // body flip
+	f.Add(uint32(len(enc)-2), byte(0x80)) // footer flip
+	f.Add(uint32(len(enc)-1), byte(0x2a)) // trailing newline flip
+	f.Fuzz(func(t *testing.T, pos uint32, x byte) {
+		data := append([]byte(nil), enc...)
+		i := int(pos) % len(data)
+		data[i] ^= x
+		got, err := Read(bytes.NewReader(data))
+		if x == 0 {
+			if err != nil {
+				t.Fatalf("unflipped snapshot rejected: %v", err)
+			}
+			var out bytes.Buffer
+			if err := got.Write(&out); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(out.Bytes(), enc) {
+				t.Fatalf("unflipped round-trip not byte-identical:\nin:\n%s\nout:\n%s", enc, out.Bytes())
+			}
+			return
+		}
+		if err != nil {
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("flip at %d (xor %#x): error %v is not ErrCorrupt", i, x, err)
+			}
+			return
+		}
+		// The flip slipped through the checksum (e.g. a whitespace-
+		// equivalent trailing byte): the result must still be a snapshot
+		// every restore path tolerates.
+		if space, serr := got.RestoreSpace(); serr == nil {
+			_, _ = got.RestoreTrainer(space)
+			_, _ = got.RestoreLearner(space)
+		}
+		_, _ = got.RestoreHistory()
 	})
 }
 

@@ -7,10 +7,14 @@
 package persist
 
 import (
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"os"
+	"strconv"
 
 	"exptrain/internal/belief"
 	"exptrain/internal/dataset"
@@ -19,8 +23,21 @@ import (
 	"exptrain/internal/stats"
 )
 
-// Version is the snapshot format version this package writes.
-const Version = 1
+// Version is the snapshot format version this package writes. Version 2
+// appends a CRC-32 checksum footer after the JSON body so torn or
+// bit-rotted checkpoints are detected on read instead of silently
+// resuming a session from mangled state.
+const Version = 2
+
+// minVersion is the oldest snapshot format Read still accepts.
+// Version-1 snapshots have no checksum footer and read unverified.
+const minVersion = 1
+
+// ErrCorrupt is the sentinel wrapped when snapshot bytes fail their
+// checksum or do not parse — the bytes on disk are not a snapshot any
+// writer produced. Test with errors.Is. Corrupt snapshots are never
+// partially restored; DirStore.Scan quarantines them.
+var ErrCorrupt = errors.New("persist: snapshot corrupt")
 
 // Snapshot is the serializable state of one exploratory-training
 // session.
@@ -201,17 +218,38 @@ func NewSnapshotRounds(schema *dataset.Schema, space *fd.Space, trainer, learner
 	return snap, nil
 }
 
-// Write serializes the snapshot as indented JSON.
+// footerMagic opens the checksum footer — the last line of a Version-2
+// snapshot file. The footer is itself one line of JSON so the file
+// remains a plain JSON stream, but it is located positionally (last
+// line, fixed prefix) so detection never depends on parsing a possibly
+// corrupt body first.
+const footerMagic = `{"footer":"crc32"`
+
+// footerJSON is the wire form of the checksum footer.
+type footerJSON struct {
+	Footer string `json:"footer"`
+	Sum    string `json:"sum"`
+}
+
+// Write serializes the snapshot as indented JSON followed by a one-line
+// CRC-32 footer covering every body byte. The output is deterministic:
+// Write∘Read is the identity on Write's output.
 func (s *Snapshot) Write(w io.Writer) error {
-	enc := json.NewEncoder(w)
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(s); err != nil {
 		return fmt.Errorf("persist: encoding snapshot: %w", err)
 	}
+	fmt.Fprintf(&buf, footerMagic+`,"sum":"%08x"}`+"\n", crc32.ChecksumIEEE(buf.Bytes()))
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("persist: writing snapshot: %w", err)
+	}
 	return nil
 }
 
-// WriteFile writes the snapshot to a file.
+// WriteFile writes the snapshot to a file, fsyncing before close so the
+// checkpoint survives a crash immediately after return.
 func (s *Snapshot) WriteFile(path string) error {
 	f, err := os.Create(path)
 	if err != nil {
@@ -221,20 +259,70 @@ func (s *Snapshot) WriteFile(path string) error {
 		f.Close()
 		return err
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("persist: %w", err)
+	}
 	return f.Close()
 }
 
-// Read parses a snapshot and validates its version.
+// Read parses a snapshot, verifies its checksum footer when present
+// (legacy checksum-less Version-1 snapshots still read), and validates
+// its version. Failed checksums and unparseable bytes come back as
+// ErrCorrupt.
 func Read(r io.Reader) (*Snapshot, error) {
-	var snap Snapshot
-	dec := json.NewDecoder(r)
-	if err := dec.Decode(&snap); err != nil {
-		return nil, fmt.Errorf("persist: decoding snapshot: %w", err)
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("persist: reading snapshot: %w", err)
 	}
-	if snap.Version != Version {
-		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d)", snap.Version, Version)
+	return decodeSnapshot(data)
+}
+
+// decodeSnapshot is Read over bytes already in memory.
+func decodeSnapshot(data []byte) (*Snapshot, error) {
+	body, sum, hasFooter, err := splitChecksumFooter(data)
+	if err != nil {
+		return nil, err
+	}
+	if hasFooter {
+		if got := crc32.ChecksumIEEE(body); got != sum {
+			return nil, fmt.Errorf("%w: CRC-32 mismatch (footer %08x, body %08x)", ErrCorrupt, sum, got)
+		}
+	}
+	var snap Snapshot
+	if err := json.Unmarshal(body, &snap); err != nil {
+		return nil, fmt.Errorf("%w: decoding snapshot: %v", ErrCorrupt, err)
+	}
+	if snap.Version < minVersion || snap.Version > Version {
+		return nil, fmt.Errorf("persist: unsupported snapshot version %d (want %d..%d)", snap.Version, minVersion, Version)
 	}
 	return &snap, nil
+}
+
+// splitChecksumFooter separates the snapshot body from the checksum
+// footer. A last line that opens with the footer magic is a footer —
+// and from there any malformation is ErrCorrupt, never a silent
+// fallback to the unverified legacy path. Input without a footer line
+// is a legacy snapshot: the whole buffer is the body.
+func splitChecksumFooter(data []byte) (body []byte, sum uint32, hasFooter bool, err error) {
+	trimmed := data
+	if n := len(trimmed); n > 0 && trimmed[n-1] == '\n' {
+		trimmed = trimmed[:n-1]
+	}
+	i := bytes.LastIndexByte(trimmed, '\n')
+	last := trimmed[i+1:]
+	if !bytes.HasPrefix(last, []byte(footerMagic)) {
+		return data, 0, false, nil
+	}
+	var f footerJSON
+	if uerr := json.Unmarshal(last, &f); uerr != nil || f.Footer != "crc32" {
+		return nil, 0, false, fmt.Errorf("%w: malformed checksum footer %q", ErrCorrupt, last)
+	}
+	v, perr := strconv.ParseUint(f.Sum, 16, 32)
+	if perr != nil {
+		return nil, 0, false, fmt.Errorf("%w: malformed checksum %q", ErrCorrupt, f.Sum)
+	}
+	return data[:i+1], uint32(v), true, nil
 }
 
 // ReadFile parses a snapshot file.

@@ -1,0 +1,142 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+	"testing"
+	"time"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/game"
+	"exptrain/internal/persist"
+	"exptrain/internal/persist/faulty"
+)
+
+// TestChaosFlakyStoreWorkload is the acceptance chaos test: a manager
+// whose store fails 30% of all operations (seeded) must complete a
+// 64-session concurrent workload — constant park/unpark churn through
+// 16 resident slots — with zero lost submitted rounds, and every
+// session degraded along the way must recover once the faults clear.
+// Run under -race (make chaos); ET_CHAOS=1 deepens the workload.
+func TestChaosFlakyStoreWorkload(t *testing.T) {
+	const workers = 64
+	rounds := 2
+	if os.Getenv("ET_CHAOS") != "" {
+		rounds = 4
+	}
+	const chaosSeed = 2026
+	ctx := context.Background()
+	fs := faulty.Wrap(persist.NewMemStore(), faulty.Config{Seed: chaosSeed, FailRate: 0.3})
+	m := NewManager(Options{
+		MaxSessions: 16,
+		IdleTTL:     time.Minute, // churn comes from capacity + explicit evicts, not TTL
+		Store:       fs,
+		Retry:       fastRetry(),
+		RetrySeed:   chaosSeed,
+	})
+
+	// Transient outcomes are the designed behavior under a flaky store:
+	// clients retry 503s and 429s, so the workers do too.
+	transient := func(err error) bool {
+		return errors.Is(err, ErrStoreUnavailable) || errors.Is(err, ErrTooManySessions)
+	}
+	retry := func(op func() error) error {
+		for tries := 0; ; tries++ {
+			err := op()
+			if err == nil || !transient(err) || tries > 5000 {
+				return err
+			}
+			time.Sleep(200 * time.Microsecond)
+		}
+	}
+
+	ids := make([]string, workers)
+	errCh := make(chan error, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var info Info
+			if err := retry(func() (err error) {
+				info, err = m.Create(ctx, testSpec())
+				return err
+			}); err != nil {
+				errCh <- fmt.Errorf("worker %d create: %w", w, err)
+				return
+			}
+			ids[w] = info.ID
+			for round := 0; round < rounds; round++ {
+				var pairs []PairView
+				for {
+					err := retry(func() (err error) {
+						pairs, err = m.Next(ctx, info.ID)
+						return err
+					})
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d round %d next: %w", w, round, err)
+						return
+					}
+					labeled := make([]belief.Labeling, len(pairs))
+					for i, p := range pairs {
+						labeled[i] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
+					}
+					err = retry(func() (err error) {
+						_, err = m.Submit(ctx, info.ID, labeled)
+						return err
+					})
+					if errors.Is(err, game.ErrNoRoundPending) {
+						// An eviction between Next and Submit discarded the
+						// pending (evidence-free) round; present it again.
+						continue
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d round %d submit: %w", w, round, err)
+						return
+					}
+					break
+				}
+				// Half the workers force eviction churn through the flaky
+				// store. Failure is fine — the session goes degraded and
+				// keeps serving; that is the mode under test.
+				if w%2 == 0 {
+					_ = m.Evict(ctx, info.ID)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+
+	if ops, injected := fs.Stats(); injected == 0 {
+		t.Fatalf("no faults injected over %d store ops; chaos exercised nothing (seed %d)", ops, fs.Seed())
+	}
+
+	// Faults clear: every degraded session must checkpoint cleanly on
+	// the final drain, and nothing submitted may be missing.
+	fs.ClearFaults()
+	if err := m.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown after faults cleared: %v", err)
+	}
+	h := m.Health()
+	if h.Live != 0 || h.Degraded != 0 || h.Parked != workers {
+		t.Fatalf("Health after drain = %+v, want all %d sessions parked and none degraded", h, workers)
+	}
+	for w, id := range ids {
+		snap, err := fs.Get(ctx, id)
+		if err != nil {
+			t.Fatalf("worker %d: snapshot %s unreadable after drain: %v", w, id, err)
+		}
+		if got := len(snap.History); got != rounds {
+			t.Fatalf("worker %d: snapshot %s has %d submitted rounds, want %d — a submitted round was lost", w, id, got, rounds)
+		}
+	}
+}

@@ -20,6 +20,13 @@ var (
 	// session could be evicted to make room (HTTP 429).
 	ErrTooManySessions = errors.New("service: too many live sessions")
 	// ErrShuttingDown: the manager is draining; no new work is accepted
-	// (HTTP 503).
+	// (HTTP 503 with kind "shutting_down" — distinct from the capacity
+	// 429 so clients know to fail over rather than shed load).
 	ErrShuttingDown = errors.New("service: shutting down")
+	// ErrStoreUnavailable: a checkpoint-store operation kept failing
+	// after the manager's full retry policy. The underlying cause is
+	// wrapped alongside it (HTTP 503 + Retry-After). The session the
+	// operation was for is not lost — a failed checkpoint leaves it live
+	// and degraded (see Info.Degraded).
+	ErrStoreUnavailable = errors.New("service: checkpoint store unavailable")
 )

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"context"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -103,8 +104,13 @@ type Info struct {
 	Pending   int             `json:"pending"`
 	Remaining int             `json:"remaining"`
 	Parked    bool            `json:"parked"`
-	Rows      int             `json:"rows"`
-	Space     int             `json:"space"`
+	// Degraded marks a live session whose last checkpoint exhausted the
+	// store retry policy: its state exists only in memory until a later
+	// checkpoint succeeds. Degraded sessions keep serving rounds and are
+	// skipped by eviction while any healthy victim exists.
+	Degraded bool `json:"degraded,omitempty"`
+	Rows     int  `json:"rows"`
+	Space    int  `json:"space"`
 }
 
 // PairView is one presented pair with its rendered tuples, so a client
@@ -147,6 +153,12 @@ type Options struct {
 	// Store receives eviction and shutdown checkpoints (default: a
 	// fresh in-memory store).
 	Store persist.Store
+	// Retry bounds retries of store operations (zero value → defaults:
+	// 4 attempts, 5ms base backoff, 250ms cap).
+	Retry RetryPolicy
+	// RetrySeed seeds the backoff jitter stream (default 1). Fixing it
+	// makes retry schedules reproducible in fault-injection tests.
+	RetrySeed uint64
 }
 
 func (o Options) withDefaults() Options {
@@ -158,6 +170,10 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Store == nil {
 		o.Store = persist.NewMemStore()
+	}
+	o.Retry = o.Retry.withDefaults()
+	if o.RetrySeed == 0 {
+		o.RetrySeed = 1
 	}
 	return o
 }
@@ -201,17 +217,31 @@ type Manager struct {
 	seq uint64
 	// draining rejects new work during Shutdown; guarded by mu.
 	draining bool
+	// degraded marks live session ids whose last checkpoint exhausted
+	// retries; guarded by mu. Parking requires a successful checkpoint,
+	// so a parked session is never degraded.
+	degraded map[string]bool
+	// storeFails counts store operations that exhausted the retry
+	// policy; guarded by mu.
+	storeFails uint64
+	// storeErr is the most recent exhausted-retries store error, nil
+	// once an operation succeeds again; guarded by mu.
+	storeErr error
+	// rrng draws retry backoff jitter; guarded by mu.
+	rrng *stats.RNG
 }
 
 // NewManager builds a manager.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	return &Manager{
-		opts:   opts,
-		store:  opts.Store,
-		now:    time.Now,
-		live:   make(map[string]*entry),
-		parked: make(map[string]Spec),
+		opts:     opts,
+		store:    opts.Store,
+		now:      time.Now,
+		live:     make(map[string]*entry),
+		parked:   make(map[string]Spec),
+		degraded: make(map[string]bool),
+		rrng:     stats.NewRNG(opts.RetrySeed),
 	}
 }
 
@@ -337,7 +367,12 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	if err := ctx.Err(); err != nil {
 		return Info{}, err
 	}
-	snap, err := m.store.Get(ctx, snapshotID)
+	var snap *persist.Snapshot
+	err := m.storeRetry(ctx, "loading snapshot "+snapshotID, func(ctx context.Context) error {
+		var gerr error
+		snap, gerr = m.store.Get(ctx, snapshotID)
+		return gerr
+	})
 	if err != nil {
 		return Info{}, err
 	}
@@ -375,7 +410,7 @@ func (m *Manager) install(ctx context.Context, e *entry) error {
 			m.mu.Unlock()
 			return nil
 		}
-		victim := m.lruVictimLocked()
+		victim := m.victimLocked(nil)
 		m.mu.Unlock()
 		if victim == nil {
 			return ErrTooManySessions
@@ -386,15 +421,25 @@ func (m *Manager) install(ctx context.Context, e *entry) error {
 	}
 }
 
-// lruVictimLocked picks the least-recently-used live entry whose lock
-// is immediately free (an entry mid-request is never evicted). Caller
-// holds m.mu; the returned entry is locked.
-func (m *Manager) lruVictimLocked() *entry {
+// victimLocked picks the least-recently-used live entry (excluding
+// keep) whose lock is immediately free — an entry mid-request is never
+// evicted. Healthy entries are preferred over degraded ones: a degraded
+// session's last checkpoint failed, so evicting it will likely fail
+// again; it is chosen only when no healthy candidate exists, which
+// doubles as its recovery path once the store heals. Caller holds m.mu;
+// the returned entry is locked.
+func (m *Manager) victimLocked(keep *entry) *entry {
 	var candidates []*entry
 	for _, e := range m.live {
-		candidates = append(candidates, e)
+		if e != keep {
+			candidates = append(candidates, e)
+		}
 	}
 	sort.Slice(candidates, func(i, j int) bool {
+		di, dj := m.degraded[candidates[i].id], m.degraded[candidates[j].id]
+		if di != dj {
+			return !di // healthy first
+		}
 		return candidates[i].lastUsed.Before(candidates[j].lastUsed)
 	})
 	for _, e := range candidates {
@@ -411,6 +456,13 @@ func (m *Manager) lruVictimLocked() *entry {
 
 // evict checkpoints a locked entry into the store and parks it. The
 // entry lock is released before returning.
+//
+// The invariant this method protects: a session leaves the live map
+// only after its checkpoint durably landed. If the Put exhausts the
+// retry policy the session stays live and is marked degraded — serving
+// continues from memory, nothing submitted is lost, and a later
+// checkpoint (Sweep, Snapshot, Shutdown, or a forced eviction) retries
+// and clears the mark.
 func (m *Manager) evict(ctx context.Context, e *entry) error {
 	defer e.mu.Unlock()
 	// An unsubmitted round is dropped: it carries no annotator evidence,
@@ -421,15 +473,33 @@ func (m *Manager) evict(ctx context.Context, e *entry) error {
 	if err != nil {
 		return err
 	}
-	if err := m.store.Put(ctx, e.id, snap); err != nil {
+	if err := m.storeRetry(ctx, "checkpointing "+e.id, func(ctx context.Context) error {
+		return m.store.Put(ctx, e.id, snap)
+	}); err != nil {
+		m.setDegraded(e.id, true)
 		return err
 	}
 	e.gone = true
 	m.mu.Lock()
 	delete(m.live, e.id)
+	delete(m.degraded, e.id)
 	m.parked[e.id] = e.spec
 	m.mu.Unlock()
 	return nil
+}
+
+// setDegraded flips a live session's degraded mark. Only live sessions
+// carry the mark: parking requires the checkpoint to have succeeded.
+func (m *Manager) setDegraded(id string, sick bool) {
+	m.mu.Lock()
+	if sick {
+		if _, ok := m.live[id]; ok {
+			m.degraded[id] = true
+		}
+	} else {
+		delete(m.degraded, id)
+	}
+	m.mu.Unlock()
 }
 
 // acquire returns the locked entry for id, transparently unparking an
@@ -477,7 +547,12 @@ func (m *Manager) acquire(ctx context.Context, id string) (*entry, error) {
 				return nil, err
 			}
 		}
-		snap, err := m.store.Get(ctx, id)
+		var snap *persist.Snapshot
+		err := m.storeRetry(ctx, "loading snapshot "+id, func(ctx context.Context) error {
+			var gerr error
+			snap, gerr = m.store.Get(ctx, id)
+			return gerr
+		})
 		if err == nil {
 			var sess *game.Session
 			var rs *roundStats
@@ -502,26 +577,7 @@ func (m *Manager) makeRoomFor(ctx context.Context, keep *entry) error {
 			m.mu.Unlock()
 			return nil
 		}
-		var victim *entry
-		var candidates []*entry
-		for _, e := range m.live {
-			if e != keep {
-				candidates = append(candidates, e)
-			}
-		}
-		sort.Slice(candidates, func(i, j int) bool {
-			return candidates[i].lastUsed.Before(candidates[j].lastUsed)
-		})
-		for _, e := range candidates {
-			if e.mu.TryLock() {
-				if e.gone {
-					e.mu.Unlock()
-					continue
-				}
-				victim = e
-				break
-			}
-		}
+		victim := m.victimLocked(keep)
 		m.mu.Unlock()
 		if victim == nil {
 			return ErrTooManySessions
@@ -545,11 +601,15 @@ func (m *Manager) unparkFailed(e *entry) {
 
 // infoOf renders a locked (or freshly built) entry.
 func (m *Manager) infoOf(e *entry, parked bool) Info {
+	m.mu.Lock()
+	degraded := m.degraded[e.id]
+	m.mu.Unlock()
 	info := Info{
-		ID:     e.id,
-		Method: e.spec.Method.Resolve(),
-		K:      e.spec.K,
-		Parked: parked,
+		ID:       e.id,
+		Method:   e.spec.Method.Resolve(),
+		K:        e.spec.K,
+		Parked:   parked,
+		Degraded: degraded,
 	}
 	if e.sess != nil {
 		info.Rounds = e.sess.Rounds()
@@ -591,7 +651,7 @@ func (m *Manager) List(ctx context.Context) ([]Info, error) {
 	for _, e := range m.live {
 		// Metadata only — reading counters without the entry lock would
 		// race with in-flight rounds.
-		out = append(out, Info{ID: e.id, Method: e.spec.Method.Resolve(), K: e.spec.K})
+		out = append(out, Info{ID: e.id, Method: e.spec.Method.Resolve(), K: e.spec.K, Degraded: m.degraded[e.id]})
 	}
 	for id, spec := range m.parked {
 		out = append(out, Info{ID: id, Method: spec.Method.Resolve(), K: spec.K, Parked: true})
@@ -715,9 +775,15 @@ func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	if err := m.store.Put(ctx, e.id, snap); err != nil {
+	if err := m.storeRetry(ctx, "checkpointing "+e.id, func(ctx context.Context) error {
+		return m.store.Put(ctx, e.id, snap)
+	}); err != nil {
+		m.setDegraded(e.id, true)
 		return "", err
 	}
+	// A successful explicit checkpoint heals a degraded session: its
+	// state is durable again.
+	m.setDegraded(e.id, false)
 	return e.id, nil
 }
 
@@ -733,7 +799,11 @@ func (m *Manager) Evict(ctx context.Context, id string) error {
 
 // Sweep parks every session idle for at least the manager's IdleTTL.
 // It returns the parked session ids. Call it periodically (cmd/etserve
-// runs it on a ticker) or directly in tests.
+// runs it on a ticker) or directly in tests. A failed eviction leaves
+// that session live and degraded but does not stop the sweep — the
+// remaining idle sessions still get their chance to park, and a later
+// sweep retries the degraded ones (their recovery path once the store
+// heals). All failures are joined into the returned error.
 func (m *Manager) Sweep(ctx context.Context) ([]string, error) {
 	cutoff := m.now().Add(-m.opts.IdleTTL)
 	m.mu.Lock()
@@ -745,7 +815,12 @@ func (m *Manager) Sweep(ctx context.Context) ([]string, error) {
 	}
 	m.mu.Unlock()
 	var swept []string
+	var errs []error
 	for _, e := range idle {
+		if err := ctx.Err(); err != nil {
+			errs = append(errs, err)
+			break
+		}
 		if !e.mu.TryLock() {
 			continue // mid-request: not idle after all
 		}
@@ -761,12 +836,13 @@ func (m *Manager) Sweep(ctx context.Context) ([]string, error) {
 			continue
 		}
 		if err := m.evict(ctx, e); err != nil {
-			return swept, err
+			errs = append(errs, err)
+			continue
 		}
 		swept = append(swept, e.id)
 	}
 	sort.Strings(swept)
-	return swept, nil
+	return swept, errors.Join(errs...)
 }
 
 // Counts reports how many sessions are live and parked.
@@ -776,10 +852,52 @@ func (m *Manager) Counts() (live, parked int) {
 	return len(m.live), len(m.parked)
 }
 
+// Health is the manager's operator-facing health summary — what
+// GET /v1/healthz reports and what a load balancer should act on.
+type Health struct {
+	// OK is false while the manager is draining, any session is
+	// degraded, or the last store operation failed — conditions under
+	// which an operator should drain traffic toward a healthier replica.
+	OK bool `json:"ok"`
+	// Live, Parked and Degraded count sessions (degraded ⊆ live).
+	Live     int `json:"live"`
+	Parked   int `json:"parked"`
+	Degraded int `json:"degraded"`
+	// Draining reports Shutdown in progress.
+	Draining bool `json:"draining"`
+	// StoreFailures counts store operations that exhausted the retry
+	// policy since startup; StoreError is the most recent one, empty
+	// once an operation succeeds again.
+	StoreFailures uint64 `json:"store_failures"`
+	StoreError    string `json:"store_error,omitempty"`
+}
+
+// Health reports the manager's current health.
+func (m *Manager) Health() Health {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	h := Health{
+		Live:          len(m.live),
+		Parked:        len(m.parked),
+		Degraded:      len(m.degraded),
+		Draining:      m.draining,
+		StoreFailures: m.storeFails,
+	}
+	if m.storeErr != nil {
+		h.StoreError = m.storeErr.Error()
+	}
+	h.OK = !h.Draining && h.Degraded == 0 && m.storeErr == nil
+	return h
+}
+
 // Shutdown drains the manager: new requests fail with ErrShuttingDown,
 // and every live session is checkpointed into the store. It blocks on
 // in-flight per-session work (each entry lock is acquired), so once it
-// returns no submitted round is lost. Safe to call more than once.
+// returns no submitted round is lost. One session's checkpoint failure
+// does not abandon the rest — every session gets its full retry budget
+// and all failures are joined into the returned error; sessions whose
+// checkpoint failed stay resident and degraded, so a caller can fix the
+// store and call Shutdown again. Safe to call more than once.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	m.draining = true
@@ -789,16 +907,16 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 	m.mu.Unlock()
 
-	var firstErr error
+	var errs []error
 	for _, e := range entries {
 		e.mu.Lock()
 		if e.gone {
 			e.mu.Unlock()
 			continue
 		}
-		if err := m.evict(ctx, e); err != nil && firstErr == nil { // releases the lock
-			firstErr = err
+		if err := m.evict(ctx, e); err != nil { // releases the lock
+			errs = append(errs, err)
 		}
 	}
-	return firstErr
+	return errors.Join(errs...)
 }

@@ -365,25 +365,35 @@ func TestManagerConcurrentSessions(t *testing.T) {
 				return
 			}
 			for round := 0; round < 3; round++ {
-				var pairs []PairView
-				err := retry(func() (err error) {
-					pairs, err = m.Next(ctx, info.ID)
-					return err
-				})
-				if err != nil {
-					errCh <- fmt.Errorf("worker %d next: %w", w, err)
-					return
-				}
-				labeled := make([]belief.Labeling, len(pairs))
-				for i, p := range pairs {
-					labeled[i] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
-				}
-				if err := retry(func() (err error) {
-					_, err = m.Submit(ctx, info.ID, labeled)
-					return err
-				}); err != nil {
-					errCh <- fmt.Errorf("worker %d submit: %w", w, err)
-					return
+				for {
+					var pairs []PairView
+					err := retry(func() (err error) {
+						pairs, err = m.Next(ctx, info.ID)
+						return err
+					})
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d next: %w", w, err)
+						return
+					}
+					labeled := make([]belief.Labeling, len(pairs))
+					for i, p := range pairs {
+						labeled[i] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
+					}
+					err = retry(func() (err error) {
+						_, err = m.Submit(ctx, info.ID, labeled)
+						return err
+					})
+					if errors.Is(err, game.ErrNoRoundPending) {
+						// The aggressive 1ms-TTL sweeper parked the session
+						// between Next and Submit, discarding the pending
+						// (evidence-free) round; present it again.
+						continue
+					}
+					if err != nil {
+						errCh <- fmt.Errorf("worker %d submit: %w", w, err)
+						return
+					}
+					break
 				}
 			}
 			if w%3 == 0 {

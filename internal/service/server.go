@@ -49,7 +49,14 @@ func (o ServerOptions) withDefaults() ServerOptions {
 //	GET    /v1/sessions/{id}/repairs believed-FD cell repairs (?tau=0.5)
 //	POST   /v1/sessions/{id}/snapshot  checkpoint to the store
 //	DELETE /v1/sessions/{id}         checkpoint and park
-//	GET    /v1/healthz               liveness
+//	GET    /v1/healthz               health: store state, live/parked/
+//	                                 degraded counts; 503 when degraded
+//	                                 or draining
+//
+// Store failures surface as 503 + Retry-After with kind
+// "store_unavailable"; a draining manager answers 503 with kind
+// "shutting_down" — distinct from the capacity 429 "too_many_sessions"
+// so clients can tell "fail over" from "shed load".
 type Server struct {
 	mgr  *Manager
 	opts ServerOptions
@@ -151,6 +158,13 @@ func httpStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, "too_many_sessions"
 	case errors.Is(err, ErrShuttingDown):
 		return http.StatusServiceUnavailable, "shutting_down"
+	case errors.Is(err, ErrStoreUnavailable):
+		// Checked before the context sentinels: an exhausted retry loop
+		// may wrap an ambiguous cancellation, and the actionable fact for
+		// the client is "the store is sick, retry later".
+		return http.StatusServiceUnavailable, "store_unavailable"
+	case errors.Is(err, persist.ErrCorrupt):
+		return http.StatusInternalServerError, "corrupt_snapshot"
 	case errors.Is(err, game.ErrRoundPending):
 		return http.StatusConflict, "round_pending"
 	case errors.Is(err, game.ErrNoRoundPending):
@@ -176,8 +190,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
+// retryAfter advises clients when to come back: quickly for a draining
+// or store-sick replica (a load balancer will have failed over by
+// then), with more patience for capacity pressure (a session must go
+// idle before room appears).
+func retryAfter(status int) string {
+	if status == http.StatusTooManyRequests {
+		return "10"
+	}
+	return "2"
+}
+
 func writeErr(w http.ResponseWriter, err error) {
 	status, kind := httpStatus(err)
+	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
+		w.Header().Set("Retry-After", retryAfter(status))
+	}
 	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
 }
 
@@ -190,9 +218,18 @@ func decodeBody(r *http.Request, v any) error {
 	return nil
 }
 
+// handleHealth reports the manager's health. A degraded, draining or
+// store-sick manager answers 503 so a load balancer routes around it
+// before it loses work; the body always carries the full Health detail
+// either way, for operators.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	live, parked := s.mgr.Counts()
-	writeJSON(w, http.StatusOK, map[string]int{"live": live, "parked": parked})
+	h := s.mgr.Health()
+	status := http.StatusOK
+	if !h.OK {
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", retryAfter(status))
+	}
+	writeJSON(w, status, h)
 }
 
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
@@ -214,8 +251,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		// Spec/source validation failures (bad CSV, unknown dataset,
 		// malformed snapshot pairing) have no sentinel of their own;
 		// they are client input problems, so anything that would
-		// otherwise map to 500 here surfaces as 400.
-		if status, _ := httpStatus(err); status == http.StatusInternalServerError {
+		// otherwise map to a plain 500 here surfaces as 400. Sentinels
+		// that deliberately map to 500 (a corrupt snapshot) keep their
+		// kind — those are the server's fault, not the client's.
+		if status, kind := httpStatus(err); status == http.StatusInternalServerError && kind == "internal" {
 			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
 			return
 		}
