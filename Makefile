@@ -10,9 +10,10 @@ FUZZTIME ?= 5s
 FUZZERS := ./internal/sampling:FuzzParseMethod \
            ./internal/persist:FuzzSnapshotDecode \
            ./internal/persist:FuzzSnapshotChecksum \
-           ./internal/service:FuzzServerJSON
+           ./internal/service:FuzzServerJSON \
+           ./internal/fd:FuzzPLIDelta
 
-.PHONY: all build vet lint test race check verify bench fuzz chaos clean
+.PHONY: all build vet lint test race check verify bench benchbaseline benchcheck fuzz chaos clean
 
 all: build
 
@@ -23,7 +24,8 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific determinism & concurrency rules (internal/lint):
-# detrand, detclock, maporder, lockedfield, printclean, floatcmp.
+# detrand, detclock, maporder, lockedfield, printclean, floatcmp,
+# scratchalias.
 # Exits non-zero on any finding or unjustified suppression.
 lint:
 	$(GO) run ./cmd/etlint ./...
@@ -72,16 +74,54 @@ fuzz:
 		$(GO) test -run '^$$' -fuzz "^$$target$$" -fuzztime $(FUZZTIME) $$pkg || exit 1; \
 	done
 
+# The GameScaling sweeps below exclude its rows=100000 case — it exists
+# to prove the incremental PLI path scales and is pinned at one
+# iteration in `make benchbaseline` instead of being re-timed on every
+# sweep.
+
 # Run each hot-path benchmark and convert its output into a
 # machine-readable baseline (BENCH_FullGame.json, BENCH_G1.json, ...)
 # via cmd/benchjson, for diffing across commits.
 bench:
 	@for b in $(BENCHES); do \
+		re="^Benchmark$$b\$$"; \
+		case $$b in GameScaling) re='^BenchmarkGameScaling$$/^rows=(120|240|480|960)$$';; esac; \
 		echo "== Benchmark$$b"; \
-		$(GO) test -run '^$$' -bench "^Benchmark$$b$$" -benchmem $(BENCHFLAGS) . \
+		$(GO) test -run '^$$' -bench "$$re" -benchmem $(BENCHFLAGS) . \
 			| $(GO) run ./cmd/benchjson > BENCH_$$b.json || exit 1; \
 		echo "   wrote BENCH_$$b.json"; \
 	done
+
+# Record the incremental-PLI baseline (BENCH_PLIIncremental.json): the
+# warm-cache revision benchmark plus the one-iteration rows=100000
+# scaling case that the delta protocol makes feasible at all. Revision
+# runs 100 iterations so the recorded numbers are the steady state, not
+# the first call's one-time memo warm-up.
+benchbaseline:
+	@echo "== BenchmarkRevision + BenchmarkGameScaling/rows=100000"
+	@( $(GO) test -run '^$$' -bench '^BenchmarkRevision$$' -benchtime 100x -benchmem . && \
+	   $(GO) test -run '^$$' -bench '^BenchmarkGameScaling$$/^rows=100000$$' -benchtime 1x -benchmem . ) \
+		| $(GO) run ./cmd/benchjson > BENCH_PLIIncremental.json
+	@echo "   wrote BENCH_PLIIncremental.json"
+
+# Allocation regression gate: run each hot-path benchmark briefly and
+# fail when its allocs/op exceeds the checked-in baseline's ceiling
+# (see cmd/benchjson -check for the slack rule). One iteration is
+# enough for benchmarks that set up per iteration; SessionRound reuses
+# one session across iterations, so it gets a fixed 100x to amortize
+# cold-start scratch growth the baselines never see.
+benchcheck:
+	@for b in $(BENCHES); do \
+		re="^Benchmark$$b\$$"; \
+		case $$b in GameScaling) re='^BenchmarkGameScaling$$/^rows=(120|240|480|960)$$';; esac; \
+		bt=1x; case $$b in SessionRound) bt=100x;; esac; \
+		echo "== benchcheck Benchmark$$b (-benchtime $$bt)"; \
+		$(GO) test -run '^$$' -bench "$$re" -benchtime $$bt -benchmem . \
+			| $(GO) run ./cmd/benchjson -check BENCH_$$b.json || exit 1; \
+	done
+	@echo "== benchcheck BenchmarkRevision (-benchtime 100x)"
+	@$(GO) test -run '^$$' -bench '^BenchmarkRevision$$' -benchtime 100x -benchmem . \
+		| $(GO) run ./cmd/benchjson -check BENCH_PLIIncremental.json
 
 clean:
 	rm -f BENCH_*.json

@@ -1,0 +1,71 @@
+package exptrain
+
+import (
+	"testing"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/datagen"
+	"exptrain/internal/game"
+	"exptrain/internal/sampling"
+)
+
+// maxAllocsPerRound is the regression ceiling for one warm session
+// round (Next + Submit) at the service's default shape. The measured
+// steady state is ~15 allocations (labeling slices retained in records,
+// plus map growth amortization); before the incremental-PLI and
+// scratch-reuse work it was ~2900. The ceiling is deliberately loose —
+// it exists to catch a return to per-round partition rebuilding or
+// per-call scoring-buffer churn, not to pin the exact count.
+const maxAllocsPerRound = 200
+
+// TestSessionRoundAllocations pins the steady-state allocation count of
+// the interactive round hot path.
+func TestSessionRoundAllocations(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation measurement is not meaningful with -short races")
+	}
+	ds := datagen.OMDB(240, 1)
+	space := ds.Space(3, 38)
+	sess, err := game.NewSession(game.SessionConfig{
+		Relation: ds.Rel,
+		Space:    space,
+		Sampler:  sampling.StochasticUS{},
+		K:        10,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	round := func() error {
+		pairs, err := sess.Next()
+		if err != nil {
+			return err
+		}
+		labeled := make([]belief.Labeling, len(pairs))
+		for j, p := range pairs {
+			labeled[j] = belief.Labeling{Pair: p}
+		}
+		return sess.Submit(labeled)
+	}
+	// Warm the caches: the first rounds pay one-time pool and scratch
+	// growth that the steady state never repeats.
+	for i := 0; i < 5; i++ {
+		if err := round(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var roundErr error
+	avg := testing.AllocsPerRun(20, func() {
+		if err := round(); err != nil && roundErr == nil {
+			roundErr = err
+		}
+	})
+	if roundErr != nil {
+		t.Fatal(roundErr)
+	}
+	if avg > maxAllocsPerRound {
+		t.Fatalf("steady-state session round allocates %.0f objects/round, ceiling %d — the hot path regressed",
+			avg, maxAllocsPerRound)
+	}
+	t.Logf("steady-state allocations per round: %.1f (ceiling %d)", avg, maxAllocsPerRound)
+}

@@ -435,8 +435,13 @@ func BenchmarkAblationExtendedSamplers(b *testing.B) {
 }
 
 // BenchmarkGameScaling measures full-game cost as the relation grows.
+// The rows=100000 case exists because the pool builder no longer
+// materializes agreeing-pair lists and the round path no longer
+// rebuilds partitions per edit; before those changes it did not finish.
+// It is excluded from `make bench` timing sweeps and pinned at one
+// iteration in `make benchbaseline` (see BENCH_PLIIncremental.json).
 func BenchmarkGameScaling(b *testing.B) {
-	for _, rows := range []int{120, 240, 480, 960} {
+	for _, rows := range []int{120, 240, 480, 960, 100000} {
 		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
 			ds := datagen.OMDB(rows, 1)
 			injected, err := errgen.InjectDegree(ds.Rel, errgen.DegreeConfig{
@@ -460,6 +465,43 @@ func BenchmarkGameScaling(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkRevision measures the cost of revising one cell and then
+// re-evaluating every hypothesis of a 38-FD space — the steady-state
+// shape of a game round after the trainer corrects the data. The
+// incremental case keeps one warm PLI cache across edits (single-tuple
+// delta replay plus selective stats eviction); the rebuild case pays
+// the pre-delta-protocol price of a wholesale invalidation: every LHS
+// partition and every stat recomputed from scratch.
+func BenchmarkRevision(b *testing.B) {
+	const rows = 960
+	ds := datagen.OMDB(rows, 1)
+	space := ds.Space(3, 38)
+	fds := space.FDs()
+	sweep := func(cache *fd.PLICache) {
+		for _, f := range fds {
+			cache.Stats(f)
+		}
+	}
+	b.Run("incremental", func(b *testing.B) {
+		rel := ds.Rel.Clone()
+		cache := fd.NewPLICache(rel)
+		sweep(cache)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.SetValue(i%rows, 2, fmt.Sprintf("Genre-%d", i%6))
+			sweep(cache)
+		}
+	})
+	b.Run("rebuild", func(b *testing.B) {
+		rel := ds.Rel.Clone()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rel.SetValue(i%rows, 2, fmt.Sprintf("Genre-%d", i%6))
+			sweep(fd.NewPLICache(rel))
+		}
+	})
 }
 
 // BenchmarkIncrementalTracking compares incremental FD-statistics

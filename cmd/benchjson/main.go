@@ -8,15 +8,38 @@
 // custom b.ReportMetric units alike) becomes an entry in the
 // benchmark's metric map, so baselines can be diffed or asserted
 // against by scripts (`make bench` uses it to emit BENCH_*.json).
+//
+// With -check, benchjson instead compares the stdin stream against a
+// checked-in baseline and exits non-zero on an allocation regression:
+//
+//	go test -run '^$' -bench '^BenchmarkFullGame$' -benchtime 1x -benchmem . |
+//	    benchjson -check BENCH_FullGame.json
+//
+// Only allocs/op is asserted — it is deterministic for a fixed code
+// path, unlike ns/op which varies with machine load, so the gate never
+// flakes on timing noise. A benchmark missing from the baseline is
+// skipped with a note (new benchmarks need `make bench` to record them).
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
+)
+
+// Allocation regression tolerance: current allocs/op may exceed the
+// baseline by 50% plus an absolute floor of 64 objects. The factor
+// absorbs deliberate small additions without a baseline refresh; the
+// floor keeps near-zero baselines (the whole point of the hot-path
+// work) from turning single-object changes into failures.
+const (
+	allocSlackFactor = 1.5
+	allocSlackFloor  = 64
 )
 
 // Benchmark is one benchmark's result. A `-count>1` run emits the same
@@ -45,10 +68,20 @@ type Baseline struct {
 }
 
 func main() {
+	checkPath := flag.String("check", "",
+		"compare stdin against this BENCH_*.json baseline's allocs/op instead of emitting JSON")
+	flag.Parse()
 	base, err := parse(bufio.NewScanner(os.Stdin))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
+	}
+	if *checkPath != "" {
+		if err := check(base, *checkPath, os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		return
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
@@ -56,6 +89,59 @@ func main() {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)
 	}
+}
+
+// check compares cur against the baseline at path and errors when any
+// benchmark's allocs/op exceeds baseline*allocSlackFactor +
+// allocSlackFloor. Benchmarks absent from the baseline, or without an
+// allocs/op metric on either side, are reported and skipped.
+func check(cur *Baseline, path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var ref Baseline
+	if err := json.Unmarshal(data, &ref); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	refByName := make(map[string]Benchmark, len(ref.Benchmarks))
+	for _, b := range ref.Benchmarks {
+		refByName[b.Name] = b
+	}
+	compared := 0
+	var regressions []string
+	for _, b := range cur.Benchmarks {
+		rb, ok := refByName[b.Name]
+		if !ok {
+			fmt.Fprintf(w, "skip %s: not in %s (run `make bench` to record it)\n", b.Name, path)
+			continue
+		}
+		refAllocs, refOK := rb.Metrics["allocs/op"]
+		curAllocs, curOK := b.Metrics["allocs/op"]
+		if !refOK || !curOK {
+			fmt.Fprintf(w, "skip %s: no allocs/op metric (was -benchmem set?)\n", b.Name)
+			continue
+		}
+		compared++
+		limit := refAllocs*allocSlackFactor + allocSlackFloor
+		if curAllocs > limit {
+			regressions = append(regressions, fmt.Sprintf(
+				"%s: %.0f allocs/op, baseline %.0f (limit %.0f)", b.Name, curAllocs, refAllocs, limit))
+			fmt.Fprintf(w, "FAIL %s: %.0f allocs/op exceeds limit %.0f (baseline %.0f)\n",
+				b.Name, curAllocs, limit, refAllocs)
+		} else {
+			fmt.Fprintf(w, "ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n",
+				b.Name, curAllocs, refAllocs, limit)
+		}
+	}
+	if compared == 0 {
+		return fmt.Errorf("no benchmark on stdin matched %s", path)
+	}
+	if len(regressions) > 0 {
+		return fmt.Errorf("%d allocation regression(s):\n\t%s",
+			len(regressions), strings.Join(regressions, "\n\t"))
+	}
+	return nil
 }
 
 func parse(sc *bufio.Scanner) (*Baseline, error) {

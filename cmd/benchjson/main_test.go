@@ -2,7 +2,11 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
+	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -80,5 +84,73 @@ BenchmarkOK-8   10   300 ns/op
 	}
 	if _, err := parse(bufio.NewScanner(strings.NewReader("PASS\nok\n"))); err == nil {
 		t.Error("benchmark-free stream should error")
+	}
+}
+
+// writeBaseline marshals a Baseline to a temp file for check tests.
+func writeBaseline(t *testing.T, base *Baseline) string {
+	t.Helper()
+	data, err := json.Marshal(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "BENCH_test.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestCheckPassesWithinSlack: allocs/op at or under baseline*1.5+64
+// passes; benchmarks absent from the baseline or without allocs/op are
+// skipped, not failed.
+func TestCheckPassesWithinSlack(t *testing.T) {
+	path := writeBaseline(t, &Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFullGame", Metrics: map[string]float64{"allocs/op": 100}},
+		{Name: "BenchmarkTimingOnly", Metrics: map[string]float64{"ns/op": 5}},
+	}})
+	cur := parseText(t, `
+BenchmarkFullGame-8   1   100 ns/op   214 allocs/op
+BenchmarkBrandNew-8   1   100 ns/op   9999 allocs/op
+BenchmarkTimingOnly-8   1   100 ns/op   7 allocs/op
+`)
+	var out strings.Builder
+	if err := check(cur, path, &out); err != nil {
+		t.Fatalf("check failed: %v\n%s", err, out.String())
+	}
+	for _, want := range []string{
+		"ok   BenchmarkFullGame",
+		"skip BenchmarkBrandNew",
+		"skip BenchmarkTimingOnly",
+	} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestCheckFailsOnRegression: exceeding the ceiling errors and names
+// the offender.
+func TestCheckFailsOnRegression(t *testing.T) {
+	path := writeBaseline(t, &Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFullGame", Metrics: map[string]float64{"allocs/op": 100}},
+	}})
+	cur := parseText(t, "BenchmarkFullGame-8   1   100 ns/op   215 allocs/op\n")
+	var out strings.Builder
+	err := check(cur, path, &out)
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkFullGame") {
+		t.Fatalf("want regression error naming BenchmarkFullGame, got %v", err)
+	}
+}
+
+// TestCheckErrorsWhenNothingCompared: a stream that matches no baseline
+// entry must not silently pass.
+func TestCheckErrorsWhenNothingCompared(t *testing.T) {
+	path := writeBaseline(t, &Baseline{Benchmarks: []Benchmark{
+		{Name: "BenchmarkFullGame", Metrics: map[string]float64{"allocs/op": 100}},
+	}})
+	cur := parseText(t, "BenchmarkUnrelated-8   1   100 ns/op   5 allocs/op\n")
+	if err := check(cur, path, io.Discard); err == nil {
+		t.Fatal("want error when no benchmark could be compared")
 	}
 }

@@ -11,6 +11,8 @@ package belief
 
 import (
 	"fmt"
+	"math"
+	"math/bits"
 
 	"exptrain/internal/dataset"
 	"exptrain/internal/fd"
@@ -73,14 +75,19 @@ type Belief struct {
 	dists []stats.Beta
 
 	// Violation memo: which hypotheses a pair syntactically violates is
-	// a property of the (immutable-during-a-game) relation, not of the
-	// evolving distributions, yet the samplers re-derive it for the
-	// whole candidate pool every iteration through PDirty/Uncertainty.
-	// violMemo caches the violated hypothesis indices per pair, keyed to
-	// one relation identity+version; any change of relation or a
-	// mutation flushes it.
+	// a property of the (rarely mutated) relation, not of the evolving
+	// distributions, yet the samplers re-derive it for the whole
+	// candidate pool every iteration through PDirty/Uncertainty. Spaces
+	// of at most 64 hypotheses (every space the paper's evaluation uses)
+	// memoize a bitmask per pair in violMask — no per-pair slice
+	// allocation; larger spaces fall back to index slices in violMemo.
+	// The memo is keyed to one relation identity+version; when the
+	// relation advances, the cell-delta journal selectively evicts only
+	// the pairs touching an edited row, and a full flush happens only
+	// when the journal cannot cover the gap (bulk mutations).
 	violRel     *dataset.Relation
 	violVersion uint64
+	violMask    map[dataset.Pair]uint64
 	violMemo    map[dataset.Pair][]int32
 }
 
@@ -134,7 +141,17 @@ func (b *Belief) MAE(o *Belief) float64 {
 	if b.space != o.space && b.Size() != o.Size() {
 		panic("belief: MAE across different hypothesis spaces")
 	}
-	return stats.MeanAbsDiff(b.Confidences(), o.Confidences())
+	// Direct loop replicating stats.MeanAbsDiff's exact operation order
+	// over the confidence vectors without materializing them — MAE runs
+	// once per round and must not allocate.
+	var s float64
+	for i := range b.dists {
+		s += math.Abs(b.dists[i].Mean() - o.dists[i].Mean())
+	}
+	if len(b.dists) == 0 {
+		return 0
+	}
+	return s / float64(len(b.dists))
 }
 
 // UpdateFromData performs the unsupervised fictitious-play update the
@@ -290,7 +307,19 @@ func (b *Belief) Decay(lambda float64) {
 // rate, a violating pair is dirty exactly with the violated hypothesis'
 // confidence.
 func (b *Belief) PDirty(rel *dataset.Relation, p dataset.Pair) float64 {
+	b.ensureViolMemo(rel)
 	var best float64
+	if len(b.dists) <= 64 {
+		m := b.violatedMask(rel, p)
+		// Bits ascend, so hypotheses are visited in the same ascending
+		// index order as the slice path — the max is bit-identical.
+		for ; m != 0; m &= m - 1 {
+			if c := b.dists[bits.TrailingZeros64(m)].Mean(); c > best {
+				best = c
+			}
+		}
+		return best
+	}
 	for _, i := range b.violated(rel, p) {
 		if c := b.dists[i].Mean(); c > best {
 			best = c
@@ -299,15 +328,82 @@ func (b *Belief) PDirty(rel *dataset.Relation, p dataset.Pair) float64 {
 	return best
 }
 
-// violated returns the indices of the hypotheses pair p violates over
-// rel, memoized per pair. The memo is invalidated when the relation (or
-// its mutation version) changes.
-func (b *Belief) violated(rel *dataset.Relation, p dataset.Pair) []int32 {
-	if b.violRel != rel || b.violVersion != rel.Version() {
-		b.violRel = rel
-		b.violVersion = rel.Version()
-		b.violMemo = make(map[dataset.Pair][]int32)
+// ensureViolMemo keys the violation memo to the relation's current
+// version. When only single-cell edits separate the memo from the
+// current state (per the relation's delta journal), just the pairs
+// touching an edited row are evicted; otherwise the memo flushes.
+func (b *Belief) ensureViolMemo(rel *dataset.Relation) {
+	if b.violRel == rel && b.violVersion == rel.Version() {
+		return
 	}
+	if b.violRel == rel {
+		if deltas, ok := rel.DeltasSince(b.violVersion); ok {
+			var rows []int
+			for _, d := range deltas {
+				if d.Old == d.New {
+					continue
+				}
+				dup := false
+				for _, r := range rows {
+					if r == d.Row {
+						dup = true
+						break
+					}
+				}
+				if !dup {
+					rows = append(rows, d.Row)
+				}
+			}
+			for p := range b.violMask {
+				for _, r := range rows {
+					if p.A == r || p.B == r {
+						delete(b.violMask, p)
+						break
+					}
+				}
+			}
+			for p := range b.violMemo {
+				for _, r := range rows {
+					if p.A == r || p.B == r {
+						delete(b.violMemo, p)
+						break
+					}
+				}
+			}
+			b.violVersion = rel.Version()
+			return
+		}
+	}
+	b.violRel = rel
+	b.violVersion = rel.Version()
+	b.violMask = nil
+	b.violMemo = nil
+}
+
+// violatedMask returns the bitmask of hypothesis indices pair p
+// violates over rel, memoized per pair; only valid for spaces of at
+// most 64 hypotheses. Callers must have run ensureViolMemo.
+func (b *Belief) violatedMask(rel *dataset.Relation, p dataset.Pair) uint64 {
+	if v, ok := b.violMask[p]; ok {
+		return v
+	}
+	var m uint64
+	for i := 0; i < b.space.Size(); i++ {
+		if fd.Status(b.space.FD(i), rel, p) == fd.Violating {
+			m |= 1 << uint(i)
+		}
+	}
+	if b.violMask == nil {
+		b.violMask = make(map[dataset.Pair]uint64)
+	}
+	b.violMask[p] = m
+	return m
+}
+
+// violated returns the indices of the hypotheses pair p violates over
+// rel, memoized per pair — the slice fallback for spaces larger than
+// 64 hypotheses. Callers must have run ensureViolMemo.
+func (b *Belief) violated(rel *dataset.Relation, p dataset.Pair) []int32 {
 	if v, ok := b.violMemo[p]; ok {
 		return v
 	}
@@ -316,6 +412,9 @@ func (b *Belief) violated(rel *dataset.Relation, p dataset.Pair) []int32 {
 		if fd.Status(b.space.FD(i), rel, p) == fd.Violating {
 			v = append(v, int32(i))
 		}
+	}
+	if b.violMemo == nil {
+		b.violMemo = make(map[dataset.Pair][]int32)
 	}
 	b.violMemo[p] = v
 	return v

@@ -77,8 +77,14 @@ func RandomPrior(space *fd.Space, rng *stats.RNG, sigma float64) *Belief {
 // dataset as if it were completely clean).
 func DataEstimatePrior(space *fd.Space, rel *dataset.Relation, sigma float64) *Belief {
 	b := New(space, priorAt(0.5, sigma))
+	// One PLI cache shares the LHS partitions across hypotheses with a
+	// common LHS (every RHS choice over one attribute set), so the
+	// estimate partitions once per distinct LHS instead of once per FD.
+	// The per-FD Stats are computed from the same stripped partitions
+	// fd.Confidence derives, so the float results are identical.
+	cache := fd.NewPLICache(rel)
 	for i := 0; i < space.Size(); i++ {
-		b.SetDist(i, priorAt(fd.Confidence(space.FD(i), rel), sigma))
+		b.SetDist(i, priorAt(cache.Stats(space.FD(i)).Confidence(), sigma))
 	}
 	return b
 }

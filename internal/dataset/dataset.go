@@ -149,6 +149,26 @@ func (c *column) clone() *column {
 	return out
 }
 
+// CellDelta records one SetValue as a dictionary-code transition: cell
+// (Row, Col) went from code Old to code New at mutation Version. Codes
+// are the relation's own dictionary codes; because dictionaries only
+// grow, Old remains decodable through DictValue even after the cell
+// moved on. Old == New is possible (a SetValue writing the value
+// already present still bumps the version) and carries no state change.
+type CellDelta struct {
+	// Version is the relation version this delta produced.
+	Version uint64
+	// Row and Col locate the mutated cell.
+	Row, Col int
+	// Old and New are the cell's dictionary codes before and after.
+	Old, New int32
+}
+
+// maxJournal bounds the delta journal. When it overflows, the oldest
+// half is dropped; consumers whose snapshot predates the window fall
+// back to a full rebuild via DeltasSince's ok=false.
+const maxJournal = 4096
+
 // Relation is a schema plus rows. Rows are identified by their index,
 // which the game, sampling, and error-generation layers use as stable
 // tuple IDs.
@@ -159,6 +179,13 @@ type Relation struct {
 	// version counts mutations (Append/SetValue); partition caches use
 	// it to detect staleness.
 	version uint64
+	// journal holds the per-cell deltas for versions
+	// (journalStart, journalStart+len(journal)]; journal[i].Version ==
+	// journalStart+i+1. Append is a bulk mutation the delta protocol
+	// cannot express, so it resets the journal (raising the barrier);
+	// SetValue appends one entry.
+	journal      []CellDelta
+	journalStart uint64
 }
 
 // New returns an empty relation over the given schema.
@@ -187,6 +214,10 @@ func (r *Relation) Append(t Tuple) error {
 		c.codes = append(c.codes, c.intern(v))
 	}
 	r.version++
+	// A row addition is not representable as cell deltas; raise the
+	// journal barrier so delta consumers rebuild from scratch.
+	r.journal = r.journal[:0]
+	r.journalStart = r.version
 	return nil
 }
 
@@ -206,14 +237,25 @@ func (r *Relation) Row(i int) Tuple { return r.rows[i] }
 // Value returns the cell at row i, attribute position j.
 func (r *Relation) Value(i, j int) string { return r.rows[i][j] }
 
-// SetValue overwrites one cell; used by the error generator. It is the
-// only sanctioned cell-mutation path: it keeps the dictionary codes in
-// sync and bumps the relation version so partition caches invalidate.
+// SetValue overwrites one cell; used by the error generator and the
+// revision path. It is the only sanctioned cell-mutation path: it keeps
+// the dictionary codes in sync, bumps the relation version, and records
+// a CellDelta so downstream caches (fd.PLICache, fd.Tracker, the belief
+// violation memo) can catch up incrementally instead of rebuilding.
 func (r *Relation) SetValue(i, j int, v string) {
-	r.rows[i][j] = v
 	c := r.cols[j]
-	c.codes[i] = c.intern(v)
+	old := c.codes[i]
+	r.rows[i][j] = v
+	nc := c.intern(v)
+	c.codes[i] = nc
 	r.version++
+	if len(r.journal) >= maxJournal {
+		half := len(r.journal) / 2
+		n := copy(r.journal, r.journal[half:])
+		r.journal = r.journal[:n]
+		r.journalStart += uint64(half)
+	}
+	r.journal = append(r.journal, CellDelta{Version: r.version, Row: i, Col: j, Old: old, New: nc})
 }
 
 // Code returns the dictionary code of the cell at row i, attribute
@@ -237,6 +279,23 @@ func (r *Relation) DictValue(j int, code int32) string { return r.cols[j].vals[c
 // SetValue. Caches key their validity on it.
 func (r *Relation) Version() uint64 { return r.version }
 
+// DeltasSince returns the cell deltas recorded after version v, in
+// mutation order, and ok=true when the journal covers the whole span
+// (v, Version]. ok=false means the span is not reconstructible — v
+// predates the journal window, a bulk mutation (Append) intervened, or
+// v is from a different history — and the caller must rebuild from the
+// current state. The returned slice aliases the live journal: consume
+// it before the next mutation and do not retain it.
+func (r *Relation) DeltasSince(v uint64) ([]CellDelta, bool) {
+	if v == r.version {
+		return nil, true
+	}
+	if v < r.journalStart || v > r.version {
+		return nil, false
+	}
+	return r.journal[v-r.journalStart:], true
+}
+
 // Clone returns a deep copy sharing the (immutable) schema. The clone's
 // dictionaries are copied too, so the two relations can diverge (and be
 // mutated from different goroutines) independently.
@@ -249,6 +308,10 @@ func (r *Relation) Clone() *Relation {
 		c.cols[j] = col.clone()
 	}
 	c.version = r.version
+	// The clone starts a fresh delta history at its current version:
+	// caches attach to a relation by pointer identity, so deltas recorded
+	// on the original are never replayed against the clone.
+	c.journalStart = c.version
 	return c
 }
 
@@ -263,6 +326,21 @@ func (r *Relation) ProjectKey(row int, attrs []int) string {
 			b.WriteByte(0x1f)
 		}
 		b.WriteString(r.rows[row][a])
+	}
+	return b.String()
+}
+
+// ProjectKeyWith is ProjectKey with the cell reads indirected through
+// value, producing keys in the same format (same separator). Incremental
+// maintainers use it to rebuild the grouping key a row had at an earlier
+// version by overlaying journal-recorded old codes on the current state.
+func (r *Relation) ProjectKeyWith(row int, attrs []int, value func(row, attr int) string) string {
+	var b strings.Builder
+	for k, a := range attrs {
+		if k > 0 {
+			b.WriteByte(0x1f)
+		}
+		b.WriteString(value(row, a))
 	}
 	return b.String()
 }

@@ -1,0 +1,114 @@
+package dataset
+
+import (
+	"fmt"
+	"testing"
+)
+
+func deltaRelation(t *testing.T) *Relation {
+	t.Helper()
+	rel := New(MustSchema("a", "b"))
+	rel.MustAppend(Tuple{"x", "1"})
+	rel.MustAppend(Tuple{"y", "2"})
+	rel.MustAppend(Tuple{"x", "2"})
+	return rel
+}
+
+// TestDeltaJournalRecordsEdits pins the journal protocol: SetValue
+// appends one delta carrying the cell and its old/new dictionary codes,
+// DeltasSince returns exactly the suffix after the given version, and
+// asking at the current version yields an empty, covered answer.
+func TestDeltaJournalRecordsEdits(t *testing.T) {
+	rel := deltaRelation(t)
+	v0 := rel.Version()
+	if ds, ok := rel.DeltasSince(v0); !ok || len(ds) != 0 {
+		t.Fatalf("DeltasSince(current) = %v, %v; want empty, true", ds, ok)
+	}
+	oldCode := rel.Code(1, 0)
+	rel.SetValue(1, 0, "x") // existing dictionary value
+	rel.SetValue(2, 1, "3") // fresh dictionary value
+	ds, ok := rel.DeltasSince(v0)
+	if !ok || len(ds) != 2 {
+		t.Fatalf("DeltasSince(v0) = %v, %v; want 2 deltas, true", ds, ok)
+	}
+	d := ds[0]
+	if d.Row != 1 || d.Col != 0 || d.Old != oldCode || d.New != rel.Code(0, 0) {
+		t.Fatalf("first delta = %+v; want row 1 col 0, old %d, new %d", d, oldCode, rel.Code(0, 0))
+	}
+	if d.Version != v0+1 {
+		t.Fatalf("first delta version = %d, want %d", d.Version, v0+1)
+	}
+	if got := rel.DictValue(0, d.Old); got != "y" {
+		t.Fatalf("old code decodes to %q, want %q (dictionaries must not shrink)", got, "y")
+	}
+	d = ds[1]
+	if d.Row != 2 || d.Col != 1 || rel.DictValue(1, d.New) != "3" {
+		t.Fatalf("second delta = %+v; want row 2 col 1 with New decoding to %q", d, "3")
+	}
+	// Mid-journal suffix.
+	if ds, ok := rel.DeltasSince(v0 + 1); !ok || len(ds) != 1 || ds[0].Row != 2 {
+		t.Fatalf("DeltasSince(v0+1) = %v, %v; want the second delta only", ds, ok)
+	}
+	// A future version is not covered.
+	if _, ok := rel.DeltasSince(rel.Version() + 1); ok {
+		t.Fatal("DeltasSince(future) reported covered")
+	}
+}
+
+// TestDeltaJournalAppendBarrier pins that Append — a bulk mutation with
+// no cell-level representation — truncates coverage: versions at or
+// after the append are covered, versions before it are not.
+func TestDeltaJournalAppendBarrier(t *testing.T) {
+	rel := deltaRelation(t)
+	v0 := rel.Version()
+	rel.SetValue(0, 0, "z")
+	rel.MustAppend(Tuple{"w", "9"})
+	vA := rel.Version()
+	if _, ok := rel.DeltasSince(v0); ok {
+		t.Fatal("DeltasSince(pre-append) reported covered across an Append")
+	}
+	rel.SetValue(3, 1, "8")
+	if ds, ok := rel.DeltasSince(vA); !ok || len(ds) != 1 || ds[0].Row != 3 {
+		t.Fatalf("DeltasSince(post-append) = %v, %v; want the one post-append delta", ds, ok)
+	}
+}
+
+// TestDeltaJournalOverflow drives more edits than the bounded journal
+// retains: stale versions lose coverage, recent ones keep it.
+func TestDeltaJournalOverflow(t *testing.T) {
+	rel := deltaRelation(t)
+	v0 := rel.Version()
+	for i := 0; i < 10000; i++ {
+		rel.SetValue(i%3, 0, fmt.Sprintf("v%d", i%7))
+	}
+	if _, ok := rel.DeltasSince(v0); ok {
+		t.Fatal("DeltasSince(v0) still covered after 10k edits (journal unbounded?)")
+	}
+	vRecent := rel.Version()
+	rel.SetValue(0, 1, "tail")
+	if ds, ok := rel.DeltasSince(vRecent); !ok || len(ds) != 1 {
+		t.Fatalf("DeltasSince(recent) = %v, %v; want 1 delta, true", ds, ok)
+	}
+}
+
+// TestDeltaJournalCloneReset pins that a clone starts with an empty
+// journal anchored at its own version: pre-clone versions are not
+// covered (the clone never saw those deltas), post-clone edits are.
+func TestDeltaJournalCloneReset(t *testing.T) {
+	rel := deltaRelation(t)
+	v0 := rel.Version()
+	rel.SetValue(0, 0, "q")
+	c := rel.Clone()
+	if _, ok := c.DeltasSince(v0); ok {
+		t.Fatal("clone reported coverage of pre-clone versions")
+	}
+	vc := c.Version()
+	c.SetValue(1, 1, "7")
+	if ds, ok := c.DeltasSince(vc); !ok || len(ds) != 1 {
+		t.Fatalf("clone DeltasSince = %v, %v; want 1 delta, true", ds, ok)
+	}
+	// The original's journal is untouched by the clone's edits.
+	if ds, ok := rel.DeltasSince(v0); !ok || len(ds) != 1 {
+		t.Fatalf("original DeltasSince(v0) = %v, %v; want 1 delta, true", ds, ok)
+	}
+}

@@ -40,6 +40,8 @@ type Result struct {
 	DirtyCells map[fd.Cell]struct{}
 	// Log lists every corruption in injection order.
 	Log []Change
+
+	inj *injector
 }
 
 // CleanRows returns the complement of DirtyRows: the ground-truth clean
@@ -68,89 +70,199 @@ func (r *Result) record(c Change) {
 	r.DirtyCells[fd.Cell{Row: c.Row, Attr: c.Attr}] = struct{}{}
 }
 
-// domain returns the sorted distinct values of attribute a in rel.
-func domain(rel *dataset.Relation, a int) []string {
-	seen := make(map[string]struct{})
-	for i := 0; i < rel.NumRows(); i++ {
-		seen[rel.Value(i, a)] = struct{}{}
+// injector holds the incremental state that makes repeated single-cell
+// corruption of one Result cheap: a warm PLI cache answering the group
+// structure under delta replay, a lexicographic ordering of each LHS's
+// groups that survives edits to other attributes, and reusable scan
+// scratch. It exists for speed only — for a fixed seed the injection
+// trajectory is identical to the original rebuild-per-change code,
+// which grouped rows by projected key strings from scratch on every
+// call.
+type injector struct {
+	res   *Result
+	cache *fd.PLICache
+	// dirty mirrors res.DirtyRows as a flat flag array (the candidate
+	// scan touches every multi-group row, so map lookups would dominate).
+	dirty []bool
+	// orders caches, per LHS, the indices of the LHS partition's classes
+	// sorted by projected key — the enumeration order the original code
+	// obtained by sorting the group-key strings each call. It stays
+	// valid until an LHS attribute is edited, which degree-mode
+	// injection (RHS edits only) never does.
+	orders map[fd.AttrSet]*lhsOrder
+	// Scan scratch, reused across calls.
+	cand           []bool
+	cleanC, dirtyC []int32
+	occ            []int
+	dom            []string
+}
+
+type lhsOrder struct {
+	version  uint64
+	classIdx []int
+}
+
+// injector returns the Result's lazily created incremental injector.
+func (r *Result) injector() *injector {
+	if r.inj == nil {
+		n := r.Rel.NumRows()
+		inj := &injector{
+			res:    r,
+			cache:  fd.NewPLICache(r.Rel),
+			dirty:  make([]bool, n),
+			cand:   make([]bool, n),
+			orders: make(map[fd.AttrSet]*lhsOrder),
+		}
+		for row := range r.DirtyRows { //etlint:ignore maporder flag-array seeding is order-independent
+			inj.dirty[row] = true
+		}
+		r.inj = inj
 	}
-	vals := make([]string, 0, len(seen))
-	for v := range seen {
-		vals = append(vals, v)
+	return r.inj
+}
+
+// lhsOrder returns p's class indices sorted by projected LHS key,
+// rebuilding only when an LHS attribute changed (or journal coverage was
+// lost) since the order was computed.
+func (inj *injector) lhsOrder(lhs fd.AttrSet, p *fd.Partition) *lhsOrder {
+	rel := inj.res.Rel
+	ord := inj.orders[lhs]
+	if ord != nil && ord.version != rel.Version() {
+		if deltas, ok := rel.DeltasSince(ord.version); ok {
+			for _, d := range deltas {
+				if d.Old != d.New && lhs.Has(d.Col) {
+					ord = nil
+					break
+				}
+			}
+			if ord != nil {
+				ord.version = rel.Version()
+			}
+		} else {
+			ord = nil
+		}
 	}
-	sort.Strings(vals)
-	return vals
+	if ord == nil {
+		attrs := lhs.Attrs()
+		keys := make([]string, len(p.Classes))
+		idx := make([]int, len(p.Classes))
+		for i, cls := range p.Classes {
+			keys[i] = rel.ProjectKey(int(cls[0]), attrs)
+			idx[i] = i
+		}
+		sort.Slice(idx, func(a, b int) bool {
+			if keys[idx[a]] != keys[idx[b]] {
+				return keys[idx[a]] < keys[idx[b]]
+			}
+			return idx[a] < idx[b]
+		})
+		ord = &lhsOrder{version: rel.Version(), classIdx: idx}
+		inj.orders[lhs] = ord
+	}
+	return ord
+}
+
+// domain returns the sorted distinct values currently present in
+// attribute a, counting occurrences by dictionary code (same contents as
+// collecting value strings into a set, since codes and strings are in
+// bijection per column).
+func (inj *injector) domain(a int) []string {
+	rel := inj.res.Rel
+	codes := rel.ColumnCodes(a)
+	d := rel.DictLen(a)
+	if len(inj.occ) < d {
+		inj.occ = make([]int, d)
+	}
+	occ := inj.occ
+	for _, c := range codes {
+		occ[c]++
+	}
+	inj.dom = inj.dom[:0]
+	for c := 0; c < d; c++ {
+		if occ[c] > 0 {
+			inj.dom = append(inj.dom, rel.DictValue(a, int32(c)))
+		}
+		occ[c] = 0
+	}
+	sort.Strings(inj.dom)
+	return inj.dom //etlint:ignore scratchalias injectOne consumes the domain before the next call
 }
 
 // injectOne scrambles the RHS value of one row so that the row newly
 // violates f against at least one other row agreeing on f's LHS. It
 // returns false when the relation has no multi-row LHS group left to
 // corrupt. Rows already dirty are preferred last so corruption spreads.
+//
+// Candidates are rows of LHS-groups of size ≥ 2 whose RHS currently
+// agrees with at least one group mate (so changing it creates a new
+// violation) — exactly the members of the stripped partition on
+// LHS ∪ {RHS}. They are enumerated in the original order: groups by
+// ascending projected key, rows ascending within a group.
 func injectOne(res *Result, f fd.FD, rng *stats.RNG) bool {
+	inj := res.injector()
 	rel := res.Rel
-	lhs := f.LHS.Attrs()
+	p1 := inj.cache.Partition(f.LHS)
+	p2 := inj.cache.Partition(f.LHS.Add(f.RHS))
+	ord := inj.lhsOrder(f.LHS, p1)
 
-	groups := make(map[string][]int)
-	var keys []string
-	for i := 0; i < rel.NumRows(); i++ {
-		key := rel.ProjectKey(i, lhs)
-		if _, ok := groups[key]; !ok {
-			keys = append(keys, key)
-		}
-		groups[key] = append(groups[key], i)
+	if n := rel.NumRows(); len(inj.cand) < n {
+		inj.cand = make([]bool, n)
+		grown := make([]bool, n)
+		copy(grown, inj.dirty)
+		inj.dirty = grown
 	}
-	sort.Strings(keys)
-
-	// Candidate rows: members of groups of size ≥ 2 whose RHS currently
-	// agrees with at least one group mate (so changing it creates a new
-	// violation). Prefer rows that are still clean.
-	var cleanCand, dirtyCand []int
-	for _, key := range keys {
-		rows := groups[key]
-		if len(rows) < 2 {
-			continue
+	for _, cls := range p2.Classes {
+		for _, r := range cls {
+			inj.cand[r] = true
 		}
-		counts := make(map[string]int)
-		for _, r := range rows {
-			counts[rel.Value(r, f.RHS)]++
-		}
-		for _, r := range rows {
-			if counts[rel.Value(r, f.RHS)] >= 2 {
-				if _, dirty := res.DirtyRows[r]; dirty {
-					dirtyCand = append(dirtyCand, r)
-				} else {
-					cleanCand = append(cleanCand, r)
-				}
+	}
+	inj.cleanC, inj.dirtyC = inj.cleanC[:0], inj.dirtyC[:0]
+	for _, ci := range ord.classIdx {
+		for _, r := range p1.Classes[ci] {
+			if !inj.cand[r] {
+				continue
+			}
+			if inj.dirty[r] {
+				inj.dirtyC = append(inj.dirtyC, r)
+			} else {
+				inj.cleanC = append(inj.cleanC, r)
 			}
 		}
 	}
-	cand := cleanCand
+	for _, cls := range p2.Classes {
+		for _, r := range cls {
+			inj.cand[r] = false
+		}
+	}
+	cand := inj.cleanC
 	if len(cand) == 0 {
-		cand = dirtyCand
+		cand = inj.dirtyC
 	}
 	if len(cand) == 0 {
 		return false
 	}
-	row := cand[rng.Intn(len(cand))]
+	row := int(cand[rng.Intn(len(cand))])
 	old := rel.Value(row, f.RHS)
 
 	// New value: a different value from the attribute domain, or a
-	// synthesized typo when the domain is degenerate.
-	dom := domain(rel, f.RHS)
-	var choices []string
-	for _, v := range dom {
-		if v != old {
-			choices = append(choices, v)
-		}
-	}
+	// synthesized typo when the domain is degenerate. Picking index k
+	// from the sorted domain with old's position skipped is the original
+	// "filter out old, then index" draw without building the filtered
+	// slice.
+	dom := inj.domain(f.RHS)
 	var newVal string
-	if len(choices) > 0 {
-		newVal = choices[rng.Intn(len(choices))]
+	if len(dom) > 1 {
+		k := rng.Intn(len(dom) - 1)
+		if k >= sort.SearchStrings(dom, old) {
+			k++
+		}
+		newVal = dom[k]
 	} else {
 		newVal = old + "~err"
 	}
 	rel.SetValue(row, f.RHS, newVal)
 	res.record(Change{Row: row, Attr: f.RHS, Old: old, New: newVal})
+	inj.dirty[row] = true
 	return true
 }
 
@@ -257,11 +369,28 @@ func InjectDegree(rel *dataset.Relation, cfg DegreeConfig) (*Result, error) {
 	}
 	rng := stats.NewRNG(cfg.Seed)
 	res := newResult(rel)
+	// Degree is re-measured after every single-cell corruption; the
+	// injector's warm PLI cache absorbs each corruption as one delta and
+	// answers the per-FD stats from its memo, so the check is O(|fds|)
+	// instead of re-partitioning the relation per change. The counts —
+	// and therefore the injection trajectory for a fixed seed — are
+	// identical to ViolationDegree over ComputeStats.
+	cache := res.injector().cache
+	degree := func() float64 {
+		var total float64
+		for _, f := range cfg.FDs {
+			st := cache.Stats(f)
+			if st.Agreeing > 0 {
+				total += float64(st.Violating) / float64(st.Agreeing)
+			}
+		}
+		return total / float64(len(cfg.FDs))
+	}
 	changes := 0
-	for changes < maxChanges && ViolationDegree(res.Rel, cfg.FDs) < cfg.Degree {
+	for changes < maxChanges && degree() < cfg.Degree {
 		progressed := false
 		for _, f := range cfg.FDs {
-			if changes >= maxChanges || ViolationDegree(res.Rel, cfg.FDs) >= cfg.Degree {
+			if changes >= maxChanges || degree() >= cfg.Degree {
 				break
 			}
 			if injectOne(res, f, rng) {

@@ -24,19 +24,23 @@ const minorityFraction = 0.25
 // lexicographically smallest value so detection is deterministic.
 func MinorityRows(f FD, rel *dataset.Relation) map[int]struct{} {
 	flagged := make(map[int]struct{})
-	minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, flagged)
+	var sc pliScratch
+	minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, flagged, &sc)
 	return flagged
 }
 
 // minorityFromPartition applies the minority rule to each class of the
 // stripped LHS partition, counting RHS dictionary codes with a
-// touched-list counter array. The plurality tie-break still compares
-// the decoded strings, preserving the naive implementation's
-// deterministic choice exactly.
-func minorityFromPartition(p *Partition, rel *dataset.Relation, rhs int, flagged map[int]struct{}) {
+// touched-list counter array from the caller-owned scratch. The
+// plurality tie-break still compares the decoded strings, preserving
+// the naive implementation's deterministic choice exactly.
+func minorityFromPartition(p *Partition, rel *dataset.Relation, rhs int, flagged map[int]struct{}, sc *pliScratch) {
 	codes := rel.ColumnCodes(rhs)
-	cnt := make([]int32, rel.DictLen(rhs))
-	touched := make([]int32, 0, 16)
+	cnt := grow(sc.cnt, rel.DictLen(rhs))
+	for i := range cnt {
+		cnt[i] = 0
+	}
+	touched := sc.touched[:0]
 	for _, rows := range p.Classes {
 		touched = touched[:0]
 		for _, r := range rows {
@@ -67,13 +71,14 @@ func minorityFromPartition(p *Partition, rel *dataset.Relation, rhs int, flagged
 		for _, r := range rows {
 			c := codes[r]
 			if c != maj && cnt[c] <= maxClass {
-				flagged[r] = struct{}{}
+				flagged[int(r)] = struct{}{}
 			}
 		}
 		for _, c := range touched {
 			cnt[c] = 0
 		}
 	}
+	sc.cnt, sc.touched = cnt[:0], touched[:0]
 }
 
 // MinorityRowsNaive is the original string-keyed implementation,
@@ -130,8 +135,9 @@ func MinorityRowsNaive(f FD, rel *dataset.Relation) map[int]struct{} {
 // partitions across FDs and calls.
 func DetectErrors(fds []FD, rel *dataset.Relation) map[int]struct{} {
 	out := make(map[int]struct{})
+	var sc pliScratch
 	for _, f := range fds {
-		minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, out)
+		minorityFromPartition(PartitionOn(rel, f.LHS), rel, f.RHS, out, &sc)
 	}
 	return out
 }

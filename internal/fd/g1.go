@@ -148,7 +148,7 @@ func ViolatingPairs(f FD, rel *dataset.Relation) []dataset.Pair {
 		for a := 0; a < len(rows); a++ {
 			for b := a + 1; b < len(rows); b++ {
 				if codes[rows[a]] != codes[rows[b]] {
-					out = append(out, dataset.Pair{A: rows[a], B: rows[b]})
+					out = append(out, dataset.Pair{A: int(rows[a]), B: int(rows[b])})
 				}
 			}
 		}

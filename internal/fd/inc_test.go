@@ -1,0 +1,137 @@
+package fd
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+// checkCacheAgainstRebuild asserts that a warm, delta-maintained cache
+// answers every read — partitions, stats, minority rows, agreeing pairs
+// — bit-identically to from-scratch computation over the same relation.
+func checkCacheAgainstRebuild(t *testing.T, cache *PLICache, rel *dataset.Relation, fds []FD, ctx string) {
+	t.Helper()
+	for _, f := range fds {
+		fctx := fmt.Sprintf("%s fd %v", ctx, f)
+		samePartition(t, cache.Partition(f.LHS), PartitionOnNaive(rel, f.LHS), fctx)
+		if got, want := cache.Stats(f), ComputeStatsNaive(f, rel); got != want {
+			t.Fatalf("%s: Stats = %+v, want %+v", fctx, got, want)
+		}
+		if got, want := cache.MinorityRows(f), MinorityRowsNaive(f, rel); !reflect.DeepEqual(got, want) {
+			t.Fatalf("%s: MinorityRows = %v, want %v", fctx, got, want)
+		}
+		got, want := cache.AgreeingPairs(f), AgreeingPairsNaive(f, rel)
+		if len(got) != len(want) {
+			t.Fatalf("%s: %d agreeing pairs, want %d", fctx, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("%s: agreeing pair %d = %v, want %v", fctx, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPLIIncrementalMatchesRebuild is the delta-protocol property test:
+// a warm cache absorbing arbitrary seeded edit sequences — single-cell
+// revisions (the arithmetic stats-adjust path), multi-cell batches (the
+// evict-and-recount path), fresh dictionary values, and Append (the
+// journal barrier forcing a full rebuild) — must stay bit-identical to
+// recomputation from scratch after every batch.
+func TestPLIIncrementalMatchesRebuild(t *testing.T) {
+	rng := stats.NewRNG(2024)
+	for trial := 0; trial < 30; trial++ {
+		arity := 2 + rng.Intn(4)
+		rows := 3 + rng.Intn(40)
+		rel := randomRelation(rng, rows, arity)
+		cache := NewPLICache(rel)
+		fds := randomFDs(rng, arity, 6)
+		checkCacheAgainstRebuild(t, cache, rel, fds, fmt.Sprintf("trial %d warmup", trial))
+
+		for batch := 0; batch < 12; batch++ {
+			switch rng.Intn(5) {
+			case 0: // multi-cell batch → eviction path
+				for m := 0; m < 2+rng.Intn(4); m++ {
+					rel.SetValue(rng.Intn(rel.NumRows()), rng.Intn(arity), fmt.Sprintf("v%d", rng.Intn(5)))
+				}
+			case 1: // Append raises the journal barrier → full rebuild
+				tup := make(dataset.Tuple, arity)
+				for j := range tup {
+					tup[j] = fmt.Sprintf("v%d", rng.Intn(3))
+				}
+				rel.MustAppend(tup)
+			case 2: // single edit introducing a fresh dictionary value
+				rel.SetValue(rng.Intn(rel.NumRows()), rng.Intn(arity), fmt.Sprintf("fresh-%d-%d", trial, batch))
+			case 3: // single no-op write (Old == New delta must be skipped)
+				i, j := rng.Intn(rel.NumRows()), rng.Intn(arity)
+				rel.SetValue(i, j, rel.Value(i, j))
+			default: // single revision → arithmetic stats-adjust path
+				rel.SetValue(rng.Intn(rel.NumRows()), rng.Intn(arity), fmt.Sprintf("v%d", rng.Intn(5)))
+			}
+			checkCacheAgainstRebuild(t, cache, rel, fds, fmt.Sprintf("trial %d batch %d", trial, batch))
+		}
+	}
+}
+
+// TestPLIIncrementalJournalOverflow drives more single-cell edits than
+// the relation's delta journal retains between reads, forcing the
+// cache's gap-not-covered fallback, then verifies full agreement.
+func TestPLIIncrementalJournalOverflow(t *testing.T) {
+	rng := stats.NewRNG(77)
+	rel := randomRelation(rng, 30, 4)
+	cache := NewPLICache(rel)
+	fds := randomFDs(rng, 4, 5)
+	checkCacheAgainstRebuild(t, cache, rel, fds, "warmup")
+	// maxJournal is 4096; 10k edits guarantee the cache's snapshot
+	// version falls off the journal.
+	for m := 0; m < 10000; m++ {
+		rel.SetValue(rng.Intn(rel.NumRows()), rng.Intn(4), fmt.Sprintf("v%d", rng.Intn(6)))
+	}
+	checkCacheAgainstRebuild(t, cache, rel, fds, "after overflow")
+	rel.SetValue(0, 0, "post")
+	checkCacheAgainstRebuild(t, cache, rel, fds, "single edit after overflow")
+}
+
+// FuzzPLIDelta feeds arbitrary edit scripts to a warm cache and checks
+// the incremental partitions and stats against full recomputation after
+// every step. Each script byte triple encodes (row, column, value); a
+// high value nibble inserts a read between edits so both the one-delta
+// and batched replay paths run.
+func FuzzPLIDelta(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{255, 255, 255, 0, 0, 0, 9, 9, 9, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, script []byte) {
+		rng := stats.NewRNG(11)
+		const arity = 4
+		rel := randomRelation(rng, 16, arity)
+		cache := NewPLICache(rel)
+		fds := []FD{
+			{LHS: NewAttrSet(0), RHS: 1},
+			{LHS: NewAttrSet(1, 2), RHS: 3},
+			{LHS: NewAttrSet(0, 2, 3), RHS: 1},
+		}
+		check := func(step int) {
+			for _, fdep := range fds {
+				ctx := fmt.Sprintf("step %d fd %v", step, fdep)
+				samePartition(t, cache.Partition(fdep.LHS), PartitionOnNaive(rel, fdep.LHS), ctx)
+				if got, want := cache.Stats(fdep), ComputeStatsNaive(fdep, rel); got != want {
+					t.Fatalf("%s: Stats = %+v, want %+v", ctx, got, want)
+				}
+			}
+		}
+		check(-1)
+		for i := 0; i+2 < len(script); i += 3 {
+			row := int(script[i]) % rel.NumRows()
+			col := int(script[i+1]) % arity
+			val := fmt.Sprintf("v%d", script[i+2]&0x0f)
+			rel.SetValue(row, col, val)
+			if script[i+2]&0x10 != 0 {
+				check(i)
+			}
+		}
+		check(len(script))
+	})
+}

@@ -15,7 +15,10 @@ import (
 //
 // The tracker owns the write path: apply cell updates through
 // Tracker.Set (or MultiTracker.Set), which mutates the relation and
-// adjusts the counts consistently.
+// adjusts the counts consistently. Edits applied to the relation
+// directly (repair application, another tracker over the same data)
+// are absorbed by Sync, which replays the relation's cell-delta
+// journal instead of rebuilding.
 type Tracker struct {
 	f   FD
 	rel *dataset.Relation
@@ -24,6 +27,8 @@ type Tracker struct {
 	// sizes[lhsKey] = group size.
 	sizes map[string]int
 	stats Stats
+	// version is the relation version the counts reflect.
+	version uint64
 }
 
 // NewTracker builds the tracker for f over rel in one pass.
@@ -34,13 +39,22 @@ func NewTracker(f FD, rel *dataset.Relation) *Tracker {
 		counts: make(map[string]map[string]int),
 		sizes:  make(map[string]int),
 	}
-	lhs := f.LHS.Attrs()
-	for i := 0; i < rel.NumRows(); i++ {
-		key := rel.ProjectKey(i, lhs)
-		t.add(key, rel.Value(i, f.RHS))
-	}
-	t.stats.Rows = rel.NumRows()
+	t.rebuild()
 	return t
+}
+
+// rebuild recomputes the counts from scratch at the relation's current
+// state.
+func (t *Tracker) rebuild() {
+	clear(t.counts)
+	clear(t.sizes)
+	t.stats = Stats{}
+	lhs := t.f.LHS.Attrs()
+	for i := 0; i < t.rel.NumRows(); i++ {
+		t.add(t.rel.ProjectKey(i, lhs), t.rel.Value(i, t.f.RHS))
+	}
+	t.stats.Rows = t.rel.NumRows()
+	t.version = t.rel.Version()
 }
 
 // Stats returns the current pair statistics (same values ComputeStats
@@ -95,8 +109,10 @@ func (t *Tracker) remove(key, rhsVal string) {
 
 // Set updates cell (row, attr) to val, mutating the relation and
 // adjusting the statistics. Cells on attributes the FD does not mention
-// just write through.
+// just write through. External edits since the last sync are absorbed
+// first so the adjustment starts from consistent counts.
 func (t *Tracker) Set(row, attr int, val string) {
+	t.Sync()
 	old := t.rel.Value(row, attr)
 	if old == val {
 		return
@@ -117,13 +133,63 @@ func (t *Tracker) Set(row, attr int, val string) {
 	default:
 		t.rel.SetValue(row, attr, val)
 	}
+	t.version = t.rel.Version()
 }
 
 // Append tracks a newly appended row (call after Relation.Append).
 func (t *Tracker) Append(row int) {
+	t.version = t.rel.Version()
 	key := t.rel.ProjectKey(row, t.f.LHS.Attrs())
 	t.add(key, t.rel.Value(row, t.f.RHS))
 	t.stats.Rows++
+}
+
+// cellRef identifies one cell for Sync's rewind overlay.
+type cellRef struct{ row, col int }
+
+// Sync absorbs relation mutations made outside the tracker's write path
+// by replaying the cell-delta journal. Each delta touching the FD's
+// attributes moves the row between groups using the *historical* cell
+// values at that delta's point in time, reconstructed from a rewind
+// overlay: every journal-touched cell starts at its first-delta old
+// code and advances to the new code as its delta is processed, so
+// removals always use the key the row was filed under. Falls back to a
+// full rebuild when the journal cannot cover the gap (Append, journal
+// overflow, or a relation resize).
+func (t *Tracker) Sync() {
+	v := t.rel.Version()
+	if v == t.version {
+		return
+	}
+	deltas, ok := t.rel.DeltasSince(t.version)
+	if !ok {
+		t.rebuild()
+		return
+	}
+	overlay := make(map[cellRef]int32, len(deltas))
+	for _, d := range deltas {
+		c := cellRef{row: d.Row, col: d.Col}
+		if _, dup := overlay[c]; !dup {
+			overlay[c] = d.Old
+		}
+	}
+	at := func(row, attr int) string {
+		if code, ok := overlay[cellRef{row: row, col: attr}]; ok {
+			return t.rel.DictValue(attr, code)
+		}
+		return t.rel.Value(row, attr)
+	}
+	lhs := t.f.LHS.Attrs()
+	for _, d := range deltas {
+		if d.Old != d.New && (d.Col == t.f.RHS || t.f.LHS.Has(d.Col)) {
+			t.remove(t.rel.ProjectKeyWith(d.Row, lhs, at), at(d.Row, t.f.RHS))
+			overlay[cellRef{row: d.Row, col: d.Col}] = d.New
+			t.add(t.rel.ProjectKeyWith(d.Row, lhs, at), at(d.Row, t.f.RHS))
+		} else {
+			overlay[cellRef{row: d.Row, col: d.Col}] = d.New
+		}
+	}
+	t.version = v
 }
 
 // MultiTracker maintains trackers for a whole hypothesis space over one
@@ -148,9 +214,18 @@ func (m *MultiTracker) Stats(i int) Stats { return m.trackers[i].Stats() }
 // Len returns the number of tracked FDs.
 func (m *MultiTracker) Len() int { return len(m.trackers) }
 
+// Sync absorbs external relation mutations into every tracker (see
+// Tracker.Sync).
+func (m *MultiTracker) Sync() {
+	for _, t := range m.trackers {
+		t.Sync()
+	}
+}
+
 // Set updates one cell across all trackers. Each affected tracker
 // adjusts its counts from the pre-write state; the write happens once.
 func (m *MultiTracker) Set(row, attr int, val string) {
+	m.Sync()
 	old := m.rel.Value(row, attr)
 	if old == val {
 		return
@@ -181,6 +256,9 @@ func (m *MultiTracker) Set(row, attr int, val string) {
 		} else {
 			w.t.add(m.rel.ProjectKey(row, w.t.f.LHS.Attrs()), w.rhsOld)
 		}
+	}
+	for _, t := range m.trackers {
+		t.version = m.rel.Version()
 	}
 }
 

@@ -1,0 +1,109 @@
+package fd
+
+import (
+	"fmt"
+	"testing"
+
+	"exptrain/internal/dataset"
+	"exptrain/internal/stats"
+)
+
+// TestTrackerSyncExternalEdits property-tests the journal-replay path:
+// cells mutated directly on the relation (outside the tracker's write
+// path) must be absorbed by Sync with the same counts a fresh tracker
+// computes, including edits that change a row's group key several times
+// between syncs (the rewind overlay must use first-edit old values, not
+// current ones).
+func TestTrackerSyncExternalEdits(t *testing.T) {
+	rng := stats.NewRNG(314)
+	for trial := 0; trial < 30; trial++ {
+		arity := 2 + rng.Intn(4)
+		rel := randomRelation(rng, 3+rng.Intn(30), arity)
+		fds := randomFDs(rng, arity, 4)
+		trackers := make([]*Tracker, len(fds))
+		for i, f := range fds {
+			trackers[i] = NewTracker(f, rel)
+		}
+		for batch := 0; batch < 8; batch++ {
+			edits := 1 + rng.Intn(6)
+			for m := 0; m < edits; m++ {
+				// Bias toward re-editing row 0 so multi-edit-per-cell
+				// sequences (the overlay's hard case) occur regularly.
+				row := 0
+				if rng.Intn(2) == 0 {
+					row = rng.Intn(rel.NumRows())
+				}
+				rel.SetValue(row, rng.Intn(arity), fmt.Sprintf("v%d", rng.Intn(5)))
+			}
+			for i, tr := range trackers {
+				tr.Sync()
+				if got, want := tr.Stats(), ComputeStatsNaive(fds[i], rel); got != want {
+					t.Fatalf("trial %d batch %d fd %v: synced Stats = %+v, want %+v",
+						trial, batch, fds[i], got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTrackerSyncInterleavedWithSet checks that the tracker's own write
+// path and external edits compose: Set absorbs pending external deltas
+// before adjusting, so mixed workloads stay exact.
+func TestTrackerSyncInterleavedWithSet(t *testing.T) {
+	rng := stats.NewRNG(99)
+	rel := randomRelation(rng, 20, 3)
+	f := FD{LHS: NewAttrSet(0), RHS: 1}
+	tr := NewTracker(f, rel)
+	for step := 0; step < 200; step++ {
+		if rng.Intn(2) == 0 {
+			rel.SetValue(rng.Intn(20), rng.Intn(3), fmt.Sprintf("v%d", rng.Intn(4)))
+		} else {
+			tr.Set(rng.Intn(20), rng.Intn(3), fmt.Sprintf("v%d", rng.Intn(4)))
+		}
+		tr.Sync()
+		if got, want := tr.Stats(), ComputeStatsNaive(f, rel); got != want {
+			t.Fatalf("step %d: Stats = %+v, want %+v", step, got, want)
+		}
+	}
+}
+
+// TestTrackerSyncFallsBackOnGap pins the rebuild fallbacks: an Append
+// (journal barrier) and a journal overflow both leave Sync no deltas to
+// replay, and it must rebuild rather than go stale.
+func TestTrackerSyncFallsBackOnGap(t *testing.T) {
+	rng := stats.NewRNG(5)
+	rel := randomRelation(rng, 10, 3)
+	f := FD{LHS: NewAttrSet(0, 2), RHS: 1}
+	tr := NewTracker(f, rel)
+
+	rel.MustAppend(dataset.Tuple{"v0", "v1", "v0"})
+	tr.Sync()
+	if got, want := tr.Stats(), ComputeStatsNaive(f, rel); got != want {
+		t.Fatalf("after Append: Stats = %+v, want %+v", got, want)
+	}
+	for i := 0; i < 10000; i++ {
+		rel.SetValue(i%rel.NumRows(), 1, fmt.Sprintf("v%d", i%6))
+	}
+	tr.Sync()
+	if got, want := tr.Stats(), ComputeStatsNaive(f, rel); got != want {
+		t.Fatalf("after overflow: Stats = %+v, want %+v", got, want)
+	}
+}
+
+// TestMultiTrackerSync covers the multi-FD sync entry point against
+// external edits.
+func TestMultiTrackerSync(t *testing.T) {
+	rng := stats.NewRNG(21)
+	rel := randomRelation(rng, 25, 4)
+	fds := randomFDs(rng, 4, 6)
+	mt := NewMultiTracker(fds, rel)
+	for step := 0; step < 50; step++ {
+		rel.SetValue(rng.Intn(25), rng.Intn(4), fmt.Sprintf("v%d", rng.Intn(5)))
+		mt.Sync()
+		for i, f := range fds {
+			if got, want := mt.Stats(i), ComputeStatsNaive(f, rel); got != want {
+				t.Fatalf("step %d fd %v: Stats = %+v, want %+v", step, f, got, want)
+			}
+		}
+	}
+}

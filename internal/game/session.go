@@ -32,6 +32,12 @@ type Session struct {
 	pool    *sampling.Pool
 	k       int
 	pending []dataset.Pair
+	// allowed and seen are Submit's validation scratch, cleared and
+	// reused every round so steady-state submission allocates nothing
+	// for bookkeeping (the fresh/full labeling slices stay freshly
+	// allocated — they are retained in the engine's records).
+	allowed map[dataset.Pair]struct{}
+	seen    map[dataset.Pair]struct{}
 }
 
 // SessionConfig assembles a step-wise session.
@@ -185,11 +191,17 @@ func (s *Session) SubmitContext(ctx context.Context, labeled []belief.Labeling) 
 	if s.pending == nil {
 		return fmt.Errorf("%w; call Next first", ErrNoRoundPending)
 	}
-	allowed := make(map[dataset.Pair]struct{}, len(s.pending))
+	if s.allowed == nil {
+		s.allowed = make(map[dataset.Pair]struct{}, len(s.pending))
+		s.seen = make(map[dataset.Pair]struct{}, len(labeled))
+	} else {
+		clear(s.allowed)
+		clear(s.seen)
+	}
+	allowed, seen := s.allowed, s.seen
 	for _, p := range s.pending {
 		allowed[p] = struct{}{}
 	}
-	seen := make(map[dataset.Pair]struct{}, len(labeled))
 	var fresh, revisions []belief.Labeling
 	for _, lp := range labeled {
 		if _, dup := seen[lp.Pair]; dup {

@@ -141,6 +141,7 @@ func AllRules() []Rule {
 		lockedField{},
 		printClean{},
 		floatCmp{},
+		scratchAlias{},
 	}
 }
 

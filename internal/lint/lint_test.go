@@ -33,6 +33,9 @@ func TestRuleFixtures(t *testing.T) {
 		{"printclean/good", "internal/x"},
 		{"floatcmp/bad", "internal/belief"},
 		{"floatcmp/good", "internal/belief"},
+		{"scratchalias/bad", "internal/fd"},
+		{"scratchalias/good", "internal/fd"},
+		{"scratchalias/noncore", "internal/service"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

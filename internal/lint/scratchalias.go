@@ -1,0 +1,169 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// scratchAlias flags methods in the deterministic core that return an
+// alias of a receiver scratch field: a slice, map or pointer field that
+// the type reuses across calls (the allocation-discipline idiom — see
+// DESIGN.md §10). A caller holding such a return value sees it silently
+// overwritten by the next call on the same receiver, a bug that only
+// surfaces as wrong data, never as a crash.
+//
+// A field counts as scratch when its own name, its struct type's name,
+// or its doc/line comment mentions "scratch". A doc comment introducing
+// a field group ("// Scan scratch, reused across calls.") covers the
+// undocumented fields that follow it until the next documented field.
+//
+// Methods that intentionally hand out a scratch buffer for immediate,
+// non-retained use justify it with //etlint:ignore scratchalias — the
+// suppression is the audit trail for every escaping buffer.
+type scratchAlias struct{}
+
+func (scratchAlias) ID() string { return "scratchalias" }
+
+func (scratchAlias) Doc() string {
+	return "methods must not return aliases of receiver scratch buffers; copy, or justify the escape"
+}
+
+func (r scratchAlias) Check(p *Package) []Finding {
+	if !p.Core() {
+		return nil
+	}
+	scratch := scratchFields(p)
+	if len(scratch) == 0 {
+		return nil
+	}
+	var out []Finding
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Recv == nil || fn.Body == nil {
+				continue
+			}
+			recv := receiverObj(p, fn)
+			if recv == nil {
+				continue
+			}
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				ret, ok := n.(*ast.ReturnStmt)
+				if !ok {
+					return true
+				}
+				for _, res := range ret.Results {
+					if obj := aliasedScratch(p, res, recv, scratch); obj != nil {
+						out = append(out, p.finding(r.ID(), res,
+							"returns an alias of receiver scratch field %s, which the next call overwrites; return a copy, or justify with //etlint:ignore scratchalias <reason>",
+							obj.Name()))
+					}
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+// scratchFields collects the package's scratch-buffer struct fields. A
+// doc comment on a field extends to the undocumented fields after it
+// (field groups share one introduction), so "// Scan scratch" covers
+// the whole block it heads.
+func scratchFields(p *Package) map[types.Object]bool {
+	out := make(map[types.Object]bool)
+	for _, file := range p.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			typeIsScratch := mentionsScratch(ts.Name.Name)
+			groupDoc := false
+			for _, field := range st.Fields.List {
+				if field.Doc != nil {
+					groupDoc = mentionsScratch(field.Doc.Text())
+				}
+				isScratch := typeIsScratch || groupDoc ||
+					(field.Comment != nil && mentionsScratch(field.Comment.Text()))
+				for _, name := range field.Names {
+					if isScratch || mentionsScratch(name.Name) {
+						if obj := p.Info.Defs[name]; obj != nil {
+							out[obj] = true
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func mentionsScratch(s string) bool {
+	return strings.Contains(strings.ToLower(s), "scratch")
+}
+
+// receiverObj resolves the method's named receiver variable, or nil for
+// an unnamed receiver.
+func receiverObj(p *Package, fn *ast.FuncDecl) types.Object {
+	if len(fn.Recv.List) == 0 || len(fn.Recv.List[0].Names) == 0 {
+		return nil
+	}
+	name := fn.Recv.List[0].Names[0]
+	if name.Name == "_" {
+		return nil
+	}
+	return p.Info.Defs[name]
+}
+
+// aliasedScratch reports the scratch field object that res aliases, or
+// nil. It unwraps parens and re-slicings (buf[:n] still aliases buf)
+// down to a recv.field selection of reference type. Indexing is not
+// unwrapped: scratch[i] on a slice of values is a copy, not an alias.
+func aliasedScratch(p *Package, res ast.Expr, recv types.Object, scratch map[types.Object]bool) types.Object {
+	if !refLike(p.Info.TypeOf(res)) {
+		return nil
+	}
+	for {
+		switch e := res.(type) {
+		case *ast.ParenExpr:
+			res = e.X
+		case *ast.SliceExpr:
+			res = e.X
+		default:
+			sel, ok := res.(*ast.SelectorExpr)
+			if !ok {
+				return nil
+			}
+			id, ok := sel.X.(*ast.Ident)
+			if !ok || p.Info.ObjectOf(id) != recv {
+				return nil
+			}
+			obj := p.Info.ObjectOf(sel.Sel)
+			if obj == nil || !scratch[obj] {
+				return nil
+			}
+			return obj
+		}
+	}
+}
+
+// refLike reports whether t shares backing storage when copied: slices,
+// maps, pointers and channels alias; values (including structs and
+// arrays) do not.
+func refLike(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice, *types.Map, *types.Pointer, *types.Chan:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,38 @@
+// Package bad exercises scratchalias: methods handing out aliases of
+// receiver scratch buffers that the next call overwrites.
+package bad
+
+// scorer reuses buffers across calls.
+type scorer struct {
+	// scores is the per-call scoring scratch.
+	scores []float64
+	// Scan scratch, reused across calls.
+	flags []bool
+	names []string
+	out   []int
+	buf   map[string]int // comment without the magic word
+}
+
+// Scores returns the scratch directly.
+func (s *scorer) Scores() []float64 {
+	return s.scores // want scratchalias
+}
+
+// Head reslices the scratch — still the same backing array.
+func (s *scorer) Head(n int) []float64 {
+	return (s.scores[:n]) // want scratchalias
+}
+
+// Names inherits the group doc two fields up.
+func (s *scorer) Names() []string {
+	return s.names // want scratchalias
+}
+
+// pools is scratch by type name: every field counts.
+type poolScratch struct {
+	cnt []int
+}
+
+func (p *poolScratch) Counts() []int {
+	return p.cnt // want scratchalias
+}

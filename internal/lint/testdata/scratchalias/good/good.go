@@ -1,0 +1,40 @@
+// Package good shows the clean counterparts: copies escape, values
+// escape, non-scratch state escapes, and justified aliases are audited.
+package good
+
+// scorer reuses buffers across calls.
+type scorer struct {
+	// scores is the per-call scoring scratch.
+	scores []float64
+	// results is retained output the caller may hold.
+	results []float64
+	total   float64
+}
+
+// Scores returns a caller-owned copy of the scratch.
+func (s *scorer) Scores() []float64 {
+	out := make([]float64, len(s.scores))
+	copy(out, s.scores)
+	return out
+}
+
+// Results is long-lived state; aliasing it is the contract.
+func (s *scorer) Results() []float64 {
+	return s.results
+}
+
+// Total returns a value — copies cannot alias.
+func (s *scorer) Total() float64 {
+	return s.total
+}
+
+// One returns an element of the scratch, which is a copy for value
+// element types.
+func (s *scorer) One(i int) float64 {
+	return s.scores[i]
+}
+
+// Raw deliberately hands out the buffer for immediate use and says so.
+func (s *scorer) Raw() []float64 {
+	return s.scores //etlint:ignore scratchalias consumed before the next call by contract
+}

@@ -1,0 +1,12 @@
+// Package noncore is outside the deterministic core: scratchalias does
+// not apply (services own their buffer contracts).
+package noncore
+
+type scorer struct {
+	// scores is the per-call scoring scratch.
+	scores []float64
+}
+
+func (s *scorer) Scores() []float64 {
+	return s.scores
+}

@@ -1,6 +1,8 @@
 package sampling
 
 import (
+	"sort"
+
 	"exptrain/internal/dataset"
 	"exptrain/internal/fd"
 	"exptrain/internal/stats"
@@ -40,7 +42,11 @@ type PoolConfig struct {
 // Hypotheses sharing an LHS (every RHS choice over the same attribute
 // set) reuse one stripped partition through a PLI cache, so pool
 // construction partitions once per distinct LHS rather than once per
-// FD.
+// FD. Agreeing pairs are never materialized: a hypothesis with more
+// pairs than the cap has its sample indices decoded arithmetically off
+// the partition's class sizes, so construction cost is O(classes +
+// cap) per FD instead of O(n²/dictionary) — the difference between
+// rows=10⁵ finishing and thrashing.
 func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 	maxPer := cfg.MaxAgreeingPerFD
 	if maxPer <= 0 {
@@ -61,16 +67,34 @@ func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 			pairs = append(pairs, p)
 		}
 	}
+	var cum []int // per-class cumulative pair counts, reused across FDs
 	for i := 0; i < space.Size(); i++ {
-		agreeing := cache.AgreeingPairs(space.FD(i))
-		if len(agreeing) > maxPer {
-			idx := rng.SampleWithoutReplacement(len(agreeing), maxPer)
+		part := cache.Partition(space.FD(i).LHS)
+		total := part.AgreeingPairCount()
+		if total > maxPer {
+			// Same RNG draw the materialized version made over the pair
+			// list, decoded against the partition's deterministic
+			// enumeration order (classes by smallest member, ascending
+			// (a,b) within a class) so the pool contents and order are
+			// bit-identical to building the full list first.
+			cum = cum[:0]
+			run := 0
+			for _, rows := range part.Classes {
+				m := len(rows)
+				run += m * (m - 1) / 2
+				cum = append(cum, run)
+			}
+			idx := rng.SampleWithoutReplacement(total, maxPer)
 			for _, j := range idx {
-				add(agreeing[j])
+				add(pairAt(part, cum, j))
 			}
 		} else {
-			for _, p := range agreeing {
-				add(p)
+			for _, rows := range part.Classes {
+				for a := 0; a < len(rows); a++ {
+					for b := a + 1; b < len(rows); b++ {
+						add(dataset.Pair{A: int(rows[a]), B: int(rows[b])})
+					}
+				}
 			}
 		}
 	}
@@ -88,12 +112,31 @@ func NewPool(rel *dataset.Relation, space *fd.Space, cfg PoolConfig) *Pool {
 	return &Pool{rel: rel, total: len(pairs), unshown: pairs, shown: make(map[dataset.Pair]struct{})}
 }
 
+// pairAt decodes the t-th agreeing pair (0-based, partition enumeration
+// order) without expanding any pair list. cum holds the cumulative pair
+// counts per class. Within a class of m ascending members, the pairs
+// with first index a precede those with a+1, so S(a) = a·(2m−a−1)/2
+// pairs come before first-index a; the largest a with S(a) ≤ t′ and
+// b = a+1+(t′−S(a)) recover the pair.
+func pairAt(p *fd.Partition, cum []int, t int) dataset.Pair {
+	ci := sort.SearchInts(cum, t+1)
+	rows := p.Classes[ci]
+	tp := t
+	if ci > 0 {
+		tp -= cum[ci-1]
+	}
+	m := len(rows)
+	a := sort.Search(m-1, func(x int) bool { return (x+1)*(2*m-x-2)/2 > tp })
+	b := a + 1 + tp - a*(2*m-a-1)/2
+	return dataset.Pair{A: int(rows[a]), B: int(rows[b])}
+}
+
 // Remaining returns the candidate pairs not yet marked shown, in
 // original pool order. The slice is the pool's maintained unshown view
 // — O(1), no allocation or rescan. It must not be mutated and is
 // invalidated by later MarkShown calls; copy it to retain a snapshot.
 func (p *Pool) Remaining() []dataset.Pair {
-	return p.unshown
+	return p.unshown //etlint:ignore scratchalias documented view contract: read-only, invalidated by MarkShown
 }
 
 // MarkShown records that the pairs were presented, removing them from

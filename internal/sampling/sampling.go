@@ -17,11 +17,33 @@ package sampling
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"exptrain/internal/belief"
 	"exptrain/internal/dataset"
 	"exptrain/internal/stats"
 )
+
+// selectScratch holds the per-selection scoring buffers. The samplers
+// are stateless values, so the scratch lives in a package pool; every
+// buffer is fully overwritten before it is read (scores and probs are
+// assigned for all pool indices, idx is refilled), so reuse cannot leak
+// state between selections and determinism is unaffected.
+type selectScratch struct {
+	scores []float64
+	probs  []float64
+	idx    []int
+}
+
+var selPool = sync.Pool{New: func() any { return new(selectScratch) }}
+
+// floats returns buf resized to n, reallocating when capacity is short.
+func floats(buf []float64, n int) []float64 {
+	if cap(buf) < n {
+		return make([]float64, n)
+	}
+	return buf[:n]
+}
 
 // DefaultGamma is the exploration temperature used throughout the
 // paper's evaluation (§C.1 sets γ = 0.5 in all experiments).
@@ -129,8 +151,12 @@ func topKByScore(pool []dataset.Pair, k int, score func(dataset.Pair) float64) [
 	if k > len(pool) {
 		k = len(pool)
 	}
-	idx := make([]int, len(pool))
-	scores := make([]float64, len(pool))
+	sc := selPool.Get().(*selectScratch)
+	if cap(sc.idx) < len(pool) {
+		sc.idx = make([]int, len(pool))
+	}
+	idx := sc.idx[:len(pool)]
+	scores := floats(sc.scores, len(pool))
 	for i, p := range pool {
 		idx[i] = i
 		scores[i] = score(p)
@@ -140,6 +166,8 @@ func topKByScore(pool []dataset.Pair, k int, score func(dataset.Pair) float64) [
 	for i := 0; i < k; i++ {
 		out[i] = pool[idx[i]]
 	}
+	sc.idx, sc.scores = idx, scores
+	selPool.Put(sc)
 	return out
 }
 
@@ -149,11 +177,12 @@ func softmaxSelect(pool []dataset.Pair, k int, gamma float64, rng *stats.RNG, sc
 	if k > len(pool) {
 		k = len(pool)
 	}
-	scores := make([]float64, len(pool))
+	sc := selPool.Get().(*selectScratch)
+	scores := floats(sc.scores, len(pool))
 	for i, p := range pool {
 		scores[i] = score(p)
 	}
-	probs := make([]float64, len(pool))
+	probs := floats(sc.probs, len(pool))
 	stats.Softmax(probs, scores, gamma)
 	out := make([]dataset.Pair, 0, k)
 	for len(out) < k {
@@ -162,6 +191,8 @@ func softmaxSelect(pool []dataset.Pair, k int, gamma float64, rng *stats.RNG, sc
 		probs[i] = 0
 		stats.Normalize(probs)
 	}
+	sc.scores, sc.probs = scores, probs
+	selPool.Put(sc)
 	return out
 }
 

@@ -141,15 +141,20 @@ func (r *RNG) SampleWithoutReplacement(n, k int) []int {
 	if k == 0 {
 		return nil
 	}
-	// Floyd's algorithm: O(k) expected memory, no O(n) allocation.
-	chosen := make(map[int]struct{}, k)
+	// Floyd's algorithm: O(k) memory, no O(n) allocation. Membership is
+	// a linear scan of the draws so far — k is small everywhere this is
+	// called (pair budgets, pool sub-sampling caps), and dropping the
+	// map halves the allocation count of the sampler hot path. The RNG
+	// consumption and results are identical to the map-based form.
 	out := make([]int, 0, k)
 	for j := n - k; j < n; j++ {
 		t := r.Intn(j + 1)
-		if _, ok := chosen[t]; ok {
-			t = j
+		for _, v := range out {
+			if v == t {
+				t = j
+				break
+			}
 		}
-		chosen[t] = struct{}{}
 		out = append(out, t)
 	}
 	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
