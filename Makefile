@@ -13,7 +13,7 @@ FUZZERS := ./internal/sampling:FuzzParseMethod \
            ./internal/service:FuzzServerJSON \
            ./internal/fd:FuzzPLIDelta
 
-.PHONY: all build vet lint test race check verify bench benchbaseline benchcheck fuzz chaos clean
+.PHONY: all build vet lint test race check verify bench benchbaseline benchcheck fuzz chaos loadsmoke clean
 
 all: build
 
@@ -52,8 +52,23 @@ check:
 # test suite, then the suite again under the race detector (the
 # experiment harness, game evaluator and session service all run
 # goroutines, so -race is part of the bar), the fault-injection chaos
-# suite, plus whatever static analyzer the machine has.
-verify: build vet lint test race chaos check
+# suite, whatever static analyzer the machine has, and the ~5s
+# labelpool load smoke.
+verify: build vet lint test race chaos check loadsmoke
+
+# Labelpool load smoke (~5s): etload plays the request-per-round
+# baseline and the batched labelpool pipeline against an in-process
+# server with a simulated 20ms client RTT, and benchjson records the
+# result as BENCH_Labelpool.json (throughput, per-request p50/p99, and
+# the pool-vs-baseline speedup). This is a smoke, not a perf gate: it
+# fails only when the workload itself errors — throughput numbers are
+# recorded, never asserted, so a loaded CI machine cannot flake it.
+loadsmoke:
+	@echo "== etload labelpool smoke"
+	@$(GO) run ./cmd/etload -inproc -sessions 16 -rounds 8 -window 8 \
+		-rows 24 -k 2 -net-delay 20ms \
+		| $(GO) run ./cmd/benchjson > BENCH_Labelpool.json
+	@echo "   wrote BENCH_Labelpool.json"
 
 # Fault-injection suite under the race detector: crash-point property
 # tests for the snapshot commit protocol, torn-write invariants, the

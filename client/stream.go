@@ -1,0 +1,177 @@
+package client
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// StreamEvent is one event from the round stream.
+type StreamEvent struct {
+	// Type is "round", "pairs", "done" or "drain".
+	Type string
+	// Round is set for "round" events.
+	Round *Round
+	// PairsRound and Pairs are set for "pairs" events: the currently
+	// presented round and its pairs.
+	PairsRound int
+	Pairs      []Pair
+	// Rounds is set for "done": how many rounds the session played.
+	Rounds int
+}
+
+// StreamRounds attaches to GET /v1/sessions/{id}/rounds?stream=1 and
+// calls fn for every event, starting from round index `from` (0 streams
+// the session from its beginning). It transparently reconnects after
+// network failures, resuming via Last-Event-ID so every round is
+// delivered to fn exactly once; consecutive failed reconnects are
+// bounded by the client's RetryPolicy. It returns nil after a "done"
+// event (the session completed), ErrShuttingDown after "drain" (the
+// server is going away — fail over and call again), ctx.Err() on
+// cancellation, or the decoded server error.
+func (c *Client) StreamRounds(ctx context.Context, id string, from int, fn func(StreamEvent) error) error {
+	cursor := from
+	failures := 0
+	for {
+		err := c.streamOnce(ctx, id, &cursor, fn)
+		switch {
+		case err == nil:
+			return nil // done
+		case err == errStreamDrained:
+			return &Error{Kind: "shutting_down", Status: http.StatusServiceUnavailable,
+				Message: "the server closed the stream to drain"}
+		case ctx.Err() != nil:
+			return ctx.Err()
+		}
+		var apiErr *Error
+		if errors.As(err, &apiErr) && !apiErr.retryable() {
+			return err
+		}
+		failures++
+		if failures >= c.retry.MaxAttempts {
+			return err
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(c.retry.MaxWait):
+		}
+	}
+}
+
+// errStreamDrained marks a server-initiated drain close.
+var errStreamDrained = fmt.Errorf("stream drained")
+
+// streamOnce runs one connection until done/drain/error. cursor is
+// advanced as round events arrive, so a reconnect resumes exactly
+// after the last delivered round.
+func (c *Client) streamOnce(ctx context.Context, id string, cursor *int, fn func(StreamEvent) error) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.base+"/v1/sessions/"+id+"/rounds?stream=1", nil)
+	if err != nil {
+		return err
+	}
+	if *cursor > 0 {
+		req.Header.Set("Last-Event-ID", strconv.Itoa(*cursor-1))
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		apiErr := &Error{Status: resp.StatusCode}
+		if err := json.NewDecoder(resp.Body).Decode(apiErr); err != nil || apiErr.Kind == "" {
+			apiErr.Kind = "internal"
+			apiErr.Message = fmt.Sprintf("stream status %d", resp.StatusCode)
+		}
+		return apiErr
+	}
+
+	rd := bufio.NewReader(resp.Body)
+	var event, data string
+	eventID := -1
+	for {
+		line, err := rd.ReadString('\n')
+		if err != nil {
+			return fmt.Errorf("stream read: %w", err)
+		}
+		line = strings.TrimRight(line, "\n")
+		switch {
+		case strings.HasPrefix(line, ":"):
+			// Heartbeat comment; ignore.
+		case strings.HasPrefix(line, "event: "):
+			event = strings.TrimPrefix(line, "event: ")
+		case strings.HasPrefix(line, "id: "):
+			if n, err := strconv.Atoi(strings.TrimPrefix(line, "id: ")); err == nil {
+				eventID = n
+			}
+		case strings.HasPrefix(line, "data: "):
+			data = strings.TrimPrefix(line, "data: ")
+		case line == "":
+			if event == "" && data == "" {
+				continue // stray blank after a comment
+			}
+			done, err := c.dispatch(event, eventID, data, cursor, fn)
+			event, data, eventID = "", "", -1
+			if done || err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// dispatch decodes one complete frame and forwards it to fn.
+func (c *Client) dispatch(event string, id int, data string, cursor *int, fn func(StreamEvent) error) (done bool, err error) {
+	switch event {
+	case "round":
+		var rv Round
+		if err := json.Unmarshal([]byte(data), &rv); err != nil {
+			return false, fmt.Errorf("round frame %q: %w", data, err)
+		}
+		if id >= 0 && id < *cursor {
+			return false, nil // replay below the cursor: already delivered
+		}
+		if err := fn(StreamEvent{Type: "round", Round: &rv}); err != nil {
+			return true, err
+		}
+		*cursor = rv.Round + 1
+		return false, nil
+	case "pairs":
+		var pe struct {
+			Round int    `json:"round"`
+			Pairs []Pair `json:"pairs"`
+		}
+		if err := json.Unmarshal([]byte(data), &pe); err != nil {
+			return false, fmt.Errorf("pairs frame %q: %w", data, err)
+		}
+		return false, fn(StreamEvent{Type: "pairs", PairsRound: pe.Round, Pairs: pe.Pairs})
+	case "done":
+		var de struct {
+			Rounds int `json:"rounds"`
+		}
+		_ = json.Unmarshal([]byte(data), &de)
+		if err := fn(StreamEvent{Type: "done", Rounds: de.Rounds}); err != nil {
+			return true, err
+		}
+		return true, nil
+	case "drain":
+		_ = fn(StreamEvent{Type: "drain"})
+		return true, errStreamDrained
+	case "error":
+		apiErr := &Error{Status: http.StatusInternalServerError}
+		if err := json.Unmarshal([]byte(data), apiErr); err != nil || apiErr.Kind == "" {
+			apiErr.Kind = "internal"
+			apiErr.Message = data
+		}
+		return true, apiErr
+	default:
+		return false, nil // unknown event: forward-compatible skip
+	}
+}

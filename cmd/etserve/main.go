@@ -10,6 +10,17 @@
 //	etserve [-addr :8080] [-store DIR] [-max-sessions 128]
 //	        [-idle-ttl 15m] [-sweep 1m] [-timeout 30s]
 //	        [-retry-attempts 4] [-retry-base 5ms] [-retry-max 250ms]
+//	        [-max-queued 64] [-drain-batch 16] [-checkpoint-every 0]
+//	        [-heartbeat 15s]
+//
+// Besides the interactive next/submit loop, clients can POST whole
+// windows of labeled rounds to /v1/sessions/{id}/submissions and watch
+// them apply over the SSE stream at /v1/sessions/{id}/rounds?stream=1
+// (see API.md). -max-queued caps each session's admission queue,
+// -drain-batch bounds how many queued rounds one drain applies under a
+// single session-lock acquisition, -checkpoint-every snapshots a
+// session after that many pool-applied rounds (0 checkpoints only on
+// park/shutdown), and -heartbeat paces the SSE keep-alive comments.
 //
 // With -store, snapshots go to DIR and survive restarts (resume one
 // with POST /v1/sessions {"resume": "<id>", ...}); without it they
@@ -55,6 +66,10 @@ type config struct {
 	retryAttempts int
 	retryBase     time.Duration
 	retryMax      time.Duration
+	maxQueued     int
+	drainBatch    int
+	ckptEvery     int
+	heartbeat     time.Duration
 }
 
 func main() {
@@ -68,6 +83,10 @@ func main() {
 	flag.IntVar(&cfg.retryAttempts, "retry-attempts", 4, "store operation attempts before degrading (1 disables retries)")
 	flag.DurationVar(&cfg.retryBase, "retry-base", 5*time.Millisecond, "store retry backoff before the second attempt (doubles per attempt)")
 	flag.DurationVar(&cfg.retryMax, "retry-max", 250*time.Millisecond, "store retry backoff cap")
+	flag.IntVar(&cfg.maxQueued, "max-queued", 64, "per-session labelpool admission queue capacity")
+	flag.IntVar(&cfg.drainBatch, "drain-batch", 16, "max queued rounds applied per drain batch (one lock acquisition)")
+	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "checkpoint after this many pool-applied rounds (0: only on park/shutdown)")
+	flag.DurationVar(&cfg.heartbeat, "heartbeat", 15*time.Second, "SSE stream keep-alive comment interval")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -147,9 +166,15 @@ func start(cfg config) (*app, error) {
 			BaseDelay:   cfg.retryBase,
 			MaxDelay:    cfg.retryMax,
 		},
+		MaxQueuedSubmissions: cfg.maxQueued,
+		DrainBatch:           cfg.drainBatch,
+		CheckpointEvery:      cfg.ckptEvery,
 	})
 	srv := &http.Server{
-		Handler: service.NewServer(mgr, service.ServerOptions{RequestTimeout: cfg.timeout}),
+		Handler: service.NewServer(mgr, service.ServerOptions{
+			RequestTimeout:  cfg.timeout,
+			StreamHeartbeat: cfg.heartbeat,
+		}),
 	}
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -195,14 +220,21 @@ func (a *app) stopSweeper() {
 	<-a.sweepDone
 }
 
-// shutdown stops taking requests, then checkpoints every live session.
+// shutdown drains the manager first — that flushes every labelpool,
+// checkpoints every live session, and closes attached SSE streams with
+// their `event: drain` goodbye — and only then waits out the HTTP
+// server. The other order deadlocks until the context cap: Server.
+// Shutdown waits for in-flight handlers, but a stream handler only
+// exits on the manager's drain signal. Requests arriving mid-drain get
+// 503 shutting_down, which is the designed fail-over answer.
 func (a *app) shutdown(ctx context.Context) error {
 	a.stopSweeper()
+	mgrErr := a.mgr.Shutdown(ctx)
 	if err := a.srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}
-	if err := a.mgr.Shutdown(ctx); err != nil {
-		return fmt.Errorf("checkpointing sessions: %w", err)
+	if mgrErr != nil {
+		return fmt.Errorf("checkpointing sessions: %w", mgrErr)
 	}
 	if err := <-a.serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		return err

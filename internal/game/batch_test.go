@@ -1,0 +1,150 @@
+package game
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"exptrain/internal/belief"
+	"exptrain/internal/dataset"
+	"exptrain/internal/fd"
+)
+
+// labelPolicy is the deterministic annotator both the sequential and
+// the batched session replay: mark attribute 1 on pairs that disagree
+// there (the planted a→b violations), abstain on every fifth pair.
+func labelPolicy(rel *dataset.Relation, pairs []dataset.Pair) []belief.Labeling {
+	labeled := make([]belief.Labeling, len(pairs))
+	for i, p := range pairs {
+		labeled[i] = belief.Labeling{Pair: p}
+		if i%5 == 4 {
+			labeled[i].Abstained = true
+			continue
+		}
+		if rel.Row(p.A)[1] != rel.Row(p.B)[1] && rel.Row(p.A)[0] == rel.Row(p.B)[0] {
+			labeled[i].Marked = fd.NewAttrSet(1)
+		}
+	}
+	return labeled
+}
+
+// sessionFingerprint pins every per-round quantity bit-for-bit (floats
+// in hex) plus the full belief state, so two trajectories compare
+// exactly without float ==.
+func sessionFingerprint(s *Session) []string {
+	var out []string
+	for t, rec := range s.Records() {
+		line := fmt.Sprintf("round %d: presented=%v labeled=%d revised=%d mae=%s payoff=%s",
+			t, rec.Presented, len(rec.Labeled), len(rec.Revisions),
+			hexFloat(rec.MAE), hexFloat(rec.TrainerPayoff))
+		out = append(out, line)
+	}
+	b := s.Belief()
+	for i := 0; i < b.Size(); i++ {
+		out = append(out, fmt.Sprintf("h%d=%s", i, hexFloat(b.Confidence(i))))
+	}
+	out = append(out, fmt.Sprintf("freq=%d remaining=%d", s.Frequencies().Total(), s.RemainingPairs()))
+	return out
+}
+
+// TestSubmitBatchGoldenParity is the batched-drain acceptance test at
+// the engine layer: replaying a sequential session's per-round
+// labelings through one SubmitBatch call must produce a bit-identical
+// trajectory — same presented pairs, same MAE/payoff bits, same final
+// belief, same pool state.
+func TestSubmitBatchGoldenParity(t *testing.T) {
+	const seed, k, rounds = 99, 6, 8
+	rel, space, _, _ := buildWorld(t, seed)
+	newSess := func() *Session {
+		s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: k, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return s
+	}
+
+	// Sequential reference: strict Next/Submit alternation, recording
+	// exactly what was submitted each round (revisions included: round 4
+	// re-marks the first pair labeled in round 0).
+	seq := newSess()
+	var perRound [][]belief.Labeling
+	var revisit dataset.Pair
+	for r := 0; r < rounds; r++ {
+		pairs, err := seq.Next()
+		if err != nil {
+			t.Fatalf("sequential round %d: %v", r, err)
+		}
+		if r == 0 {
+			revisit = pairs[0]
+		}
+		labeled := labelPolicy(rel, pairs)
+		if r == 4 {
+			labeled = append(labeled, belief.Labeling{Pair: revisit, Marked: fd.NewAttrSet(2)})
+		}
+		if err := seq.Submit(labeled); err != nil {
+			t.Fatalf("sequential round %d submit: %v", r, err)
+		}
+		perRound = append(perRound, labeled)
+	}
+
+	batched := newSess()
+	applied, err := batched.SubmitBatch(context.Background(), perRound)
+	if err != nil {
+		t.Fatalf("SubmitBatch: applied %d: %v", applied, err)
+	}
+	if applied != rounds {
+		t.Fatalf("SubmitBatch applied %d rounds, want %d", applied, rounds)
+	}
+
+	want, got := sessionFingerprint(seq), sessionFingerprint(batched)
+	if len(want) != len(got) {
+		t.Fatalf("fingerprint length: sequential %d, batched %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("trajectory diverges at line %d:\nsequential: %s\nbatched:    %s", i, want[i], got[i])
+		}
+	}
+}
+
+// TestSubmitBatchPartialFailure pins the retry contract: a bad element
+// stops the batch, reports how many applied, and leaves the failed
+// round pending (already presented) so a corrected element can be
+// submitted without re-presenting.
+func TestSubmitBatchPartialFailure(t *testing.T) {
+	rel, space, _, _ := buildWorld(t, 7)
+	s, err := NewSession(SessionConfig{Relation: rel, Space: space, K: 4, Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bogus := belief.Labeling{Pair: dataset.NewPair(0, 1)} // almost surely not presented round 1
+	batch := [][]belief.Labeling{nil, {bogus, bogus}}     // duplicate labeling → validation error
+	applied, err := s.SubmitBatch(context.Background(), batch)
+	if err == nil {
+		t.Fatal("SubmitBatch accepted a duplicate labeling")
+	}
+	if applied != 1 {
+		t.Fatalf("applied = %d, want 1", applied)
+	}
+	if s.PendingCount() == 0 {
+		t.Fatal("failed round should remain pending for a retry")
+	}
+	if s.Rounds() != 1 {
+		t.Fatalf("Rounds = %d, want 1", s.Rounds())
+	}
+	// The retry completes against the still-pending round.
+	if applied, err := s.SubmitBatch(context.Background(), [][]belief.Labeling{nil}); err != nil || applied != 1 {
+		t.Fatalf("retry: applied %d, err %v", applied, err)
+	}
+	if s.Rounds() != 2 {
+		t.Fatalf("after retry Rounds = %d, want 2", s.Rounds())
+	}
+
+	// A canceled context stops before touching anything.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if applied, err := s.SubmitBatch(ctx, [][]belief.Labeling{nil}); !errors.Is(err, context.Canceled) || applied != 0 {
+		t.Fatalf("canceled: applied %d, err %v", applied, err)
+	}
+}

@@ -228,6 +228,39 @@ func (s *Session) SubmitContext(ctx context.Context, labeled []belief.Labeling) 
 	return nil
 }
 
+// SubmitBatch plays a run of consecutive queued rounds in one call: for
+// each element it presents the next round's pairs (unless a round is
+// already pending, which the first element then submits against) and
+// submits the element's labelings through the same validation and
+// engine step as Submit. It is the batch entry the service's labelpool
+// drains into, so per-round work — presentation, incorporation,
+// measurement, observer events — amortizes under the caller's single
+// lock acquisition while producing a trajectory bit-identical to the
+// same labelings submitted one Next/Submit cycle at a time.
+//
+// It returns how many elements were applied. On error the remaining
+// elements are untouched; a failure after a successful internal Next
+// leaves that round pending (its pairs are presented), so the caller
+// can retry the failed element with corrected labelings without
+// re-presenting.
+func (s *Session) SubmitBatch(ctx context.Context, batch [][]belief.Labeling) (applied int, err error) {
+	for _, labeled := range batch {
+		if err := ctx.Err(); err != nil {
+			return applied, err
+		}
+		if s.pending == nil {
+			if _, err := s.NextContext(ctx); err != nil {
+				return applied, err
+			}
+		}
+		if err := s.SubmitContext(ctx, labeled); err != nil {
+			return applied, err
+		}
+		applied++
+	}
+	return applied, nil
+}
+
 // finishRound runs the shared engine step for the pending round and
 // clears it. Callers own validation: Submit splits user input into
 // fresh labels and revisions; the Run driver passes the simulated

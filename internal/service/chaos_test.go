@@ -86,7 +86,7 @@ func TestChaosFlakyStoreWorkload(t *testing.T) {
 						labeled[i] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
 					}
 					err = retry(func() (err error) {
-						_, err = m.Submit(ctx, info.ID, labeled)
+						_, err = m.Submit(ctx, info.ID, UncheckedRound, labeled)
 						return err
 					})
 					if errors.Is(err, game.ErrNoRoundPending) {

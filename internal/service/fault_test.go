@@ -299,7 +299,7 @@ func readBody(t *testing.T, res *http.Response) []byte {
 
 func errKind(t *testing.T, raw []byte) string {
 	t.Helper()
-	var eb errorBody
+	var eb APIError
 	if err := json.Unmarshal(raw, &eb); err != nil {
 		t.Fatalf("decoding error body %q: %v", raw, err)
 	}

@@ -159,6 +159,20 @@ type Options struct {
 	// RetrySeed seeds the backoff jitter stream (default 1). Fixing it
 	// makes retry schedules reproducible in fault-injection tests.
 	RetrySeed uint64
+	// MaxQueuedSubmissions bounds each session's labelpool queue
+	// (default 64). Enqueueing beyond it fails with
+	// ErrSubmissionBacklog (HTTP 429 + Retry-After).
+	MaxQueuedSubmissions int
+	// DrainBatch caps how many queued rounds one drain applies under a
+	// single entry-lock acquisition (default 16) — large enough to
+	// amortize locking and checkpoint scheduling, small enough that
+	// interactive requests interleave with a deep backlog.
+	DrainBatch int
+	// CheckpointEvery, when positive, has the labelpool drain
+	// checkpoint a session after that many applied rounds, amortizing
+	// durability across the batch instead of paying a snapshot per
+	// round (0 = checkpoint only on park/shutdown/explicit snapshot).
+	CheckpointEvery int
 }
 
 func (o Options) withDefaults() Options {
@@ -174,6 +188,12 @@ func (o Options) withDefaults() Options {
 	o.Retry = o.Retry.withDefaults()
 	if o.RetrySeed == 0 {
 		o.RetrySeed = 1
+	}
+	if o.MaxQueuedSubmissions <= 0 {
+		o.MaxQueuedSubmissions = 64
+	}
+	if o.DrainBatch <= 0 {
+		o.DrainBatch = 16
 	}
 	return o
 }
@@ -229,19 +249,39 @@ type Manager struct {
 	storeErr error
 	// rrng draws retry backoff jitter; guarded by mu.
 	rrng *stats.RNG
+
+	// poolMu guards pools: each session's labelpool, created on first
+	// enqueue and keyed by session id, surviving park/unpark. Never
+	// hold poolMu while taking mu or an entry or pool lock.
+	poolMu sync.Mutex
+	pools  map[string]*labelPool
+	// drainWG tracks in-flight labelpool drain goroutines so Shutdown
+	// can flush every queued submission before checkpointing.
+	drainWG sync.WaitGroup
+
+	// streamMu guards streams: per-session wakeup channels of attached
+	// SSE streams. A leaf lock — safe to take under any other.
+	streamMu sync.Mutex
+	streams  map[string]map[chan struct{}]struct{}
+	// drainSignal is closed when Shutdown begins, so streams close
+	// promptly instead of waiting out a heartbeat.
+	drainSignal chan struct{}
 }
 
 // NewManager builds a manager.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
 	return &Manager{
-		opts:     opts,
-		store:    opts.Store,
-		now:      time.Now,
-		live:     make(map[string]*entry),
-		parked:   make(map[string]Spec),
-		degraded: make(map[string]bool),
-		rrng:     stats.NewRNG(opts.RetrySeed),
+		opts:        opts,
+		store:       opts.Store,
+		now:         time.Now,
+		live:        make(map[string]*entry),
+		parked:      make(map[string]Spec),
+		degraded:    make(map[string]bool),
+		rrng:        stats.NewRNG(opts.RetrySeed),
+		pools:       make(map[string]*labelPool),
+		streams:     make(map[string]map[chan struct{}]struct{}),
+		drainSignal: make(chan struct{}),
 	}
 }
 
@@ -506,12 +546,20 @@ func (m *Manager) setDegraded(id string, sick bool) {
 // evicted session. The caller must unlock it. Lookup loops because an
 // entry can be evicted between the map read and winning its lock.
 func (m *Manager) acquire(ctx context.Context, id string) (*entry, error) {
+	return m.acquireOpt(ctx, id, false)
+}
+
+// acquireOpt is acquire with one extra caller: the labelpool drain,
+// which must keep applying queued submissions while the manager drains
+// (Shutdown flushes the pools before checkpointing, so a submission
+// accepted with a ticket is never silently dropped).
+func (m *Manager) acquireOpt(ctx context.Context, id string, evenWhileDraining bool) (*entry, error) {
 	for {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		m.mu.Lock()
-		if m.draining {
+		if m.draining && !evenWhileDraining {
 			m.mu.Unlock()
 			return nil, ErrShuttingDown
 		}
@@ -661,6 +709,20 @@ func (m *Manager) List(ctx context.Context) ([]Info, error) {
 	return out, nil
 }
 
+// renderPairs materializes pair views with both tuples, so a client
+// needs no separate data fetch to show the annotator the rows.
+func renderPairs(rel *dataset.Relation, pairs []dataset.Pair) []PairView {
+	out := make([]PairView, len(pairs))
+	for i, p := range pairs {
+		out[i] = PairView{
+			A: p.A, B: p.B,
+			ATuple: append([]string(nil), rel.Row(p.A)...),
+			BTuple: append([]string(nil), rel.Row(p.B)...),
+		}
+	}
+	return out
+}
+
 // Next presents the session's next round of pairs.
 func (m *Manager) Next(ctx context.Context, id string) ([]PairView, error) {
 	e, err := m.acquire(ctx, id)
@@ -672,27 +734,96 @@ func (m *Manager) Next(ctx context.Context, id string) ([]PairView, error) {
 	if err != nil {
 		return nil, err
 	}
-	rel := e.sess.Relation()
-	out := make([]PairView, len(pairs))
-	for i, p := range pairs {
-		out[i] = PairView{
-			A: p.A, B: p.B,
-			ATuple: append([]string(nil), rel.Row(p.A)...),
-			BTuple: append([]string(nil), rel.Row(p.B)...),
-		}
-	}
-	return out, nil
+	m.notifyStreams(id)
+	return renderPairs(e.sess.Relation(), pairs), nil
 }
 
-// Submit consumes the pending round's annotations.
-func (m *Manager) Submit(ctx context.Context, id string, labeled []belief.Labeling) (Info, error) {
+// UncheckedRound disables Submit's round-index idempotency check — the
+// pre-v1 contract for callers that track no round counter.
+const UncheckedRound = -1
+
+// labelsDigest fingerprints the evidence a set of labelings carries:
+// the non-abstained (pair, marked) assertions, order-independent.
+// Abstentions are excluded because they carry no evidence — a replayed
+// request that spells out its abstentions and one that omits them are
+// the same submission. Two slices are accepted so a recorded round's
+// labels and revisions digest together without concatenating.
+func labelsDigest(a, b []belief.Labeling) uint64 {
+	type mark struct {
+		a, b   int
+		marked uint64
+	}
+	marks := make([]mark, 0, len(a)+len(b))
+	for _, ls := range [2][]belief.Labeling{a, b} {
+		for _, l := range ls {
+			if l.Abstained {
+				continue
+			}
+			marks = append(marks, mark{l.Pair.A, l.Pair.B, uint64(l.Marked)})
+		}
+	}
+	sort.Slice(marks, func(i, j int) bool {
+		if marks[i].a != marks[j].a {
+			return marks[i].a < marks[j].a
+		}
+		if marks[i].b != marks[j].b {
+			return marks[i].b < marks[j].b
+		}
+		return marks[i].marked < marks[j].marked
+	})
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	mix := func(v uint64) {
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	mix(uint64(len(marks)))
+	for _, mk := range marks {
+		mix(uint64(mk.a))
+		mix(uint64(mk.b))
+		mix(mk.marked)
+	}
+	return h
+}
+
+// Submit consumes the pending round's annotations. round makes the
+// call idempotent (pass UncheckedRound to opt out): it must equal the
+// session's current round index; a request naming an already-applied
+// round succeeds without re-applying when its labels are an identical
+// evidence replay of that round, and fails with ErrRoundMismatch
+// otherwise — the contract that makes a retrying client safe.
+func (m *Manager) Submit(ctx context.Context, id string, round int, labeled []belief.Labeling) (Info, error) {
 	e, err := m.acquire(ctx, id)
 	if err != nil {
 		return Info{}, err
 	}
 	defer e.mu.Unlock()
+	if round != UncheckedRound {
+		cur := e.sess.Rounds()
+		switch {
+		case round > cur:
+			return Info{}, fmt.Errorf("%w: round %d is ahead of the current round %d", ErrRoundMismatch, round, cur)
+		case round < cur:
+			rec := e.sess.Records()[round]
+			if labelsDigest(labeled, nil) == labelsDigest(rec.Labeled, rec.Revisions) {
+				// Identical replay of an applied round: the first attempt's
+				// response was lost; report success again, change nothing.
+				return m.infoOf(e, false), nil
+			}
+			return Info{}, fmt.Errorf("%w: round %d was already applied with different labels (current round %d)", ErrRoundMismatch, round, cur)
+		}
+	}
 	if err := e.sess.SubmitContext(ctx, labeled); err != nil {
 		return Info{}, err
+	}
+	m.notifyStreams(id)
+	// A direct submit can fill the gap a parked labelpool drain stalled
+	// on; give it another chance.
+	if p := m.peekPool(id); p != nil {
+		m.kickDrain(p)
 	}
 	return m.infoOf(e, false), nil
 }
@@ -891,16 +1022,30 @@ func (m *Manager) Health() Health {
 }
 
 // Shutdown drains the manager: new requests fail with ErrShuttingDown,
-// and every live session is checkpointed into the store. It blocks on
-// in-flight per-session work (each entry lock is acquired), so once it
-// returns no submitted round is lost. One session's checkpoint failure
-// does not abandon the rest — every session gets its full retry budget
-// and all failures are joined into the returned error; sessions whose
-// checkpoint failed stay resident and degraded, so a caller can fix the
-// store and call Shutdown again. Safe to call more than once.
+// every labelpool is flushed (queued submissions that earned a ticket
+// are applied, not dropped), and every live session is checkpointed
+// into the store. It blocks on in-flight per-session work (each entry
+// lock is acquired), so once it returns no submitted round is lost.
+// One session's checkpoint failure does not abandon the rest — every
+// session gets its full retry budget and all failures are joined into
+// the returned error; sessions whose checkpoint failed stay resident
+// and degraded, so a caller can fix the store and call Shutdown again.
+// Safe to call more than once.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
+	first := !m.draining
 	m.draining = true
+	m.mu.Unlock()
+	if first {
+		close(m.drainSignal) // wake attached streams so they close promptly
+	}
+	// Flush the labelpools before checkpointing: drains run under
+	// acquireOpt(evenWhileDraining), so every queued round lands in its
+	// session before that session's snapshot is taken.
+	m.flushPools()
+	m.drainWG.Wait()
+
+	m.mu.Lock()
 	entries := make([]*entry, 0, len(m.live))
 	for _, e := range m.live {
 		entries = append(entries, e)

@@ -65,7 +65,7 @@ func playRound(t *testing.T, m *Manager, id string) []PairView {
 		}
 		labeled[i] = l
 	}
-	if _, err := m.Submit(ctx, id, labeled); err != nil {
+	if _, err := m.Submit(ctx, id, UncheckedRound, labeled); err != nil {
 		t.Fatalf("Submit(%s): %v", id, err)
 	}
 	return pairs
@@ -122,7 +122,7 @@ func TestManagerProtocolSentinelsOverManager(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := m.Submit(ctx, info.ID, nil); !errors.Is(err, game.ErrNoRoundPending) {
+	if _, err := m.Submit(ctx, info.ID, UncheckedRound, nil); !errors.Is(err, game.ErrNoRoundPending) {
 		t.Fatalf("Submit first: err = %v, want ErrNoRoundPending", err)
 	}
 	if _, err := m.Next(ctx, info.ID); err != nil {
@@ -380,7 +380,7 @@ func TestManagerConcurrentSessions(t *testing.T) {
 						labeled[i] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
 					}
 					err = retry(func() (err error) {
-						_, err = m.Submit(ctx, info.ID, labeled)
+						_, err = m.Submit(ctx, info.ID, UncheckedRound, labeled)
 						return err
 					})
 					if errors.Is(err, game.ErrNoRoundPending) {

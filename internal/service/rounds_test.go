@@ -142,7 +142,7 @@ func TestManagerRevisionThroughService(t *testing.T) {
 	for _, p := range pairs {
 		labeled = append(labeled, belief.Labeling{Pair: dataset.NewPair(p.A, p.B)})
 	}
-	if _, err := m.Submit(ctx, info.ID, labeled); err != nil {
+	if _, err := m.Submit(ctx, info.ID, UncheckedRound, labeled); err != nil {
 		t.Fatalf("submit with revision: %v", err)
 	}
 	views, err := m.Rounds(ctx, info.ID)
@@ -223,7 +223,7 @@ func TestObserverOrderedUnderConcurrentAccess(t *testing.T) {
 					// with a full abstain. (Abstentions enter the label
 					// history, so a late Submit for those pairs would be a
 					// valid revision — here it just gets ErrNoRoundPending.)
-					if _, err := m.Submit(ctx, info.ID, nil); err != nil &&
+					if _, err := m.Submit(ctx, info.ID, UncheckedRound, nil); err != nil &&
 						!errors.Is(err, game.ErrNoRoundPending) {
 						t.Errorf("steal submit: %v", err)
 						return
@@ -238,7 +238,7 @@ func TestObserverOrderedUnderConcurrentAccess(t *testing.T) {
 				for j, p := range pairs {
 					labeled[j] = belief.Labeling{Pair: dataset.NewPair(p.A, p.B)}
 				}
-				if _, err := m.Submit(ctx, info.ID, labeled); err != nil &&
+				if _, err := m.Submit(ctx, info.ID, UncheckedRound, labeled); err != nil &&
 					!errors.Is(err, game.ErrNoRoundPending) {
 					t.Errorf("submit: %v", err)
 					return

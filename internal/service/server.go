@@ -3,14 +3,12 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
 	"time"
 
 	"exptrain/internal/belief"
-	"exptrain/internal/game"
 	"exptrain/internal/persist"
 	"exptrain/internal/sampling"
 )
@@ -18,10 +16,15 @@ import (
 // ServerOptions tunes the HTTP layer.
 type ServerOptions struct {
 	// RequestTimeout bounds each request's context (default 30s).
+	// Streaming requests (GET /rounds?stream=1) are exempt: the
+	// timeout instead bounds each of the stream's internal fetches.
 	RequestTimeout time.Duration
 	// MaxBodyBytes bounds request bodies, CSV uploads included
 	// (default 8 MiB).
 	MaxBodyBytes int64
+	// StreamHeartbeat is how often an idle SSE stream emits a comment
+	// line so intermediaries keep the connection alive (default 15s).
+	StreamHeartbeat time.Duration
 }
 
 func (o ServerOptions) withDefaults() ServerOptions {
@@ -31,20 +34,27 @@ func (o ServerOptions) withDefaults() ServerOptions {
 	if o.MaxBodyBytes <= 0 {
 		o.MaxBodyBytes = 8 << 20
 	}
+	if o.StreamHeartbeat <= 0 {
+		o.StreamHeartbeat = 15 * time.Second
+	}
 	return o
 }
 
 // Server is the HTTP/JSON front of a Manager. It implements
 // http.Handler; mount it on any mux or serve it directly.
 //
-// Routes (all JSON):
+// Routes (all JSON; see API.md for the full contract):
 //
 //	POST   /v1/sessions              create (or resume with "resume")
 //	GET    /v1/sessions              list
 //	GET    /v1/sessions/{id}         inspect
 //	POST   /v1/sessions/{id}/next    present the next round
 //	POST   /v1/sessions/{id}/submit  submit the round's labelings
-//	GET    /v1/sessions/{id}/rounds  per-round MAE/payoff (and F1 with eval)
+//	                                 (idempotent with "round")
+//	POST   /v1/sessions/{id}/submissions        enqueue into the labelpool
+//	GET    /v1/sessions/{id}/submissions/{ticket} ticket status
+//	GET    /v1/sessions/{id}/rounds  per-round MAE/payoff (and F1 with
+//	                                 eval); ?stream=1 upgrades to SSE
 //	GET    /v1/sessions/{id}/belief  top hypotheses (?k=10)
 //	GET    /v1/sessions/{id}/repairs believed-FD cell repairs (?tau=0.5)
 //	POST   /v1/sessions/{id}/snapshot  checkpoint to the store
@@ -53,10 +63,9 @@ func (o ServerOptions) withDefaults() ServerOptions {
 //	                                 degraded counts; 503 when degraded
 //	                                 or draining
 //
-// Store failures surface as 503 + Retry-After with kind
-// "store_unavailable"; a draining manager answers 503 with kind
-// "shutting_down" — distinct from the capacity 429 "too_many_sessions"
-// so clients can tell "fail over" from "shed load".
+// Every error response is one APIError envelope {kind, message,
+// retry_after?}; the kind registry lives in errors.go and is documented
+// in API.md.
 type Server struct {
 	mgr  *Manager
 	opts ServerOptions
@@ -73,6 +82,8 @@ func NewServer(mgr *Manager, opts ServerOptions) *Server {
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleEvict)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/next", s.handleNext)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/submit", s.handleSubmit)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/submissions", s.handleEnqueue)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/submissions/{ticket}", s.handleTicket)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/rounds", s.handleRounds)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/belief", s.handleBelief)
 	s.mux.HandleFunc("GET /v1/sessions/{id}/repairs", s.handleRepairs)
@@ -81,15 +92,24 @@ func NewServer(mgr *Manager, opts ServerOptions) *Server {
 }
 
 // ServeHTTP implements http.Handler: every request runs under the
-// configured timeout and body limit.
+// configured timeout and body limit. A streaming request is exempt from
+// the timeout — it lives until the client leaves, the manager drains,
+// or the session completes — but still bounded per internal fetch.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
-	defer cancel()
-	r = r.WithContext(ctx)
+	if !isStreamRequest(r) {
+		ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+		defer cancel()
+		r = r.WithContext(ctx)
+	}
 	if r.Body != nil {
 		r.Body = http.MaxBytesReader(w, r.Body, s.opts.MaxBodyBytes)
 	}
 	s.mux.ServeHTTP(w, r)
+}
+
+// isStreamRequest reports whether the request asks for an SSE stream.
+func isStreamRequest(r *http.Request) bool {
+	return r.Method == http.MethodGet && r.URL.Query().Get("stream") != ""
 }
 
 // CreateRequest is the POST /v1/sessions body. Resume (an id whose
@@ -136,50 +156,36 @@ func (req CreateRequest) spec() Spec {
 // the attribute positions marked erroneous, or an abstention.
 type LabelingWire = persist.LabelingJSON
 
-// SubmitRequest is the POST /v1/sessions/{id}/submit body.
+// SubmitRequest is the POST /v1/sessions/{id}/submit body. Round, when
+// present, makes the request idempotent: it must name the session's
+// current round index (Info.Rounds); a request for an already-applied
+// round succeeds without re-applying if its labels are an identical
+// replay of what that round recorded, and fails with kind
+// "round_mismatch" otherwise — so a client that retries after a lost
+// response is always safe.
 type SubmitRequest struct {
+	Round  *int           `json:"round,omitempty"`
 	Labels []LabelingWire `json:"labels"`
 }
 
-// errorBody is the JSON error envelope.
-type errorBody struct {
-	Error string `json:"error"`
-	Kind  string `json:"kind,omitempty"`
+// SubmissionWire is one queued round for the labelpool: the round index
+// it targets (the session's submission "nonce") and its labelings.
+type SubmissionWire struct {
+	Round  int            `json:"round"`
+	Labels []LabelingWire `json:"labels,omitempty"`
 }
 
-// httpStatus maps service and protocol sentinels to status codes — the
-// errors.Is-able surface is what makes this a switch instead of string
-// matching.
-func httpStatus(err error) (int, string) {
-	switch {
-	case errors.Is(err, ErrSessionNotFound), errors.Is(err, persist.ErrNotFound):
-		return http.StatusNotFound, "not_found"
-	case errors.Is(err, ErrTooManySessions):
-		return http.StatusTooManyRequests, "too_many_sessions"
-	case errors.Is(err, ErrShuttingDown):
-		return http.StatusServiceUnavailable, "shutting_down"
-	case errors.Is(err, ErrStoreUnavailable):
-		// Checked before the context sentinels: an exhausted retry loop
-		// may wrap an ambiguous cancellation, and the actionable fact for
-		// the client is "the store is sick, retry later".
-		return http.StatusServiceUnavailable, "store_unavailable"
-	case errors.Is(err, persist.ErrCorrupt):
-		return http.StatusInternalServerError, "corrupt_snapshot"
-	case errors.Is(err, game.ErrRoundPending):
-		return http.StatusConflict, "round_pending"
-	case errors.Is(err, game.ErrNoRoundPending):
-		return http.StatusConflict, "no_round_pending"
-	case errors.Is(err, game.ErrPoolExhausted):
-		return http.StatusGone, "pool_exhausted"
-	case errors.Is(err, sampling.ErrUnknownMethod), errors.Is(err, persist.ErrBadID):
-		return http.StatusBadRequest, "bad_request"
-	case errors.Is(err, context.DeadlineExceeded):
-		return http.StatusGatewayTimeout, "timeout"
-	case errors.Is(err, context.Canceled):
-		return 499, "canceled" // nginx's client-closed-request
-	default:
-		return http.StatusInternalServerError, "internal"
-	}
+// EnqueueRequest is the POST /v1/sessions/{id}/submissions body: one or
+// more rounds to queue in a single request (batching is the point — one
+// request can carry a whole window of rounds).
+type EnqueueRequest struct {
+	Submissions []SubmissionWire `json:"submissions"`
+}
+
+// EnqueueResponse returns one ticket per queued submission, in request
+// order.
+type EnqueueResponse struct {
+	Tickets []Ticket `json:"tickets"`
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -190,30 +196,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// retryAfter advises clients when to come back: quickly for a draining
-// or store-sick replica (a load balancer will have failed over by
-// then), with more patience for capacity pressure (a session must go
-// idle before room appears).
-func retryAfter(status int) string {
-	if status == http.StatusTooManyRequests {
-		return "10"
+// writeError is the single funnel every handler's failure goes through:
+// classify into the kind registry, set Retry-After for the backpressure
+// kinds, write the one envelope.
+func writeError(w http.ResponseWriter, err error) {
+	status, e := apiError(err)
+	if e.RetryAfter > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfter))
 	}
-	return "2"
-}
-
-func writeErr(w http.ResponseWriter, err error) {
-	status, kind := httpStatus(err)
-	if status == http.StatusServiceUnavailable || status == http.StatusTooManyRequests {
-		w.Header().Set("Retry-After", retryAfter(status))
-	}
-	writeJSON(w, status, errorBody{Error: err.Error(), Kind: kind})
+	writeJSON(w, status, e)
 }
 
 func decodeBody(r *http.Request, v any) error {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(v); err != nil {
-		return fmt.Errorf("decoding request: %w", err)
+		return badRequest(fmt.Errorf("decoding request: %s", err))
 	}
 	return nil
 }
@@ -227,7 +225,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	status := http.StatusOK
 	if !h.OK {
 		status = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", retryAfter(status))
+		w.Header().Set("Retry-After", strconv.Itoa(retryAfterSeconds(status)))
 	}
 	writeJSON(w, status, h)
 }
@@ -235,7 +233,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 	var req CreateRequest
 	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
+		writeError(w, err)
 		return
 	}
 	var (
@@ -254,11 +252,10 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 		// otherwise map to a plain 500 here surfaces as 400. Sentinels
 		// that deliberately map to 500 (a corrupt snapshot) keep their
 		// kind — those are the server's fault, not the client's.
-		if status, kind := httpStatus(err); status == http.StatusInternalServerError && kind == "internal" {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
-			return
+		if errorKind(err) == KindInternal {
+			err = badRequest(err)
 		}
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusCreated, info)
@@ -267,7 +264,7 @@ func (s *Server) handleCreate(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 	infos, err := s.mgr.List(r.Context())
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"sessions": infos})
@@ -276,7 +273,7 @@ func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 	info, err := s.mgr.Get(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
@@ -285,39 +282,101 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleNext(w http.ResponseWriter, r *http.Request) {
 	pairs, err := s.mgr.Next(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"pairs": pairs})
 }
 
-func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
-	var req SubmitRequest
-	if err := decodeBody(r, &req); err != nil {
-		writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
-		return
-	}
-	labeled := make([]belief.Labeling, 0, len(req.Labels))
-	for _, lw := range req.Labels {
+// decodeLabels converts wire labelings, mapping validation failures to
+// bad_request.
+func decodeLabels(wire []LabelingWire) ([]belief.Labeling, error) {
+	labeled := make([]belief.Labeling, 0, len(wire))
+	for _, lw := range wire {
 		l, err := lw.ToLabeling()
 		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorBody{Error: err.Error(), Kind: "bad_request"})
-			return
+			return nil, badRequest(err)
 		}
 		labeled = append(labeled, l)
 	}
-	info, err := s.mgr.Submit(r.Context(), r.PathValue("id"), labeled)
+	return labeled, nil
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	labeled, err := decodeLabels(req.Labels)
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
+		return
+	}
+	round := UncheckedRound
+	if req.Round != nil {
+		if *req.Round < 0 {
+			writeError(w, badRequest(fmt.Errorf("round %d is negative", *req.Round)))
+			return
+		}
+		round = *req.Round
+	}
+	info, err := s.mgr.Submit(r.Context(), r.PathValue("id"), round, labeled)
+	if err != nil {
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, info)
 }
 
+func (s *Server) handleEnqueue(w http.ResponseWriter, r *http.Request) {
+	var req EnqueueRequest
+	if err := decodeBody(r, &req); err != nil {
+		writeError(w, err)
+		return
+	}
+	if len(req.Submissions) == 0 {
+		writeError(w, badRequest(fmt.Errorf("submissions must not be empty")))
+		return
+	}
+	subs := make([]Submission, 0, len(req.Submissions))
+	for _, sw := range req.Submissions {
+		if sw.Round < 0 {
+			writeError(w, badRequest(fmt.Errorf("round %d is negative", sw.Round)))
+			return
+		}
+		labeled, err := decodeLabels(sw.Labels)
+		if err != nil {
+			writeError(w, err)
+			return
+		}
+		subs = append(subs, Submission{Round: sw.Round, Labels: labeled})
+	}
+	tickets, err := s.mgr.EnqueueSubmissions(r.Context(), r.PathValue("id"), subs)
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, EnqueueResponse{Tickets: tickets})
+}
+
+func (s *Server) handleTicket(w http.ResponseWriter, r *http.Request) {
+	tk, err := s.mgr.Ticket(r.Context(), r.PathValue("id"), r.PathValue("ticket"))
+	if err != nil {
+		writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, tk)
+}
+
 func (s *Server) handleRounds(w http.ResponseWriter, r *http.Request) {
+	if isStreamRequest(r) {
+		s.handleStream(w, r)
+		return
+	}
 	rounds, err := s.mgr.Rounds(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"rounds": rounds})
@@ -327,7 +386,7 @@ func (s *Server) handleBelief(w http.ResponseWriter, r *http.Request) {
 	k, _ := strconv.Atoi(r.URL.Query().Get("k"))
 	hyps, err := s.mgr.TopBelief(r.Context(), r.PathValue("id"), k)
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"hypotheses": hyps})
@@ -337,7 +396,7 @@ func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) {
 	tau, _ := strconv.ParseFloat(r.URL.Query().Get("tau"), 64)
 	repairs, err := s.mgr.Repairs(r.Context(), r.PathValue("id"), tau)
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"repairs": repairs})
@@ -346,7 +405,7 @@ func (s *Server) handleRepairs(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 	snapID, err := s.mgr.Snapshot(r.Context(), r.PathValue("id"))
 	if err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"snapshot": snapID})
@@ -355,7 +414,7 @@ func (s *Server) handleSnapshot(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleEvict(w http.ResponseWriter, r *http.Request) {
 	id := r.PathValue("id")
 	if err := s.mgr.Evict(r.Context(), id); err != nil {
-		writeErr(w, err)
+		writeError(w, err)
 		return
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"parked": id})

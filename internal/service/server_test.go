@@ -146,7 +146,7 @@ func TestServerStatusMapping(t *testing.T) {
 	_, c, _ := newTestServer(t, Options{})
 
 	kind := func(raw []byte) string {
-		var e errorBody
+		var e APIError
 		if err := json.Unmarshal(raw, &e); err != nil {
 			t.Fatalf("error body %q: %v", raw, err)
 		}
@@ -210,7 +210,7 @@ func TestServerStatusMapping(t *testing.T) {
 		var n nextResponse
 		status, raw := c.do("POST", "/v1/sessions/"+id+"/next", nil, &n)
 		if status == http.StatusGone {
-			var e errorBody
+			var e APIError
 			if err := json.Unmarshal(raw, &e); err != nil || e.Kind != "pool_exhausted" {
 				t.Fatalf("exhausted body %s (err %v)", raw, err)
 			}
@@ -392,7 +392,7 @@ func TestServerGracefulShutdownLosesNoSubmittedRound(t *testing.T) {
 	// The drained server answers every session request with 503.
 	raw := c.expect(http.StatusServiceUnavailable, "POST", "/v1/sessions",
 		CreateRequest{CSV: testCSV, Method: sampling.MethodRandom, K: 3}, nil)
-	var e errorBody
+	var e APIError
 	if err := json.Unmarshal(raw, &e); err != nil || e.Kind != "shutting_down" {
 		t.Fatalf("shutdown body %s (err %v)", raw, err)
 	}
