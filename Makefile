@@ -56,24 +56,36 @@ check:
 # labelpool load smoke.
 verify: build vet lint test race chaos check loadsmoke
 
-# Labelpool load smoke (~5s): etload plays the request-per-round
-# baseline and the batched labelpool pipeline against an in-process
-# server with a simulated 20ms client RTT, and benchjson records the
-# result as BENCH_Labelpool.json (throughput, per-request p50/p99, and
-# the pool-vs-baseline speedup). This is a smoke, not a perf gate: it
-# fails only when the workload itself errors — throughput numbers are
-# recorded, never asserted, so a loaded CI machine cannot flake it.
+# Labelpool + shard load smokes (~30s): etload plays the
+# request-per-round baseline and the batched labelpool pipeline against
+# an in-process server with a simulated 20ms client RTT, and benchjson
+# records the result as BENCH_Labelpool.json (throughput, per-request
+# p50/p99, and the pool-vs-baseline speedup). A second run drives the
+# same submission workload through 1-, 4- and 16-shard managers over a
+# 10ms-latency store and records BENCH_Shard.json, including the
+# 16-vs-1-shard throughput ratio. These are smokes, not perf gates:
+# they fail only when the workload itself errors — numbers are
+# recorded, never asserted, so a loaded CI machine cannot flake them
+# (the shard ratio is gated separately by `make benchcheck`).
 loadsmoke:
 	@echo "== etload labelpool smoke"
 	@$(GO) run ./cmd/etload -inproc -sessions 16 -rounds 8 -window 8 \
 		-rows 24 -k 2 -net-delay 20ms \
 		| $(GO) run ./cmd/benchjson > BENCH_Labelpool.json
 	@echo "   wrote BENCH_Labelpool.json"
+	@echo "== etload shard-scaling smoke"
+	@$(GO) run ./cmd/etload -shards 1,4,16 -sessions 96 -rounds 3 \
+		-rows 24 -k 3 -store-delay 10ms \
+		| $(GO) run ./cmd/benchjson > BENCH_Shard.json
+	@echo "   wrote BENCH_Shard.json"
 
 # Fault-injection suite under the race detector: crash-point property
-# tests for the snapshot commit protocol, torn-write invariants, the
-# degraded-mode manager tests, and the 64-session flaky-store workload
-# (ET_CHAOS=1 extends the workload to more rounds per session).
+# tests for the snapshot commit protocol, torn-write invariants (both
+# single-store and quorum MultiStore), the degraded-mode manager tests,
+# the 64-session flaky-store workload, and the sharded replica-loss
+# workload that kills a full replica mid-run and checks golden parity
+# against an unsharded reference (ET_CHAOS=1 scales the workloads up —
+# the sharded one to 1024 sessions across 16 shards).
 chaos:
 	ET_CHAOS=1 $(GO) test -race -count=1 \
 		-run 'TestCrashPointProperty|TestTornWritesNeverCorrupt|TestFault|TestManagerEvictFailure|TestManagerUnparkFailed|TestManagerSweepContinues|TestManagerShutdownKeeps|TestServerFaultSurface|TestChaos' \
@@ -137,6 +149,10 @@ benchcheck:
 	@echo "== benchcheck BenchmarkRevision (-benchtime 100x)"
 	@$(GO) test -run '^$$' -bench '^BenchmarkRevision$$' -benchtime 100x -benchmem . \
 		| $(GO) run ./cmd/benchjson -check BENCH_PLIIncremental.json
+	@echo "== benchcheck shard scaling (etload -shards)"
+	@$(GO) run ./cmd/etload -shards 1,4,16 -sessions 96 -rounds 3 \
+		-rows 24 -k 3 -store-delay 10ms \
+		| $(GO) run ./cmd/benchjson -check BENCH_Shard.json
 
 clean:
 	rm -f BENCH_*.json

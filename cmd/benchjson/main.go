@@ -15,9 +15,15 @@
 //	go test -run '^$' -bench '^BenchmarkFullGame$' -benchtime 1x -benchmem . |
 //	    benchjson -check BENCH_FullGame.json
 //
-// Only allocs/op is asserted — it is deterministic for a fixed code
-// path, unlike ns/op which varies with machine load, so the gate never
-// flakes on timing noise. A benchmark missing from the baseline is
+// Two metric families are asserted. allocs/op is gated because it is
+// deterministic for a fixed code path, unlike ns/op which varies with
+// machine load, so the gate never flakes on timing noise. Ratio
+// metrics — any custom unit starting "x-vs-", e.g. the shard-scaling
+// "x-vs-1shard" speedup — are gated with a generous floor (the current
+// ratio may fall to 60% of the baseline's) because a ratio of two
+// runs on the same machine cancels most load noise while still
+// catching a scaling property that collapsed. All other units are
+// recorded, never asserted. A benchmark missing from the baseline is
 // skipped with a note (new benchmarks need `make bench` to record them).
 package main
 
@@ -28,6 +34,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 )
@@ -41,6 +48,13 @@ const (
 	allocSlackFactor = 1.5
 	allocSlackFloor  = 64
 )
+
+// Ratio regression tolerance: a current "x-vs-*" ratio metric may fall
+// to this fraction of its baseline before the gate fails. Ratios
+// divide out absolute machine speed, but scheduling noise on a loaded
+// box still moves them; 0.6 passes that noise and fails a collapse
+// (a 5x scaling win degrading to parity).
+const ratioSlackFactor = 0.6
 
 // Benchmark is one benchmark's result. A `-count>1` run emits the same
 // benchmark name several times; those lines are aggregated into one
@@ -93,8 +107,9 @@ func main() {
 
 // check compares cur against the baseline at path and errors when any
 // benchmark's allocs/op exceeds baseline*allocSlackFactor +
-// allocSlackFloor. Benchmarks absent from the baseline, or without an
-// allocs/op metric on either side, are reported and skipped.
+// allocSlackFloor, or any "x-vs-*" ratio metric falls below
+// baseline*ratioSlackFactor. Benchmarks absent from the baseline, or
+// without a gated metric on either side, are reported and skipped.
 func check(cur *Baseline, path string, w io.Writer) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
@@ -116,32 +131,67 @@ func check(cur *Baseline, path string, w io.Writer) error {
 			fmt.Fprintf(w, "skip %s: not in %s (run `make bench` to record it)\n", b.Name, path)
 			continue
 		}
-		refAllocs, refOK := rb.Metrics["allocs/op"]
-		curAllocs, curOK := b.Metrics["allocs/op"]
-		if !refOK || !curOK {
-			fmt.Fprintf(w, "skip %s: no allocs/op metric (was -benchmem set?)\n", b.Name)
+		gated := 0
+		if refAllocs, refOK := rb.Metrics["allocs/op"]; refOK {
+			if curAllocs, curOK := b.Metrics["allocs/op"]; curOK {
+				gated++
+				limit := refAllocs*allocSlackFactor + allocSlackFloor
+				if curAllocs > limit {
+					regressions = append(regressions, fmt.Sprintf(
+						"%s: %.0f allocs/op, baseline %.0f (limit %.0f)", b.Name, curAllocs, refAllocs, limit))
+					fmt.Fprintf(w, "FAIL %s: %.0f allocs/op exceeds limit %.0f (baseline %.0f)\n",
+						b.Name, curAllocs, limit, refAllocs)
+				} else {
+					fmt.Fprintf(w, "ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n",
+						b.Name, curAllocs, refAllocs, limit)
+				}
+			}
+		}
+		for _, unit := range ratioUnits(rb) {
+			refRatio := rb.Metrics[unit]
+			curRatio, curOK := b.Metrics[unit]
+			if !curOK {
+				continue
+			}
+			gated++
+			floor := refRatio * ratioSlackFactor
+			if curRatio < floor {
+				regressions = append(regressions, fmt.Sprintf(
+					"%s: %.2f %s, baseline %.2f (floor %.2f)", b.Name, curRatio, unit, refRatio, floor))
+				fmt.Fprintf(w, "FAIL %s: %.2f %s below floor %.2f (baseline %.2f)\n",
+					b.Name, curRatio, unit, floor, refRatio)
+			} else {
+				fmt.Fprintf(w, "ok   %s: %.2f %s (baseline %.2f, floor %.2f)\n",
+					b.Name, curRatio, unit, refRatio, floor)
+			}
+		}
+		if gated == 0 {
+			fmt.Fprintf(w, "skip %s: no gated metric on both sides (allocs/op or x-vs-*)\n", b.Name)
 			continue
 		}
-		compared++
-		limit := refAllocs*allocSlackFactor + allocSlackFloor
-		if curAllocs > limit {
-			regressions = append(regressions, fmt.Sprintf(
-				"%s: %.0f allocs/op, baseline %.0f (limit %.0f)", b.Name, curAllocs, refAllocs, limit))
-			fmt.Fprintf(w, "FAIL %s: %.0f allocs/op exceeds limit %.0f (baseline %.0f)\n",
-				b.Name, curAllocs, limit, refAllocs)
-		} else {
-			fmt.Fprintf(w, "ok   %s: %.0f allocs/op (baseline %.0f, limit %.0f)\n",
-				b.Name, curAllocs, refAllocs, limit)
-		}
+		compared += gated
 	}
 	if compared == 0 {
 		return fmt.Errorf("no benchmark on stdin matched %s", path)
 	}
 	if len(regressions) > 0 {
-		return fmt.Errorf("%d allocation regression(s):\n\t%s",
+		return fmt.Errorf("%d benchmark regression(s):\n\t%s",
 			len(regressions), strings.Join(regressions, "\n\t"))
 	}
 	return nil
+}
+
+// ratioUnits lists a benchmark's gated ratio metrics ("x-vs-*" units)
+// in sorted order, so the check's report lines are deterministic.
+func ratioUnits(b Benchmark) []string {
+	var units []string
+	for unit := range b.Metrics {
+		if strings.HasPrefix(unit, "x-vs-") {
+			units = append(units, unit)
+		}
+	}
+	sort.Strings(units)
+	return units
 }
 
 func parse(sc *bufio.Scanner) (*Baseline, error) {

@@ -46,10 +46,14 @@ import (
 	"net/http"
 	"os"
 	"sort"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
 	"exptrain/client"
+	"exptrain/internal/persist"
+	"exptrain/internal/sampling"
 	"exptrain/internal/service"
 )
 
@@ -67,6 +71,9 @@ type config struct {
 	k        int
 	seed     uint64
 	netDelay time.Duration
+
+	shardCounts string
+	storeDelay  time.Duration
 }
 
 func main() {
@@ -83,6 +90,8 @@ func main() {
 	flag.IntVar(&cfg.k, "k", 4, "pairs per round")
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base seed; session i uses seed+i")
 	flag.DurationVar(&cfg.netDelay, "net-delay", 0, "simulated client-side round-trip delay per request (e.g. 10ms)")
+	flag.StringVar(&cfg.shardCounts, "shards", "", "comma-separated shard counts to compare (e.g. 1,4,16); drives the manager directly and ignores -mode/-addr")
+	flag.DurationVar(&cfg.storeDelay, "store-delay", 4*time.Millisecond, "simulated checkpoint-store latency per operation in -shards runs")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal("etload: ", err)
@@ -90,6 +99,9 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.shardCounts != "" {
+		return runShardCompare(cfg)
+	}
 	if cfg.mode != "baseline" && cfg.mode != "pool" && cfg.mode != "both" {
 		return fmt.Errorf("unknown -mode %q", cfg.mode)
 	}
@@ -407,4 +419,167 @@ func createAll(ctx context.Context, c *client.Client, cfg config) ([]string, err
 	default:
 	}
 	return ids, nil
+}
+
+// delayStore simulates a real checkpoint store — a network filesystem,
+// an object store, a database — by sleeping a fixed latency before
+// every operation over an in-memory store. The -shards comparison
+// exists to show the sharded serving core overlapping exactly this
+// latency: one shard checkpoints its parked sessions serially, N
+// shards do so N ways in parallel.
+type delayStore struct {
+	d     time.Duration
+	inner persist.Store
+}
+
+func (s *delayStore) wait(ctx context.Context) error {
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-time.After(s.d):
+		return nil
+	}
+}
+
+func (s *delayStore) Put(ctx context.Context, id string, snap *persist.Snapshot) error {
+	if err := s.wait(ctx); err != nil {
+		return err
+	}
+	return s.inner.Put(ctx, id, snap)
+}
+
+func (s *delayStore) Get(ctx context.Context, id string) (*persist.Snapshot, error) {
+	if err := s.wait(ctx); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(ctx, id)
+}
+
+func (s *delayStore) Delete(ctx context.Context, id string) error {
+	if err := s.wait(ctx); err != nil {
+		return err
+	}
+	return s.inner.Delete(ctx, id)
+}
+
+func (s *delayStore) List(ctx context.Context) ([]string, error) {
+	if err := s.wait(ctx); err != nil {
+		return nil, err
+	}
+	return s.inner.List(ctx)
+}
+
+// runShardCompare runs the park-heavy shard workload once per
+// requested shard count and emits one benchmark line each, plus the
+// scaling ratio of the last count against the first:
+//
+//	BenchmarkShardServe/shards=1 ...
+//	BenchmarkShardServe/shards=16 ...
+//	BenchmarkShardScaling16v1 1 6.42 x-vs-1shard
+func runShardCompare(cfg config) error {
+	var counts []int
+	for _, f := range strings.Split(cfg.shardCounts, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || n < 1 {
+			return fmt.Errorf("bad -shards entry %q", f)
+		}
+		counts = append(counts, n)
+	}
+	results := make([]result, len(counts))
+	for i, n := range counts {
+		r, err := runShardWorkload(cfg, n)
+		if err != nil {
+			return fmt.Errorf("shards=%d: %w", n, err)
+		}
+		results[i] = r
+		emit(fmt.Sprintf("ShardServe/shards=%d", n), r)
+	}
+	first, last := counts[0], counts[len(counts)-1]
+	if len(counts) > 1 && results[0].throughput() > 0 {
+		fmt.Printf("BenchmarkShardScaling%dv%d 1 %.2f x-vs-%dshard\n",
+			last, first, results[len(counts)-1].throughput()/results[0].throughput(), first)
+	}
+	return nil
+}
+
+// runShardWorkload drives a service.Manager directly (no HTTP) through
+// the access pattern sharding scales: every round each session plays
+// one Next/Submit, then a Sweep parks the whole fleet through the
+// delayed store and the next round's requests transparently unpark
+// them. The per-round Sweep is the serialized store bottleneck a
+// single lock domain imposes; per-shard sweeps overlap it.
+func runShardWorkload(cfg config, shards int) (result, error) {
+	ctx := context.Background()
+	m := service.NewManager(service.Options{
+		Shards: shards,
+		// Double the fleet so even the busiest shard's rendezvous share
+		// fits its ceil(MaxSessions/shards) slice: parking here comes
+		// from the per-round Sweep, not from capacity churn.
+		MaxSessions: 2 * cfg.sessions,
+		IdleTTL:     time.Nanosecond, // every session is sweep-eligible the moment it goes idle
+		Store:       &delayStore{d: cfg.storeDelay, inner: persist.NewMemStore()},
+	})
+	ids := make([]string, cfg.sessions)
+	for i := range ids {
+		info, err := m.Create(ctx, service.Spec{
+			Source: service.Source{Dataset: cfg.dataset, Rows: cfg.rows, Seed: cfg.seed + uint64(i)},
+			Method: sampling.MethodStochasticUS,
+			K:      cfg.k,
+			Seed:   cfg.seed + uint64(i),
+		})
+		if err != nil {
+			return result{}, fmt.Errorf("create session %d: %w", i, err)
+		}
+		ids[i] = info.ID
+	}
+	workers := cfg.sessions
+	if workers > 32 {
+		workers = 32
+	}
+	var (
+		mu  sync.Mutex
+		res result
+		ec  = make(chan error, workers)
+	)
+	start := time.Now()
+	for r := 0; r < cfg.rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var lats []time.Duration
+				for i := w; i < len(ids); i += workers {
+					t0 := time.Now()
+					if _, err := m.Next(ctx, ids[i]); err != nil {
+						ec <- fmt.Errorf("next %s round %d: %w", ids[i], r, err)
+						return
+					}
+					if _, err := m.Submit(ctx, ids[i], r, nil); err != nil {
+						ec <- fmt.Errorf("submit %s round %d: %w", ids[i], r, err)
+						return
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				mu.Lock()
+				res.latencies = append(res.latencies, lats...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-ec:
+			return result{}, err
+		default:
+		}
+		if _, err := m.Sweep(ctx); err != nil {
+			return result{}, fmt.Errorf("sweep round %d: %w", r, err)
+		}
+	}
+	res.rounds = cfg.sessions * cfg.rounds
+	res.elapsed = time.Since(start)
+	if err := m.Shutdown(ctx); err != nil {
+		return result{}, fmt.Errorf("shutdown: %w", err)
+	}
+	return res, nil
 }

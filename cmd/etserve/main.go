@@ -8,6 +8,7 @@
 // Usage:
 //
 //	etserve [-addr :8080] [-store DIR] [-max-sessions 128]
+//	        [-shards 1] [-replicas 1] [-replica-dirs a,b,c]
 //	        [-idle-ttl 15m] [-sweep 1m] [-timeout 30s]
 //	        [-retry-attempts 4] [-retry-base 5ms] [-retry-max 250ms]
 //	        [-max-queued 64] [-drain-batch 16] [-checkpoint-every 0]
@@ -22,13 +23,25 @@
 // session after that many pool-applied rounds (0 checkpoints only on
 // park/shutdown), and -heartbeat paces the SSE keep-alive comments.
 //
+// -shards splits the serving core into that many independently locked
+// shards; requests route to a session's shard by rendezvous hashing on
+// its id, so one hot or degraded session domain cannot stall the rest
+// (GET /v1/healthz breaks the counters out per shard).
+//
 // With -store, snapshots go to DIR and survive restarts (resume one
 // with POST /v1/sessions {"resume": "<id>", ...}); without it they
-// live in memory for the life of the process. On startup the store is
+// live in memory for the life of the process. -replicas N writes every
+// checkpoint to N replica directories (DIR/replica-0..N-1, or the
+// explicit comma-separated -replica-dirs list) through a
+// write-majority quorum: a checkpoint acks once ⌈(N+1)/2⌉ replicas
+// have it durably, reads take the freshest intact copy and repair
+// stale or corrupt replicas in passing, so losing a full replica
+// directory loses no submitted round. On startup the store is
 // scanned: snapshots that fail their checksum are quarantined to
 // "<id>.corrupt" (and logged) so one rotten checkpoint cannot block the
 // rest from resuming, and orphaned temp files from crashed writers are
-// removed. Store operations retry with exponential backoff per the
+// removed; with replicas the scan additionally reconciles the replica
+// set, re-writing any replica that missed a checkpoint. Store operations retry with exponential backoff per the
 // -retry-* flags; a session whose checkpoint keeps failing stays live
 // in degraded mode (GET /v1/healthz reports it and flips to 503 so a
 // load balancer can route around the replica). Sessions created with
@@ -48,6 +61,8 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
+	"strings"
 	"syscall"
 	"time"
 
@@ -59,6 +74,9 @@ import (
 type config struct {
 	addr          string
 	storeDir      string
+	shards        int
+	replicas      int
+	replicaDirs   string
 	maxSessions   int
 	idleTTL       time.Duration
 	sweepEvery    time.Duration
@@ -76,6 +94,9 @@ func main() {
 	var cfg config
 	flag.StringVar(&cfg.addr, "addr", ":8080", "listen address")
 	flag.StringVar(&cfg.storeDir, "store", "", "snapshot directory (default: in-memory store)")
+	flag.IntVar(&cfg.shards, "shards", 1, "serving shards; sessions route by rendezvous hash on their id")
+	flag.IntVar(&cfg.replicas, "replicas", 1, "checkpoint store replicas behind a write-majority quorum (requires -store)")
+	flag.StringVar(&cfg.replicaDirs, "replica-dirs", "", "comma-separated replica directories (default: STORE/replica-0..N-1)")
 	flag.IntVar(&cfg.maxSessions, "max-sessions", 128, "resident session cap; LRU-idle sessions are parked beyond it")
 	flag.DurationVar(&cfg.idleTTL, "idle-ttl", 15*time.Minute, "park sessions idle longer than this")
 	flag.DurationVar(&cfg.sweepEvery, "sweep", time.Minute, "idle-session sweep interval")
@@ -124,6 +145,7 @@ func run(cfg config) error {
 type app struct {
 	addr     net.Addr
 	mgr      *service.Manager
+	store    persist.Store
 	srv      *http.Server
 	serveErr chan error
 
@@ -131,33 +153,108 @@ type app struct {
 	sweepDone chan struct{}
 }
 
-// start builds the store + manager + server and begins serving on
-// cfg.addr (use port 0 for an ephemeral port; app.addr has the one
-// actually bound).
-func start(cfg config) (*app, error) {
-	var store persist.Store
-	if cfg.storeDir != "" {
+// scanDirStore runs a DirStore's recovery scan: verify every
+// checkpoint, quarantine the rotten ones instead of letting a single
+// bad file block startup, and clean up temp files a crashed writer
+// left behind.
+func scanDirStore(dir *persist.DirStore, path string) error {
+	res, err := dir.Scan(context.Background())
+	if err != nil {
+		return fmt.Errorf("scanning store %s: %w", path, err)
+	}
+	for _, id := range res.Quarantined {
+		log.Printf("store %s: snapshot %q failed verification; quarantined to %s.corrupt", path, id, id)
+	}
+	if res.TempsRemoved > 0 {
+		log.Printf("store %s: removed %d orphaned temp file(s) from a crashed writer", path, res.TempsRemoved)
+	}
+	log.Printf("store: %d snapshot(s) verified in %s", len(res.OK), path)
+	return nil
+}
+
+// buildStore assembles the checkpoint store from the flag surface: nil
+// (in-memory) without -store, a single DirStore for -replicas 1, or a
+// quorum-replicating MultiStore over N replica directories. Replicated
+// stores are reconciled on startup so a replica that missed
+// checkpoints while down converges before serving begins.
+func buildStore(cfg config) (persist.Store, error) {
+	var dirs []string
+	switch {
+	case cfg.replicaDirs != "":
+		dirs = strings.Split(cfg.replicaDirs, ",")
+		if cfg.replicas > 1 && cfg.replicas != len(dirs) {
+			return nil, fmt.Errorf("-replicas %d but -replica-dirs names %d directories", cfg.replicas, len(dirs))
+		}
+	case cfg.replicas > 1:
+		if cfg.storeDir == "" {
+			return nil, fmt.Errorf("-replicas %d requires -store (or -replica-dirs)", cfg.replicas)
+		}
+		for i := 0; i < cfg.replicas; i++ {
+			dirs = append(dirs, filepath.Join(cfg.storeDir, fmt.Sprintf("replica-%d", i)))
+		}
+	case cfg.storeDir != "":
 		dir, err := persist.NewDirStore(cfg.storeDir)
 		if err != nil {
 			return nil, fmt.Errorf("opening store: %w", err)
 		}
-		// Recovery scan: verify every checkpoint, quarantine the rotten
-		// ones instead of letting a single bad file block startup, and
-		// clean up temp files a crashed writer left behind.
-		res, err := dir.Scan(context.Background())
+		if err := scanDirStore(dir, cfg.storeDir); err != nil {
+			return nil, err
+		}
+		return dir, nil
+	default:
+		return nil, nil
+	}
+	replicas := make([]persist.Store, len(dirs))
+	for i, d := range dirs {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("creating replica directory: %w", err)
+		}
+		dir, err := persist.NewDirStore(d)
 		if err != nil {
-			return nil, fmt.Errorf("scanning store: %w", err)
+			return nil, fmt.Errorf("opening replica %d: %w", i, err)
 		}
-		for _, id := range res.Quarantined {
-			log.Printf("store: snapshot %q failed verification; quarantined to %s.corrupt", id, id)
+		replicas[i] = dir
+	}
+	ms, err := persist.NewMultiStore(replicas, 0) // 0: write-majority quorum
+	if err != nil {
+		return nil, err
+	}
+	res, err := ms.Scan(context.Background())
+	if err != nil {
+		return nil, fmt.Errorf("reconciling replicas: %w", err)
+	}
+	for i, rs := range res.ReplicaScans {
+		if rs == nil {
+			continue
 		}
-		if res.TempsRemoved > 0 {
-			log.Printf("store: removed %d orphaned temp file(s) from a crashed writer", res.TempsRemoved)
+		for _, id := range rs.Quarantined {
+			log.Printf("replica %d (%s): snapshot %q failed verification; quarantined", i, dirs[i], id)
 		}
-		log.Printf("store: %d snapshot(s) verified in %s", len(res.OK), cfg.storeDir)
-		store = dir
+		if rs.TempsRemoved > 0 {
+			log.Printf("replica %d (%s): removed %d orphaned temp file(s)", i, dirs[i], rs.TempsRemoved)
+		}
+	}
+	for _, id := range res.Repaired {
+		log.Printf("store: snapshot %q re-replicated to a stale or missing replica", id)
+	}
+	for _, id := range res.Failed {
+		log.Printf("store: snapshot %q unreadable on every replica; it cannot be resumed", id)
+	}
+	log.Printf("store: %d snapshot(s) verified across %d replicas (write quorum %d)",
+		len(res.OK), ms.Replicas(), ms.WriteQuorum())
+	return ms, nil
+}
+
+// start builds the store + manager + server and begins serving on
+// cfg.addr (use port 0 for an ephemeral port; app.addr has the one
+// actually bound).
+func start(cfg config) (*app, error) {
+	store, err := buildStore(cfg)
+	if err != nil {
+		return nil, err
 	}
 	mgr := service.NewManager(service.Options{
+		Shards:      cfg.shards,
 		MaxSessions: cfg.maxSessions,
 		IdleTTL:     cfg.idleTTL,
 		Store:       store,
@@ -184,6 +281,7 @@ func start(cfg config) (*app, error) {
 	a := &app{
 		addr:      ln.Addr(),
 		mgr:       mgr,
+		store:     store,
 		srv:       srv,
 		serveErr:  make(chan error, 1),
 		sweepDone: make(chan struct{}),
@@ -230,6 +328,12 @@ func (a *app) stopSweeper() {
 func (a *app) shutdown(ctx context.Context) error {
 	a.stopSweeper()
 	mgrErr := a.mgr.Shutdown(ctx)
+	// A replicating store acks writes at quorum and finishes the
+	// stragglers in the background; wait them out so every replica is
+	// as converged as the dying process can make it.
+	if f, ok := a.store.(interface{ Flush() }); ok {
+		f.Flush()
+	}
 	if err := a.srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)
 	}

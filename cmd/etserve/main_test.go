@@ -192,3 +192,92 @@ func TestStartupRecoveryScan(t *testing.T) {
 		t.Fatalf("resume after recovery: status %d", resp.StatusCode)
 	}
 }
+
+// TestReplicatedShardedServe boots a sharded server over a 3-replica
+// quorum store, plays a round, shuts down, deletes one entire replica
+// directory, and boots again: the startup reconcile must re-replicate
+// the lost checkpoints and the session must resume over HTTP.
+func TestReplicatedShardedServe(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		addr: "127.0.0.1:0", storeDir: dir, shards: 4, replicas: 3,
+		maxSessions: 8, idleTTL: time.Hour, sweepEvery: time.Hour, timeout: 10 * time.Second,
+	}
+	app, err := start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + app.addr.String()
+	body, _ := json.Marshal(map[string]any{"dataset": "OMDB", "rows": 60, "k": 4, "seed": 5})
+	resp, err := http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var info struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+
+	// Healthz carries the shard breakdown and replica counters.
+	resp, err = http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Shards []struct {
+			Shard int `json:"shard"`
+		} `json:"shards"`
+		Replicas []struct {
+			Ops uint64 `json:"ops"`
+		} `json:"replicas"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(health.Shards) != 4 || len(health.Replicas) != 3 {
+		t.Fatalf("healthz shards=%d replicas=%d, want 4 and 3", len(health.Shards), len(health.Replicas))
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := app.shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		p := filepath.Join(dir, fmt.Sprintf("replica-%d", i), info.ID+".snapshot.json")
+		if _, err := os.Stat(p); err != nil {
+			t.Fatalf("replica %d missing checkpoint after shutdown: %v", i, err)
+		}
+	}
+
+	// Lose a whole replica; the next boot's reconcile restores it.
+	if err := os.RemoveAll(filepath.Join(dir, "replica-1")); err != nil {
+		t.Fatal(err)
+	}
+	app, err = start(cfg)
+	if err != nil {
+		t.Fatalf("start after losing a replica: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.shutdown(ctx)
+	}()
+	if _, err := os.Stat(filepath.Join(dir, "replica-1", info.ID+".snapshot.json")); err != nil {
+		t.Fatalf("lost replica not re-replicated on startup: %v", err)
+	}
+	base = "http://" + app.addr.String()
+	body, _ = json.Marshal(map[string]any{"resume": info.ID, "dataset": "OMDB", "rows": 60, "k": 4, "seed": 5})
+	resp, err = http.Post(base+"/v1/sessions", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("resume after replica loss: status %d", resp.StatusCode)
+	}
+}

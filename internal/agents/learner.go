@@ -100,3 +100,12 @@ func (l *Learner) LabelHistory(p dataset.Pair) (belief.Labeling, bool) {
 
 // Belief exposes the learner's current belief.
 func (l *Learner) Belief() *belief.Belief { return l.belief }
+
+// RNGState captures the response strategy's RNG position so a
+// checkpoint can make resumption draw-exact: a session restored with
+// RestoreRNG presents exactly the pairs the live session would have.
+func (l *Learner) RNGState() [4]uint64 { return l.rng.State() }
+
+// RestoreRNG resumes the response strategy's RNG at a captured
+// RNGState.
+func (l *Learner) RestoreRNG(s [4]uint64) error { return l.rng.RestoreState(s) }

@@ -350,7 +350,17 @@ func (s *Session) Snapshot() (*persist.Snapshot, error) {
 			rounds[i].Detection = &d
 		}
 	}
-	return persist.NewSnapshotRounds(s.rel.Schema(), s.space, nil, s.Belief(), rounds)
+	snap, err := persist.NewSnapshotRounds(s.rel.Schema(), s.space, nil, s.Belief(), rounds)
+	if err != nil {
+		return nil, err
+	}
+	// Capture the sampler RNG position so resumption is draw-exact: a
+	// session restored from this snapshot presents the same future
+	// pairs the live session would have — park/unpark churn cannot
+	// perturb a trajectory.
+	rng := s.eng.learner.RNGState()
+	snap.LearnerRNG = append([]uint64(nil), rng[:]...)
+	return snap, nil
 }
 
 // ResumeSession rebuilds a session from a snapshot against the same
@@ -403,5 +413,12 @@ func ResumeSession(snap *persist.Snapshot, cfg SessionConfig) (*Session, error) 
 		s.pool.MarkShown(presented)
 	}
 	s.eng.restore(records)
+	if state, ok, err := snap.RestoreLearnerRNG(); err != nil {
+		return nil, err
+	} else if ok {
+		if err := s.eng.learner.RestoreRNG(state); err != nil {
+			return nil, err
+		}
+	}
 	return s, nil
 }

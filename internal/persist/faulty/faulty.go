@@ -135,6 +135,16 @@ func (s *Store) Stats() (ops, injected uint64) {
 	return s.ops, s.injected
 }
 
+// SetFailRate re-arms (or disarms) the per-op failure probability
+// mid-run. Sharded chaos tests use SetFailRate(1) to kill a whole
+// replica at a chosen point in the workload — every subsequent
+// operation fails until ClearFaults or another SetFailRate.
+func (s *Store) SetFailRate(rate float64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.cfg.FailRate = rate
+}
+
 // ClearFaults heals the store: no further faults are injected, in-flight
 // decisions stand. Chaos tests call this to watch degraded sessions
 // recover once the disk comes back.

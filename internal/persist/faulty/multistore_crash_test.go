@@ -1,0 +1,109 @@
+package faulty_test
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"exptrain/internal/persist"
+	"exptrain/internal/persist/faulty"
+)
+
+// TestCrashPointPropertyMultiStore lifts the old-or-new crash-safety
+// property from one DirStore to the replicated store: a replicated
+// checkpoint commit is N per-replica Puts, and a crash can land before
+// ANY step of ANY replica's commit protocol, after any prefix of its
+// peers already took the new snapshot. For every such crash point the
+// MultiStore's Get must return exactly the old snapshot or exactly the
+// new one — never a torn third state, never ErrCorrupt — and a
+// reconciling Scan must converge every replica onto that answer.
+func TestCrashPointPropertyMultiStore(t *testing.T) {
+	ctx := context.Background()
+	oldSnap, newSnap := snapshotPair(t)
+	oldBytes, newBytes := encode(t, oldSnap), encode(t, newSnap)
+
+	const replicas = 3
+	for crashed := 0; crashed < replicas; crashed++ {
+		for _, step := range persist.PutSteps() {
+			for _, keep := range []float64{0, 0.5, 1} {
+				name := fmt.Sprintf("replica=%d/%s/keep=%.1f", crashed, step, keep)
+				t.Run(name, func(t *testing.T) {
+					dirs := make([]*persist.DirStore, replicas)
+					stores := make([]persist.Store, replicas)
+					for i := range dirs {
+						dir, err := persist.NewDirStore(t.TempDir())
+						if err != nil {
+							t.Fatal(err)
+						}
+						// Every replica starts with the old checkpoint.
+						if err := dir.Put(ctx, "s", oldSnap); err != nil {
+							t.Fatal(err)
+						}
+						dirs[i] = dir
+						stores[i] = dir
+					}
+					// The crash interrupts the replicated Put after replicas
+					// 0..crashed-1 took the new snapshot, mid-commit on
+					// replica `crashed`, before the rest were reached.
+					for i := 0; i < crashed; i++ {
+						if err := dirs[i].Put(ctx, "s", newSnap); err != nil {
+							t.Fatal(err)
+						}
+					}
+					err := faulty.CrashPut(ctx, dirs[crashed], "s", newSnap, step, keep)
+					if !errors.Is(err, faulty.ErrInjected) {
+						t.Fatalf("CrashPut error = %v, want ErrInjected", err)
+					}
+
+					ms, err := persist.NewMultiStore(stores, 0)
+					if err != nil {
+						t.Fatal(err)
+					}
+					checkOldOrNew := func(when string) []byte {
+						got, err := ms.Get(ctx, "s")
+						if err != nil {
+							t.Fatalf("%s: Get: %v", when, err)
+						}
+						b := encode(t, got)
+						if !bytes.Equal(b, oldBytes) && !bytes.Equal(b, newBytes) {
+							t.Fatalf("%s: Get returned a state that is neither old nor new", when)
+						}
+						return b
+					}
+					want := checkOldOrNew("before scan")
+					// Any replica that committed the new snapshot before the
+					// crash makes it the winner.
+					if crashed > 0 || step == persist.StepSyncDir {
+						if !bytes.Equal(want, newBytes) {
+							t.Fatal("a committed replica's snapshot must win the read")
+						}
+					}
+
+					res, err := ms.Scan(ctx)
+					if err != nil {
+						t.Fatalf("Scan: %v", err)
+					}
+					if len(res.Failed) != 0 {
+						t.Fatalf("Scan failed ids: %v", res.Failed)
+					}
+					after := checkOldOrNew("after scan")
+					if !bytes.Equal(after, want) {
+						t.Fatal("Scan changed the winning snapshot")
+					}
+					// And the scan converged every replica onto the winner.
+					for i, d := range dirs {
+						got, err := d.Get(ctx, "s")
+						if err != nil {
+							t.Fatalf("replica %d after scan: %v", i, err)
+						}
+						if !bytes.Equal(encode(t, got), want) {
+							t.Fatalf("replica %d diverges from the winner after scan", i)
+						}
+					}
+				})
+			}
+		}
+	}
+}

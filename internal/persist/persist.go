@@ -53,6 +53,28 @@ type Snapshot struct {
 	Learner []BetaJSON `json:"learner,omitempty"`
 	// History records every interaction's labelings.
 	History []InteractionJSON `json:"history,omitempty"`
+	// LearnerRNG, when present, holds the learner's sampler RNG state
+	// (four xoshiro256** words) at checkpoint time, making resumption
+	// draw-exact: the restored session presents exactly the pairs the
+	// live one would have. Absent in snapshots from older writers, which
+	// resume with a freshly seeded stream instead.
+	LearnerRNG []uint64 `json:"learner_rng,omitempty"`
+}
+
+// RestoreLearnerRNG validates and returns the captured sampler RNG
+// state. ok is false when the snapshot predates RNG capture.
+func (s *Snapshot) RestoreLearnerRNG() (state [4]uint64, ok bool, err error) {
+	if len(s.LearnerRNG) == 0 {
+		return state, false, nil
+	}
+	if len(s.LearnerRNG) != len(state) {
+		return state, false, fmt.Errorf("persist: learner_rng holds %d words, want %d", len(s.LearnerRNG), len(state))
+	}
+	copy(state[:], s.LearnerRNG)
+	if state[0]|state[1]|state[2]|state[3] == 0 {
+		return state, false, fmt.Errorf("persist: learner_rng is the invalid all-zero state")
+	}
+	return state, true, nil
 }
 
 // FDJSON is the wire form of an FD.

@@ -146,13 +146,13 @@ func TestManagerSweepContinuesPastFailures(t *testing.T) {
 		IdleTTL: time.Minute,
 	})
 	base := time.Now()
-	m.now = func() time.Time { return base }
+	m.setNow(func() time.Time { return base })
 	for i := 0; i < 2; i++ {
 		if _, err := m.Create(ctx, datasetSpec(uint64(i+1))); err != nil {
 			t.Fatal(err)
 		}
 	}
-	m.now = func() time.Time { return base.Add(time.Hour) }
+	m.setNow(func() time.Time { return base.Add(time.Hour) })
 
 	swept, err := m.Sweep(ctx)
 	if !errors.Is(err, ErrStoreUnavailable) {

@@ -72,9 +72,10 @@ type poolItem struct {
 
 // labelPool is one session's admission queue. Lock order: an entry
 // lock may be taken before pool.mu (the drain resynchronizes under
-// both), and m.mu may be taken under pool.mu (short metadata reads);
+// both), and the shard mutex may be taken under pool.mu (short
+// metadata reads);
 // pool.mu is never held while taking an entry lock, and nothing takes
-// pool.mu while holding m.mu.
+// pool.mu while holding sh.mu.
 type labelPool struct {
 	id string
 
@@ -132,13 +133,13 @@ func (p *labelPool) resolveLocked(id string, state TicketState, err error) {
 // poolFor returns the session's labelpool, creating it on first use.
 // Pools are keyed by session id and survive park/unpark — a queued
 // submission must not vanish because the session got evicted.
-func (m *Manager) poolFor(id string) *labelPool {
-	m.poolMu.Lock()
-	defer m.poolMu.Unlock()
-	p, ok := m.pools[id]
+func (sh *shard) poolFor(id string) *labelPool {
+	sh.poolMu.Lock()
+	defer sh.poolMu.Unlock()
+	p, ok := sh.pools[id]
 	if !ok {
 		p = &labelPool{id: id, tickets: make(map[string]*Ticket)}
-		m.pools[id] = p
+		sh.pools[id] = p
 	}
 	return p
 }
@@ -154,14 +155,14 @@ func (m *Manager) poolFor(id string) *labelPool {
 // the idempotency contract: an identical evidence replay of what that
 // round recorded resolves applied, anything else fails its ticket
 // with a round-mismatch reason.
-func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Submission) ([]Ticket, error) {
+func (sh *shard) EnqueueSubmissions(ctx context.Context, id string, subs []Submission) ([]Ticket, error) {
 	if len(subs) == 0 {
 		return nil, badRequest(errors.New("empty submission batch"))
 	}
 	// One entry acquisition up front: it proves the session exists,
 	// unparks it if needed, and reads the relation bounds the labels are
 	// validated against. Released before the pool lock.
-	e, err := m.acquire(ctx, id)
+	e, err := sh.acquire(ctx, id)
 	if err != nil {
 		return nil, err
 	}
@@ -175,7 +176,7 @@ func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Subm
 		}
 	}
 
-	p := m.poolFor(id)
+	p := sh.poolFor(id)
 	p.mu.Lock()
 	queued := make(map[int]bool, len(p.queue)+len(subs))
 	for _, it := range p.queue {
@@ -188,10 +189,10 @@ func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Subm
 		}
 		queued[s.Round] = true
 	}
-	if len(p.queue)+len(subs) > m.opts.MaxQueuedSubmissions {
+	if len(p.queue)+len(subs) > sh.opts.MaxQueuedSubmissions {
 		p.mu.Unlock()
 		return nil, fmt.Errorf("%w: %d queued, batch of %d exceeds the bound of %d",
-			ErrSubmissionBacklog, len(p.queue), len(subs), m.opts.MaxQueuedSubmissions)
+			ErrSubmissionBacklog, len(p.queue), len(subs), sh.opts.MaxQueuedSubmissions)
 	}
 	out := make([]Ticket, len(subs))
 	for i, s := range subs {
@@ -201,15 +202,15 @@ func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Subm
 	}
 	sort.Slice(p.queue, func(i, j int) bool { return p.queue[i].round < p.queue[j].round })
 	// Re-check draining while still holding the pool lock: Shutdown sets
-	// the flag and then flushes the pools, so an enqueue that won its
+	// the shard's flag and then flushes its pools, so an enqueue that won its
 	// acquire just before the flag flipped could otherwise slip items in
 	// after the flush already drained this pool. Observing the flag here
 	// (under p.mu, which the flush must also take) makes the two cases
 	// exhaustive: either the flush sees our items, or we see the flag
 	// and roll back.
-	m.mu.Lock()
-	draining := m.draining
-	m.mu.Unlock()
+	sh.mu.Lock()
+	draining := sh.draining
+	sh.mu.Unlock()
 	if draining {
 		for _, t := range out {
 			delete(p.tickets, t.ID)
@@ -237,7 +238,7 @@ func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Subm
 	}
 	p.mu.Unlock()
 
-	m.kickDrain(p)
+	sh.kickDrain(p)
 	return out, nil
 }
 
@@ -270,13 +271,13 @@ func validateLabels(labeled []belief.Labeling, rows, arity int) error {
 }
 
 // Ticket reports the state of one queued submission.
-func (m *Manager) Ticket(ctx context.Context, id, ticketID string) (Ticket, error) {
+func (sh *shard) Ticket(ctx context.Context, id, ticketID string) (Ticket, error) {
 	if err := ctx.Err(); err != nil {
 		return Ticket{}, err
 	}
-	m.poolMu.Lock()
-	p, ok := m.pools[id]
-	m.poolMu.Unlock()
+	sh.poolMu.Lock()
+	p, ok := sh.pools[id]
+	sh.poolMu.Unlock()
 	if !ok {
 		return Ticket{}, fmt.Errorf("%w: session %q has no submission queue", ErrTicketNotFound, id)
 	}
@@ -290,16 +291,16 @@ func (m *Manager) Ticket(ctx context.Context, id, ticketID string) (Ticket, erro
 }
 
 // peekPool returns the session's labelpool without creating one.
-func (m *Manager) peekPool(id string) *labelPool {
-	m.poolMu.Lock()
-	defer m.poolMu.Unlock()
-	return m.pools[id]
+func (sh *shard) peekPool(id string) *labelPool {
+	sh.poolMu.Lock()
+	defer sh.poolMu.Unlock()
+	return sh.pools[id]
 }
 
 // QueuedSubmissions reports how many submissions are waiting in the
 // session's labelpool (0 if it has none).
-func (m *Manager) QueuedSubmissions(id string) int {
-	p := m.peekPool(id)
+func (sh *shard) QueuedSubmissions(id string) int {
+	p := sh.peekPool(id)
 	if p == nil {
 		return 0
 	}
@@ -311,7 +312,7 @@ func (m *Manager) QueuedSubmissions(id string) int {
 // kickDrain starts the pool's drain goroutine unless one is already
 // running — single-flight per session, so concurrent enqueues never
 // contend on the entry lock themselves.
-func (m *Manager) kickDrain(p *labelPool) {
+func (sh *shard) kickDrain(p *labelPool) {
 	p.mu.Lock()
 	if p.draining || len(p.queue) == 0 {
 		p.mu.Unlock()
@@ -319,19 +320,19 @@ func (m *Manager) kickDrain(p *labelPool) {
 	}
 	p.draining = true
 	p.mu.Unlock()
-	m.drainWG.Add(1)
+	sh.drainWG.Add(1)
 	go func() {
-		defer m.drainWG.Done()
-		m.drainLoop(p)
+		defer sh.drainWG.Done()
+		sh.drainLoop(p)
 	}()
 }
 
 // drainLoop applies queued rounds until the queue is empty or stalls
 // on a gap. Each iteration is one entry-lock acquisition covering up
 // to DrainBatch rounds.
-func (m *Manager) drainLoop(p *labelPool) {
+func (sh *shard) drainLoop(p *labelPool) {
 	for {
-		progressed := m.drainOnce(p)
+		progressed := sh.drainOnce(p)
 		p.mu.Lock()
 		if len(p.queue) == 0 || !progressed {
 			// Empty, or stalled on a gap / a dead session: park. The next
@@ -346,15 +347,15 @@ func (m *Manager) drainLoop(p *labelPool) {
 
 // drainAcquire locks the session entry for the drain, retrying the
 // transient capacity and store errors an unpark can hit. It ignores
-// the manager's draining flag: Shutdown flushes the pools before
+// the shard's draining flag: Shutdown flushes the pools before
 // checkpointing, and a ticketed submission must not be dropped because
 // shutdown won the race.
-func (m *Manager) drainAcquire(id string) (*entry, error) {
+func (sh *shard) drainAcquire(id string) (*entry, error) {
 	ctx := context.Background()
 	var err error
 	for attempt := 0; attempt < 400; attempt++ {
 		var e *entry
-		e, err = m.acquireOpt(ctx, id, true)
+		e, err = sh.acquireOpt(ctx, id, true)
 		if err == nil {
 			return e, nil
 		}
@@ -369,8 +370,8 @@ func (m *Manager) drainAcquire(id string) (*entry, error) {
 // drainOnce applies one batch. It reports whether it made progress
 // (applied or resolved at least one item); a false return with a
 // non-empty queue means the drain should park.
-func (m *Manager) drainOnce(p *labelPool) bool {
-	e, err := m.drainAcquire(p.id)
+func (sh *shard) drainOnce(p *labelPool) bool {
+	e, err := sh.drainAcquire(p.id)
 	if err != nil {
 		// The session is unreachable (not found, corrupt snapshot, ...):
 		// fail every queued ticket so clients see why.
@@ -403,7 +404,7 @@ func (m *Manager) drainOnce(p *labelPool) bool {
 				p.resolveLocked(it.ticketID, TicketFailed,
 					fmt.Errorf("%w: round %d was applied with different labels", ErrRoundMismatch, it.round))
 			}
-		case it.round == cur+len(run) && len(run) < m.opts.DrainBatch:
+		case it.round == cur+len(run) && len(run) < sh.opts.DrainBatch:
 			run = append(run, it)
 		default:
 			keep = append(keep, it)
@@ -444,14 +445,14 @@ func (m *Manager) drainOnce(p *labelPool) bool {
 		}
 	}
 	p.sinceCkpt += applied
-	ckpt := m.opts.CheckpointEvery > 0 && p.sinceCkpt >= m.opts.CheckpointEvery
+	ckpt := sh.opts.CheckpointEvery > 0 && p.sinceCkpt >= sh.opts.CheckpointEvery
 	if ckpt {
 		p.sinceCkpt = 0
 	}
 	p.mu.Unlock()
 
 	if applied > 0 {
-		m.notifyStreams(p.id)
+		sh.notifyStreams(p.id)
 	}
 	if ckpt && e.sess.PendingCount() == 0 {
 		// Amortized durability: one snapshot per CheckpointEvery applied
@@ -459,12 +460,12 @@ func (m *Manager) drainOnce(p *labelPool) bool {
 		// the session live and degraded, exactly like an explicit
 		// Snapshot; the drain keeps going.
 		if snap, err := e.sess.Snapshot(); err == nil {
-			if err := m.storeRetry(context.Background(), "checkpointing "+e.id, func(ctx context.Context) error {
-				return m.store.Put(ctx, e.id, snap)
+			if err := sh.storeRetry(context.Background(), "checkpointing "+e.id, func(ctx context.Context) error {
+				return sh.store.Put(ctx, e.id, snap)
 			}); err != nil {
-				m.setDegraded(e.id, true)
+				sh.setDegraded(e.id, true)
 			} else {
-				m.setDegraded(e.id, false)
+				sh.setDegraded(e.id, false)
 			}
 		}
 	}
@@ -473,14 +474,32 @@ func (m *Manager) drainOnce(p *labelPool) bool {
 
 // flushPools kicks a drain for every pool with queued work. Called by
 // Shutdown before checkpointing (the caller waits on drainWG).
-func (m *Manager) flushPools() {
-	m.poolMu.Lock()
-	pools := make([]*labelPool, 0, len(m.pools))
-	for _, p := range m.pools {
+func (sh *shard) flushPools() {
+	sh.poolMu.Lock()
+	pools := make([]*labelPool, 0, len(sh.pools))
+	for _, p := range sh.pools {
 		pools = append(pools, p)
 	}
-	m.poolMu.Unlock()
+	sh.poolMu.Unlock()
 	for _, p := range pools {
-		m.kickDrain(p)
+		sh.kickDrain(p)
 	}
+}
+
+// EnqueueSubmissions admits a batch of round submissions into the
+// session's labelpool on its home shard; see the shard method above
+// for the admission contract.
+func (m *Manager) EnqueueSubmissions(ctx context.Context, id string, subs []Submission) ([]Ticket, error) {
+	return m.shardFor(id).EnqueueSubmissions(ctx, id, subs)
+}
+
+// Ticket reports the state of one queued submission.
+func (m *Manager) Ticket(ctx context.Context, id, ticketID string) (Ticket, error) {
+	return m.shardFor(id).Ticket(ctx, id, ticketID)
+}
+
+// QueuedSubmissions reports how many submissions are waiting in the
+// session's labelpool (0 if it has none).
+func (m *Manager) QueuedSubmissions(id string) int {
+	return m.shardFor(id).QueuedSubmissions(id)
 }

@@ -16,7 +16,6 @@ import (
 	"exptrain/internal/fd"
 	"exptrain/internal/game"
 	"exptrain/internal/persist"
-	"exptrain/internal/repair"
 	"exptrain/internal/sampling"
 	"exptrain/internal/stats"
 )
@@ -142,22 +141,35 @@ type RepairView struct {
 
 // Options tunes the manager.
 type Options struct {
-	// MaxSessions bounds resident sessions (default 128). At the bound,
+	// Shards is the number of serving shards sessions are partitioned
+	// across by rendezvous hash on their id (default 1). Each shard has
+	// its own lock domain — live map, parking, labelpools, drains,
+	// stream wakeups — so shards never contend with each other; routing
+	// is deterministic in the id, so a fixed shard count is required
+	// across restarts of a store-backed deployment (parked sessions are
+	// found on the shard their id hashes to).
+	Shards int
+	// MaxSessions bounds resident sessions across all shards (default
+	// 128); each shard enforces ceil(MaxSessions/Shards). At the bound,
 	// creating or unparking first tries to evict the least-recently-used
-	// idle session; if none is evictable the request fails with
-	// ErrTooManySessions.
+	// idle session on the session's shard; if none is evictable the
+	// request fails with ErrTooManySessions.
 	MaxSessions int
 	// IdleTTL parks sessions idle at least this long on each Sweep
 	// (default 15 minutes).
 	IdleTTL time.Duration
 	// Store receives eviction and shutdown checkpoints (default: a
-	// fresh in-memory store).
+	// fresh in-memory store). Shards share it — wrap it in a
+	// persist.MultiStore to replicate checkpoints across backing
+	// stores.
 	Store persist.Store
 	// Retry bounds retries of store operations (zero value → defaults:
 	// 4 attempts, 5ms base backoff, 250ms cap).
 	Retry RetryPolicy
-	// RetrySeed seeds the backoff jitter stream (default 1). Fixing it
-	// makes retry schedules reproducible in fault-injection tests.
+	// RetrySeed seeds the backoff jitter streams (default 1). Each
+	// shard derives its own stream from (RetrySeed, shard id), so
+	// schedules are reproducible in fault-injection tests yet never
+	// aligned across shards after a store outage.
 	RetrySeed uint64
 	// MaxQueuedSubmissions bounds each session's labelpool queue
 	// (default 64). Enqueueing beyond it fails with
@@ -176,6 +188,9 @@ type Options struct {
 }
 
 func (o Options) withDefaults() Options {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
 	if o.MaxSessions <= 0 {
 		o.MaxSessions = 128
 	}
@@ -198,101 +213,76 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// entry is one resident session. Its mutex serializes the session
-// protocol; lastUsed is guarded by the manager's mutex (it is bumped
-// during lookup, which already holds it).
-type entry struct {
-	mu       sync.Mutex
-	id       string
-	spec     Spec
-	sess     *game.Session
-	stats    *roundStats
-	lastUsed time.Time
-	// gone marks the entry evicted or shut down. A goroutine that won
-	// the entry lock after blocking must re-check it and retry the
-	// lookup: the session now lives in the store, not here.
-	gone bool
-}
-
-// Manager hosts the sessions. All methods are safe for concurrent use.
-//
-// Lock order: the manager mutex is only ever held for short map/metadata
-// critical sections and never blocks on an entry lock (TryLock is
-// allowed); entry locks may be held across session work and may take
-// the manager mutex. That asymmetry is what makes per-session locking
-// deadlock-free.
+// Manager is the front tier of the session service: it mints session
+// ids, routes every request to the session's home shard by rendezvous
+// hash (see route.go), and fans shard-wide operations (List, Sweep,
+// Health, Shutdown) out across the shard set. All methods are safe for
+// concurrent use. All per-session state and locking lives in the
+// shards — the only mutable state here is the id sequence and the
+// draining flag.
 type Manager struct {
-	opts  Options
-	store persist.Store
-	// now is the clock; a test hook.
-	now func() time.Time
+	opts   Options
+	store  persist.Store
+	shards []*shard
 
 	mu sync.Mutex
-	// live holds resident sessions; guarded by mu.
-	live map[string]*entry
-	// parked maps evicted sessions to their spec (snapshot in store);
-	// guarded by mu.
-	parked map[string]Spec
-	// seq numbers sessions; guarded by mu.
+	// seq numbers sessions; guarded by mu. Ids are minted globally so
+	// they stay dense and unique; the hash of the id then decides the
+	// home shard.
 	seq uint64
-	// draining rejects new work during Shutdown; guarded by mu.
+	// draining rejects new sessions during Shutdown; guarded by mu.
+	// Each shard additionally carries its own flag for its request
+	// paths.
 	draining bool
-	// degraded marks live session ids whose last checkpoint exhausted
-	// retries; guarded by mu. Parking requires a successful checkpoint,
-	// so a parked session is never degraded.
-	degraded map[string]bool
-	// storeFails counts store operations that exhausted the retry
-	// policy; guarded by mu.
-	storeFails uint64
-	// storeErr is the most recent exhausted-retries store error, nil
-	// once an operation succeeds again; guarded by mu.
-	storeErr error
-	// rrng draws retry backoff jitter; guarded by mu.
-	rrng *stats.RNG
 
-	// poolMu guards pools: each session's labelpool, created on first
-	// enqueue and keyed by session id, surviving park/unpark. Never
-	// hold poolMu while taking mu or an entry or pool lock.
-	poolMu sync.Mutex
-	pools  map[string]*labelPool
-	// drainWG tracks in-flight labelpool drain goroutines so Shutdown
-	// can flush every queued submission before checkpointing.
-	drainWG sync.WaitGroup
-
-	// streamMu guards streams: per-session wakeup channels of attached
-	// SSE streams. A leaf lock — safe to take under any other.
-	streamMu sync.Mutex
-	streams  map[string]map[chan struct{}]struct{}
 	// drainSignal is closed when Shutdown begins, so streams close
 	// promptly instead of waiting out a heartbeat.
 	drainSignal chan struct{}
 }
 
-// NewManager builds a manager.
+// NewManager builds a manager with opts.Shards serving shards.
 func NewManager(opts Options) *Manager {
 	opts = opts.withDefaults()
-	return &Manager{
+	perShard := (opts.MaxSessions + opts.Shards - 1) / opts.Shards
+	m := &Manager{
 		opts:        opts,
 		store:       opts.Store,
-		now:         time.Now,
-		live:        make(map[string]*entry),
-		parked:      make(map[string]Spec),
-		degraded:    make(map[string]bool),
-		rrng:        stats.NewRNG(opts.RetrySeed),
-		pools:       make(map[string]*labelPool),
-		streams:     make(map[string]map[chan struct{}]struct{}),
+		shards:      make([]*shard, opts.Shards),
 		drainSignal: make(chan struct{}),
 	}
+	for i := range m.shards {
+		m.shards[i] = newShard(i, opts, perShard)
+	}
+	return m
 }
 
 // Store returns the checkpoint store.
 func (m *Manager) Store() persist.Store { return m.store }
 
+// Shards returns the serving shards in index order.
+func (m *Manager) Shards() []Shard {
+	out := make([]Shard, len(m.shards))
+	for i, sh := range m.shards {
+		out[i] = sh
+	}
+	return out
+}
+
+// setNow installs a clock on every shard — a test hook.
+func (m *Manager) setNow(now func() time.Time) {
+	for _, sh := range m.shards {
+		sh.mu.Lock()
+		sh.now = now
+		sh.mu.Unlock()
+	}
+}
+
 // buildSession constructs the game.Session for a spec, optionally
 // resuming from a snapshot, along with its stats-collecting observer.
 // Everything is deterministic in the spec (injection, split and pool
 // all derive from spec.Seed), so an evicted session unparks onto an
-// identical world.
+// identical world — and a sharded deployment replays identically to a
+// single-shard one.
 func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats, error) {
 	rel, ds, err := spec.Source.materialize()
 	if err != nil {
@@ -373,8 +363,20 @@ func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats
 	return sess, rs, nil
 }
 
-// Create builds and registers a new session, evicting an idle session
-// if the manager is full. The returned Info carries the new id.
+// mintID draws the next session id, or ErrShuttingDown while draining.
+func (m *Manager) mintID() (string, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return "", ErrShuttingDown
+	}
+	m.seq++
+	return fmt.Sprintf("sess-%d", m.seq), nil
+}
+
+// Create builds and registers a new session on its home shard,
+// evicting an idle session there if the shard is full. The returned
+// Info carries the new id.
 func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	if err := ctx.Err(); err != nil {
 		return Info{}, err
@@ -383,32 +385,33 @@ func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
-	m.mu.Lock()
-	if m.draining {
-		m.mu.Unlock()
-		return Info{}, ErrShuttingDown
-	}
-	m.seq++
-	id := fmt.Sprintf("sess-%d", m.seq)
-	m.mu.Unlock()
-
-	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
-	if err := m.install(ctx, e); err != nil {
+	id, err := m.mintID()
+	if err != nil {
 		return Info{}, err
 	}
-	return m.infoOf(e, false), nil
+	sh := m.shardFor(id)
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
+	if err := sh.install(ctx, e); err != nil {
+		return Info{}, err
+	}
+	return sh.infoOf(e, false), nil
 }
 
 // Resume registers a new session restored from a snapshot previously
 // saved in the store (for example by a prior process before shutdown).
 // The snapshot's history is replayed against a relation rebuilt from
-// spec.Source, which must describe the same data.
+// spec.Source, which must describe the same data. The new session gets
+// a new id, so it may land on a different shard than the snapshot's
+// original session — shard homes follow ids, not snapshots.
 func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Info, error) {
 	if err := ctx.Err(); err != nil {
 		return Info{}, err
 	}
+	// The snapshot load retries on the shard that owns the SNAPSHOT id,
+	// so its failure accounting lands where the id routes.
+	loader := m.shardFor(snapshotID)
 	var snap *persist.Snapshot
-	err := m.storeRetry(ctx, "loading snapshot "+snapshotID, func(ctx context.Context) error {
+	err := loader.storeRetry(ctx, "loading snapshot "+snapshotID, func(ctx context.Context) error {
 		var gerr error
 		snap, gerr = m.store.Get(ctx, snapshotID)
 		return gerr
@@ -420,291 +423,35 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	if err != nil {
 		return Info{}, err
 	}
-	m.mu.Lock()
-	if m.draining {
-		m.mu.Unlock()
-		return Info{}, ErrShuttingDown
-	}
-	m.seq++
-	id := fmt.Sprintf("sess-%d", m.seq)
-	m.mu.Unlock()
-
-	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
-	if err := m.install(ctx, e); err != nil {
+	id, err := m.mintID()
+	if err != nil {
 		return Info{}, err
 	}
-	return m.infoOf(e, false), nil
-}
-
-// install registers a built entry, making room first if needed.
-func (m *Manager) install(ctx context.Context, e *entry) error {
-	for {
-		m.mu.Lock()
-		if m.draining {
-			m.mu.Unlock()
-			return ErrShuttingDown
-		}
-		if len(m.live) < m.opts.MaxSessions {
-			e.lastUsed = m.now()
-			m.live[e.id] = e
-			m.mu.Unlock()
-			return nil
-		}
-		victim := m.victimLocked(nil)
-		m.mu.Unlock()
-		if victim == nil {
-			return ErrTooManySessions
-		}
-		if err := m.evict(ctx, victim); err != nil {
-			return fmt.Errorf("service: evicting %s for capacity: %w", victim.id, err)
-		}
+	sh := m.shardFor(id)
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
+	if err := sh.install(ctx, e); err != nil {
+		return Info{}, err
 	}
-}
-
-// victimLocked picks the least-recently-used live entry (excluding
-// keep) whose lock is immediately free — an entry mid-request is never
-// evicted. Healthy entries are preferred over degraded ones: a degraded
-// session's last checkpoint failed, so evicting it will likely fail
-// again; it is chosen only when no healthy candidate exists, which
-// doubles as its recovery path once the store heals. Caller holds m.mu;
-// the returned entry is locked.
-func (m *Manager) victimLocked(keep *entry) *entry {
-	var candidates []*entry
-	for _, e := range m.live {
-		if e != keep {
-			candidates = append(candidates, e)
-		}
-	}
-	sort.Slice(candidates, func(i, j int) bool {
-		di, dj := m.degraded[candidates[i].id], m.degraded[candidates[j].id]
-		if di != dj {
-			return !di // healthy first
-		}
-		return candidates[i].lastUsed.Before(candidates[j].lastUsed)
-	})
-	for _, e := range candidates {
-		if e.mu.TryLock() {
-			if e.gone {
-				e.mu.Unlock()
-				continue
-			}
-			return e
-		}
-	}
-	return nil
-}
-
-// evict checkpoints a locked entry into the store and parks it. The
-// entry lock is released before returning.
-//
-// The invariant this method protects: a session leaves the live map
-// only after its checkpoint durably landed. If the Put exhausts the
-// retry policy the session stays live and is marked degraded — serving
-// continues from memory, nothing submitted is lost, and a later
-// checkpoint (Sweep, Snapshot, Shutdown, or a forced eviction) retries
-// and clears the mark.
-func (m *Manager) evict(ctx context.Context, e *entry) error {
-	defer e.mu.Unlock()
-	// An unsubmitted round is dropped: it carries no annotator evidence,
-	// and resuming rebuilds the pool from submitted history so its pairs
-	// become presentable again.
-	e.sess.DiscardPending()
-	snap, err := e.sess.Snapshot()
-	if err != nil {
-		return err
-	}
-	if err := m.storeRetry(ctx, "checkpointing "+e.id, func(ctx context.Context) error {
-		return m.store.Put(ctx, e.id, snap)
-	}); err != nil {
-		m.setDegraded(e.id, true)
-		return err
-	}
-	e.gone = true
-	m.mu.Lock()
-	delete(m.live, e.id)
-	delete(m.degraded, e.id)
-	m.parked[e.id] = e.spec
-	m.mu.Unlock()
-	return nil
-}
-
-// setDegraded flips a live session's degraded mark. Only live sessions
-// carry the mark: parking requires the checkpoint to have succeeded.
-func (m *Manager) setDegraded(id string, sick bool) {
-	m.mu.Lock()
-	if sick {
-		if _, ok := m.live[id]; ok {
-			m.degraded[id] = true
-		}
-	} else {
-		delete(m.degraded, id)
-	}
-	m.mu.Unlock()
-}
-
-// acquire returns the locked entry for id, transparently unparking an
-// evicted session. The caller must unlock it. Lookup loops because an
-// entry can be evicted between the map read and winning its lock.
-func (m *Manager) acquire(ctx context.Context, id string) (*entry, error) {
-	return m.acquireOpt(ctx, id, false)
-}
-
-// acquireOpt is acquire with one extra caller: the labelpool drain,
-// which must keep applying queued submissions while the manager drains
-// (Shutdown flushes the pools before checkpointing, so a submission
-// accepted with a ticket is never silently dropped).
-func (m *Manager) acquireOpt(ctx context.Context, id string, evenWhileDraining bool) (*entry, error) {
-	for {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		m.mu.Lock()
-		if m.draining && !evenWhileDraining {
-			m.mu.Unlock()
-			return nil, ErrShuttingDown
-		}
-		if e, ok := m.live[id]; ok {
-			e.lastUsed = m.now()
-			m.mu.Unlock()
-			e.mu.Lock()
-			if e.gone {
-				e.mu.Unlock()
-				continue // evicted while we waited; retry (now parked)
-			}
-			return e, nil
-		}
-		spec, ok := m.parked[id]
-		if !ok {
-			m.mu.Unlock()
-			return nil, fmt.Errorf("%w: %q", ErrSessionNotFound, id)
-		}
-		// Unpark: insert a locked placeholder so concurrent requests for
-		// the same id queue on its lock instead of double-resuming, then
-		// do the store read and replay without holding the manager lock.
-		e := &entry{id: id, spec: spec, lastUsed: m.now()}
-		e.mu.Lock()
-		delete(m.parked, id)
-		m.live[id] = e
-		m.mu.Unlock()
-
-		if len(m.live) > m.opts.MaxSessions {
-			// Over capacity after insertion: make room. Failure rolls the
-			// placeholder back to parked.
-			if err := m.makeRoomFor(ctx, e); err != nil {
-				m.unparkFailed(e)
-				return nil, err
-			}
-		}
-		var snap *persist.Snapshot
-		err := m.storeRetry(ctx, "loading snapshot "+id, func(ctx context.Context) error {
-			var gerr error
-			snap, gerr = m.store.Get(ctx, id)
-			return gerr
-		})
-		if err == nil {
-			var sess *game.Session
-			var rs *roundStats
-			sess, rs, err = buildSession(spec, snap)
-			if err == nil {
-				e.sess = sess
-				e.stats = rs
-				return e, nil
-			}
-		}
-		m.unparkFailed(e)
-		return nil, fmt.Errorf("service: resuming parked session %q: %w", id, err)
-	}
-}
-
-// makeRoomFor evicts LRU entries other than keep until the manager is
-// within capacity. Caller holds keep's lock.
-func (m *Manager) makeRoomFor(ctx context.Context, keep *entry) error {
-	for {
-		m.mu.Lock()
-		if len(m.live) <= m.opts.MaxSessions {
-			m.mu.Unlock()
-			return nil
-		}
-		victim := m.victimLocked(keep)
-		m.mu.Unlock()
-		if victim == nil {
-			return ErrTooManySessions
-		}
-		if err := m.evict(ctx, victim); err != nil {
-			return err
-		}
-	}
-}
-
-// unparkFailed rolls a placeholder back to parked after a failed
-// resume; the snapshot is still in the store.
-func (m *Manager) unparkFailed(e *entry) {
-	e.gone = true
-	m.mu.Lock()
-	delete(m.live, e.id)
-	m.parked[e.id] = e.spec
-	m.mu.Unlock()
-	e.mu.Unlock()
-}
-
-// infoOf renders a locked (or freshly built) entry.
-func (m *Manager) infoOf(e *entry, parked bool) Info {
-	m.mu.Lock()
-	degraded := m.degraded[e.id]
-	m.mu.Unlock()
-	info := Info{
-		ID:       e.id,
-		Method:   e.spec.Method.Resolve(),
-		K:        e.spec.K,
-		Parked:   parked,
-		Degraded: degraded,
-	}
-	if e.sess != nil {
-		info.Rounds = e.sess.Rounds()
-		info.Pending = e.sess.PendingCount()
-		info.Remaining = e.sess.RemainingPairs()
-		info.Rows = e.sess.Relation().NumRows()
-		info.Space = e.sess.Belief().Size()
-	}
-	return info
+	return sh.infoOf(e, false), nil
 }
 
 // Get returns a session's state. A parked session is reported from its
 // parked metadata without resuming it.
 func (m *Manager) Get(ctx context.Context, id string) (Info, error) {
-	if err := ctx.Err(); err != nil {
-		return Info{}, err
-	}
-	m.mu.Lock()
-	if spec, ok := m.parked[id]; ok {
-		m.mu.Unlock()
-		return Info{ID: id, Method: spec.Method.Resolve(), K: spec.K, Parked: true}, nil
-	}
-	m.mu.Unlock()
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return Info{}, err
-	}
-	defer e.mu.Unlock()
-	return m.infoOf(e, false), nil
+	return m.shardFor(id).Get(ctx, id)
 }
 
-// List reports every session, live and parked, ordered by id.
+// List reports every session across all shards, live and parked,
+// ordered by id.
 func (m *Manager) List(ctx context.Context) ([]Info, error) {
-	if err := ctx.Err(); err != nil {
-		return nil, err
+	var out []Info
+	for _, sh := range m.shards {
+		infos, err := sh.List(ctx)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, infos...)
 	}
-	m.mu.Lock()
-	out := make([]Info, 0, len(m.live)+len(m.parked))
-	for _, e := range m.live {
-		// Metadata only — reading counters without the entry lock would
-		// race with in-flight rounds.
-		out = append(out, Info{ID: e.id, Method: e.spec.Method.Resolve(), K: e.spec.K, Degraded: m.degraded[e.id]})
-	}
-	for id, spec := range m.parked {
-		out = append(out, Info{ID: id, Method: spec.Method.Resolve(), K: spec.K, Parked: true})
-	}
-	m.mu.Unlock()
 	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
 	return out, nil
 }
@@ -725,17 +472,7 @@ func renderPairs(rel *dataset.Relation, pairs []dataset.Pair) []PairView {
 
 // Next presents the session's next round of pairs.
 func (m *Manager) Next(ctx context.Context, id string) ([]PairView, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return nil, err
-	}
-	defer e.mu.Unlock()
-	pairs, err := e.sess.NextContext(ctx)
-	if err != nil {
-		return nil, err
-	}
-	m.notifyStreams(id)
-	return renderPairs(e.sess.Relation(), pairs), nil
+	return m.shardFor(id).Next(ctx, id)
 }
 
 // UncheckedRound disables Submit's round-index idempotency check — the
@@ -796,272 +533,120 @@ func labelsDigest(a, b []belief.Labeling) uint64 {
 // evidence replay of that round, and fails with ErrRoundMismatch
 // otherwise — the contract that makes a retrying client safe.
 func (m *Manager) Submit(ctx context.Context, id string, round int, labeled []belief.Labeling) (Info, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return Info{}, err
-	}
-	defer e.mu.Unlock()
-	if round != UncheckedRound {
-		cur := e.sess.Rounds()
-		switch {
-		case round > cur:
-			return Info{}, fmt.Errorf("%w: round %d is ahead of the current round %d", ErrRoundMismatch, round, cur)
-		case round < cur:
-			rec := e.sess.Records()[round]
-			if labelsDigest(labeled, nil) == labelsDigest(rec.Labeled, rec.Revisions) {
-				// Identical replay of an applied round: the first attempt's
-				// response was lost; report success again, change nothing.
-				return m.infoOf(e, false), nil
-			}
-			return Info{}, fmt.Errorf("%w: round %d was already applied with different labels (current round %d)", ErrRoundMismatch, round, cur)
-		}
-	}
-	if err := e.sess.SubmitContext(ctx, labeled); err != nil {
-		return Info{}, err
-	}
-	m.notifyStreams(id)
-	// A direct submit can fill the gap a parked labelpool drain stalled
-	// on; give it another chance.
-	if p := m.peekPool(id); p != nil {
-		m.kickDrain(p)
-	}
-	return m.infoOf(e, false), nil
+	return m.shardFor(id).Submit(ctx, id, round, labeled)
 }
 
 // TopBelief returns the learner's k leading hypotheses with 90%
 // credible intervals.
 func (m *Manager) TopBelief(ctx context.Context, id string, k int) ([]HypothesisView, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return nil, err
-	}
-	defer e.mu.Unlock()
-	if k <= 0 {
-		k = 10
-	}
-	b := e.sess.Belief()
-	names := e.sess.Relation().Schema().Names()
-	var out []HypothesisView
-	for _, i := range b.TopK(k) {
-		lo, hi := b.CredibleInterval(i, 0.9)
-		out = append(out, HypothesisView{
-			FD:         b.Space().FD(i).Render(names),
-			Confidence: b.Confidence(i),
-			CILow:      lo,
-			CIHigh:     hi,
-		})
-	}
-	return out, nil
+	return m.shardFor(id).TopBelief(ctx, id, k)
 }
 
 // Repairs derives minority-to-plurality cell repairs from the FDs the
 // learner currently believes at confidence at least tau (default 0.5).
 func (m *Manager) Repairs(ctx context.Context, id string, tau float64) ([]RepairView, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return nil, err
-	}
-	defer e.mu.Unlock()
-	if tau <= 0 {
-		tau = 0.5
-	}
-	b := e.sess.Belief()
-	var believed []repair.BelievedFD
-	for _, f := range b.BelievedFDs(tau) {
-		i, ok := b.Space().Index(f)
-		if !ok {
-			continue
-		}
-		believed = append(believed, repair.BelievedFD{FD: f, Confidence: b.Confidence(i)})
-	}
-	rel := e.sess.Relation()
-	suggestions, err := repair.Suggest(rel, believed, repair.Config{})
-	if err != nil {
-		return nil, err
-	}
-	names := rel.Schema().Names()
-	out := make([]RepairView, len(suggestions))
-	for i, s := range suggestions {
-		out[i] = RepairView{
-			Row:        s.Row,
-			Attr:       names[s.Attr],
-			Old:        s.Old,
-			New:        s.New,
-			Confidence: s.Confidence,
-			Source:     s.Source.Render(names),
-		}
-	}
-	return out, nil
+	return m.shardFor(id).Repairs(ctx, id, tau)
 }
 
 // Snapshot checkpoints the session into the store under its own id and
 // returns that id. The session stays live.
 func (m *Manager) Snapshot(ctx context.Context, id string) (string, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return "", err
-	}
-	defer e.mu.Unlock()
-	snap, err := e.sess.Snapshot()
-	if err != nil {
-		return "", err
-	}
-	if err := m.storeRetry(ctx, "checkpointing "+e.id, func(ctx context.Context) error {
-		return m.store.Put(ctx, e.id, snap)
-	}); err != nil {
-		m.setDegraded(e.id, true)
-		return "", err
-	}
-	// A successful explicit checkpoint heals a degraded session: its
-	// state is durable again.
-	m.setDegraded(e.id, false)
-	return e.id, nil
+	return m.shardFor(id).Snapshot(ctx, id)
 }
 
 // Evict checkpoints the session and parks it, freeing its memory. The
 // next access transparently resumes it from the store.
 func (m *Manager) Evict(ctx context.Context, id string) error {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return err
-	}
-	return m.evict(ctx, e) // releases the lock
+	return m.shardFor(id).Evict(ctx, id)
 }
 
-// Sweep parks every session idle for at least the manager's IdleTTL.
-// It returns the parked session ids. Call it periodically (cmd/etserve
-// runs it on a ticker) or directly in tests. A failed eviction leaves
-// that session live and degraded but does not stop the sweep — the
-// remaining idle sessions still get their chance to park, and a later
-// sweep retries the degraded ones (their recovery path once the store
-// heals). All failures are joined into the returned error.
+// Rounds returns the session's per-round measurement series, one entry
+// per submitted round in order. Sessions created with eval include the
+// held-out detection score per round.
+func (m *Manager) Rounds(ctx context.Context, id string) ([]RoundView, error) {
+	return m.shardFor(id).Rounds(ctx, id)
+}
+
+// Sweep parks every session idle for at least the manager's IdleTTL,
+// fanning one sweeper per shard so shards park through the store
+// concurrently — store latency overlaps instead of serializing, which
+// is where sharded sweep throughput comes from. It returns the parked
+// session ids across all shards, sorted. Call it periodically
+// (cmd/etserve runs it on a ticker) or directly in tests. A failed
+// eviction leaves that session live and degraded but does not stop its
+// shard's sweep; all failures are joined into the returned error.
 func (m *Manager) Sweep(ctx context.Context) ([]string, error) {
-	cutoff := m.now().Add(-m.opts.IdleTTL)
-	m.mu.Lock()
-	var idle []*entry
-	for _, e := range m.live {
-		if e.lastUsed.Before(cutoff) {
-			idle = append(idle, e)
-		}
+	type result struct {
+		swept []string
+		err   error
 	}
-	m.mu.Unlock()
+	results := make([]result, len(m.shards))
+	var wg sync.WaitGroup
+	for i, sh := range m.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			swept, err := sh.Sweep(ctx)
+			results[i] = result{swept, err}
+		}(i, sh)
+	}
+	wg.Wait()
 	var swept []string
 	var errs []error
-	for _, e := range idle {
-		if err := ctx.Err(); err != nil {
-			errs = append(errs, err)
-			break
+	for _, r := range results {
+		swept = append(swept, r.swept...)
+		if r.err != nil {
+			errs = append(errs, r.err)
 		}
-		if !e.mu.TryLock() {
-			continue // mid-request: not idle after all
-		}
-		if e.gone {
-			e.mu.Unlock()
-			continue
-		}
-		m.mu.Lock()
-		still := m.live[e.id] == e && !e.lastUsed.After(cutoff)
-		m.mu.Unlock()
-		if !still {
-			e.mu.Unlock()
-			continue
-		}
-		if err := m.evict(ctx, e); err != nil {
-			errs = append(errs, err)
-			continue
-		}
-		swept = append(swept, e.id)
 	}
 	sort.Strings(swept)
 	return swept, errors.Join(errs...)
 }
 
-// Counts reports how many sessions are live and parked.
+// Counts reports how many sessions are live and parked across all
+// shards.
 func (m *Manager) Counts() (live, parked int) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return len(m.live), len(m.parked)
-}
-
-// Health is the manager's operator-facing health summary — what
-// GET /v1/healthz reports and what a load balancer should act on.
-type Health struct {
-	// OK is false while the manager is draining, any session is
-	// degraded, or the last store operation failed — conditions under
-	// which an operator should drain traffic toward a healthier replica.
-	OK bool `json:"ok"`
-	// Live, Parked and Degraded count sessions (degraded ⊆ live).
-	Live     int `json:"live"`
-	Parked   int `json:"parked"`
-	Degraded int `json:"degraded"`
-	// Draining reports Shutdown in progress.
-	Draining bool `json:"draining"`
-	// StoreFailures counts store operations that exhausted the retry
-	// policy since startup; StoreError is the most recent one, empty
-	// once an operation succeeds again.
-	StoreFailures uint64 `json:"store_failures"`
-	StoreError    string `json:"store_error,omitempty"`
-}
-
-// Health reports the manager's current health.
-func (m *Manager) Health() Health {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	h := Health{
-		Live:          len(m.live),
-		Parked:        len(m.parked),
-		Degraded:      len(m.degraded),
-		Draining:      m.draining,
-		StoreFailures: m.storeFails,
+	for _, sh := range m.shards {
+		l, p := sh.Counts()
+		live += l
+		parked += p
 	}
-	if m.storeErr != nil {
-		h.StoreError = m.storeErr.Error()
-	}
-	h.OK = !h.Draining && h.Degraded == 0 && m.storeErr == nil
-	return h
+	return live, parked
 }
 
 // Shutdown drains the manager: new requests fail with ErrShuttingDown,
 // every labelpool is flushed (queued submissions that earned a ticket
 // are applied, not dropped), and every live session is checkpointed
-// into the store. It blocks on in-flight per-session work (each entry
-// lock is acquired), so once it returns no submitted round is lost.
-// One session's checkpoint failure does not abandon the rest — every
-// session gets its full retry budget and all failures are joined into
-// the returned error; sessions whose checkpoint failed stay resident
-// and degraded, so a caller can fix the store and call Shutdown again.
-// Safe to call more than once.
+// into the store. Shards drain concurrently, each blocking on its own
+// in-flight per-session work, so once Shutdown returns no submitted
+// round is lost. One session's checkpoint failure does not abandon the
+// rest — every session gets its full retry budget and all failures are
+// joined into the returned error; sessions whose checkpoint failed
+// stay resident and degraded, so a caller can fix the store and call
+// Shutdown again. Safe to call more than once.
 func (m *Manager) Shutdown(ctx context.Context) error {
 	m.mu.Lock()
 	first := !m.draining
 	m.draining = true
 	m.mu.Unlock()
+	// Every shard must observe its draining flag before its pools flush
+	// (the enqueue path re-checks the flag under the pool lock), so flip
+	// all flags before any shard starts draining.
+	for _, sh := range m.shards {
+		sh.setDraining()
+	}
 	if first {
 		close(m.drainSignal) // wake attached streams so they close promptly
 	}
-	// Flush the labelpools before checkpointing: drains run under
-	// acquireOpt(evenWhileDraining), so every queued round lands in its
-	// session before that session's snapshot is taken.
-	m.flushPools()
-	m.drainWG.Wait()
-
-	m.mu.Lock()
-	entries := make([]*entry, 0, len(m.live))
-	for _, e := range m.live {
-		entries = append(entries, e)
+	errs := make([]error, len(m.shards))
+	var wg sync.WaitGroup
+	for i, sh := range m.shards {
+		wg.Add(1)
+		go func(i int, sh *shard) {
+			defer wg.Done()
+			errs[i] = sh.shutdown(ctx)
+		}(i, sh)
 	}
-	m.mu.Unlock()
-
-	var errs []error
-	for _, e := range entries {
-		e.mu.Lock()
-		if e.gone {
-			e.mu.Unlock()
-			continue
-		}
-		if err := m.evict(ctx, e); err != nil { // releases the lock
-			errs = append(errs, err)
-		}
-	}
+	wg.Wait()
 	return errors.Join(errs...)
 }

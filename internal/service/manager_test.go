@@ -192,7 +192,7 @@ func TestManagerTTLSweep(t *testing.T) {
 	m := NewManager(Options{IdleTTL: time.Minute})
 	ctx := context.Background()
 	clock := time.Unix(1000, 0)
-	m.now = func() time.Time { return clock }
+	m.setNow(func() time.Time { return clock })
 
 	a, err := m.Create(ctx, testSpec())
 	if err != nil {
@@ -228,7 +228,7 @@ func TestManagerBackpressureAndLRUCapacityEviction(t *testing.T) {
 	m := NewManager(Options{MaxSessions: 2})
 	ctx := context.Background()
 	clock := time.Unix(2000, 0)
-	m.now = func() time.Time { return clock }
+	m.setNow(func() time.Time { return clock })
 
 	a, err := m.Create(ctx, testSpec())
 	if err != nil {
@@ -260,9 +260,10 @@ func TestManagerBackpressureAndLRUCapacityEviction(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2.mu.Lock()
-	e := m2.live[d.ID]
-	m2.mu.Unlock()
+	sh := m2.shardFor(d.ID)
+	sh.mu.Lock()
+	e := sh.live[d.ID]
+	sh.mu.Unlock()
 	e.mu.Lock() // simulate an in-flight request
 	_, err = m2.Create(ctx, datasetSpec(6))
 	e.mu.Unlock()

@@ -1,8 +1,6 @@
 package service
 
 import (
-	"context"
-
 	"exptrain/internal/belief"
 	"exptrain/internal/dataset"
 	"exptrain/internal/game"
@@ -95,16 +93,4 @@ func (s *roundStats) prime(records []game.IterationRecord) {
 	for t, rec := range records {
 		s.rounds = append(s.rounds, s.render(t, rec))
 	}
-}
-
-// Rounds returns the session's per-round measurement series, one entry
-// per submitted round in order. Sessions created with eval include the
-// held-out detection score per round.
-func (m *Manager) Rounds(ctx context.Context, id string) ([]RoundView, error) {
-	e, err := m.acquire(ctx, id)
-	if err != nil {
-		return nil, err
-	}
-	defer e.mu.Unlock()
-	return append([]RoundView(nil), e.stats.rounds...), nil
 }

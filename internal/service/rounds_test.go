@@ -248,9 +248,10 @@ func TestObserverOrderedUnderConcurrentAccess(t *testing.T) {
 	}
 	wg.Wait()
 
-	m.mu.Lock()
-	e := m.live[info.ID]
-	m.mu.Unlock()
+	sh := m.shardFor(info.ID)
+	sh.mu.Lock()
+	e := sh.live[info.ID]
+	sh.mu.Unlock()
 	e.mu.Lock()
 	events := append([]statEvent(nil), e.stats.events...)
 	rounds := e.sess.Rounds()

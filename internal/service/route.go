@@ -1,0 +1,55 @@
+package service
+
+// Rendezvous (highest-random-weight) routing: every session id is
+// scored once against every shard and lives on the shard with the
+// highest score. The properties the service leans on:
+//
+//   - Sticky: the score depends only on (id, shard index), so a fixed
+//     shard count routes an id identically forever — a session's lock
+//     domain, labelpool and streams all agree on its home shard.
+//   - Minimal movement: growing N shards to N+1 leaves the first N
+//     scores of every id untouched, so an id moves only when the NEW
+//     shard wins — about 1/(N+1) of the keyspace, and it moves only
+//     onto the new shard. No ring maintenance, no token metadata.
+//
+// Both properties are pinned by TestRendezvousRouting.
+
+// rendezvousScore scores one (session id, shard index) pair: FNV-1a
+// over the id bytes, the shard index folded in, then a splitmix64-style
+// finalizer so per-shard scores of one id are decorrelated (raw FNV of
+// id+index would make adjacent shards' scores nearly collinear).
+func rendezvousScore(id string, shard int) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(id); i++ {
+		h ^= uint64(id[i])
+		h *= prime64
+	}
+	h ^= uint64(shard)*0x9E3779B97F4A7C15 + 0x2545F4914F6CDD1D
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return h
+}
+
+// pickShard returns the winning shard index for id among n shards:
+// highest rendezvous score, ties to the lowest index.
+func pickShard(id string, n int) int {
+	if n <= 1 {
+		return 0
+	}
+	best, bestScore := 0, rendezvousScore(id, 0)
+	for i := 1; i < n; i++ {
+		if s := rendezvousScore(id, i); s > bestScore {
+			best, bestScore = i, s
+		}
+	}
+	return best
+}
+
+// shardFor resolves a session id to its home shard.
+func (m *Manager) shardFor(id string) *shard {
+	return m.shards[pickShard(id, len(m.shards))]
+}

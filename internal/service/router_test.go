@@ -1,0 +1,267 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"testing"
+	"time"
+
+	"exptrain/internal/persist"
+	"exptrain/internal/persist/faulty"
+)
+
+// TestRendezvousRouting pins the two properties the sharded service
+// leans on: routing is sticky for a fixed shard count, and growing the
+// shard set moves only ~K/N sessions — all of them onto the new shard.
+func TestRendezvousRouting(t *testing.T) {
+	const keys = 5000
+	ids := make([]string, keys)
+	for i := range ids {
+		// Both the minted form and arbitrary resume-style ids route.
+		if i%2 == 0 {
+			ids[i] = fmt.Sprintf("sess-%d", i)
+		} else {
+			ids[i] = fmt.Sprintf("restored-%d-x", i)
+		}
+	}
+
+	t.Run("sticky and balanced", func(t *testing.T) {
+		for _, n := range []int{1, 2, 4, 16} {
+			counts := make([]int, n)
+			for _, id := range ids {
+				s := pickShard(id, n)
+				if again := pickShard(id, n); again != s {
+					t.Fatalf("n=%d: pickShard(%q) flapped %d -> %d", n, id, s, again)
+				}
+				counts[s]++
+			}
+			// Loose balance bound: rendezvous hashing is uniform in
+			// expectation; a shard at 0 or at 2x the mean means the score
+			// mix is broken, not that the test is unlucky.
+			mean := keys / n
+			for s, c := range counts {
+				if c == 0 {
+					t.Fatalf("n=%d: shard %d owns no sessions", n, s)
+				}
+				if c > 2*mean {
+					t.Fatalf("n=%d: shard %d owns %d of %d sessions (mean %d)", n, s, c, keys, mean)
+				}
+			}
+		}
+	})
+
+	t.Run("growth moves ~K/N keys, only onto the new shard", func(t *testing.T) {
+		for _, n := range []int{1, 3, 15} {
+			moved := 0
+			for _, id := range ids {
+				before := pickShard(id, n)
+				after := pickShard(id, n+1)
+				if before == after {
+					continue
+				}
+				if after != n {
+					t.Fatalf("n=%d->%d: %q moved %d -> %d; rendezvous growth may only move keys onto the new shard",
+						n, n+1, id, before, after)
+				}
+				moved++
+			}
+			expect := keys / (n + 1)
+			if moved < expect/2 || moved > 2*expect {
+				t.Fatalf("n=%d->%d: %d keys moved, want ~%d (K/(N+1))", n, n+1, moved, expect)
+			}
+		}
+	})
+}
+
+// TestShardJitterSeeds pins the retry-jitter fix: every shard draws its
+// backoff jitter from its own (RetrySeed, shard id)-derived stream, so
+// a store outage cannot synchronize backoff storms across shards — and
+// the derivation stays reproducible for fault-injection tests.
+func TestShardJitterSeeds(t *testing.T) {
+	for _, retrySeed := range []uint64{1, 2026, ^uint64(0)} {
+		seen := make(map[uint64]int)
+		for id := 0; id < 64; id++ {
+			s := jitterSeed(retrySeed, id)
+			if s == 0 {
+				t.Fatalf("jitterSeed(%d, %d) = 0; stats.NewRNG needs a nonzero seed", retrySeed, id)
+			}
+			if s != jitterSeed(retrySeed, id) {
+				t.Fatalf("jitterSeed(%d, %d) not reproducible", retrySeed, id)
+			}
+			if prev, dup := seen[s]; dup {
+				t.Fatalf("shards %d and %d share jitter seed %d under RetrySeed %d", prev, id, s, retrySeed)
+			}
+			seen[s] = id
+		}
+	}
+	// And the seeds actually decorrelate the schedules: two shards of
+	// one manager must not draw identical first-jitter values.
+	m := NewManager(Options{Shards: 4, RetrySeed: 7})
+	first := make(map[float64]int)
+	for i, sh := range m.shards {
+		v := sh.rrng.Float64()
+		if prev, dup := first[v]; dup {
+			t.Fatalf("shards %d and %d drew the same first jitter %v", prev, i, v)
+		}
+		first[v] = i
+	}
+}
+
+// sessionDigest reads a session's checkpoint from the store and
+// returns its exact encoded bytes.
+func sessionDigest(t *testing.T, store persist.Store, id string) []byte {
+	t.Helper()
+	snap, err := store.Get(context.Background(), id)
+	if err != nil {
+		t.Fatalf("snapshot %s: %v", id, err)
+	}
+	var buf bytes.Buffer
+	if err := snap.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestShardedGoldenParity is the determinism acceptance test for the
+// routing refactor: a seeded multi-session workload must produce
+// bit-identical per-session trajectories under 1 shard and under 16 —
+// the shard a session lands on may change its lock domain, never its
+// rounds. Each session's full trajectory is compared via its encoded
+// shutdown checkpoint.
+func TestShardedGoldenParity(t *testing.T) {
+	const sessions, rounds = 8, 3
+	ctx := context.Background()
+
+	play := func(t *testing.T, shards int, store persist.Store) []string {
+		m := NewManager(Options{Shards: shards, Store: store})
+		ids := make([]string, sessions)
+		for i := range ids {
+			info, err := m.Create(ctx, datasetSpec(uint64(i)))
+			if err != nil {
+				t.Fatal(err)
+			}
+			ids[i] = info.ID
+		}
+		for r := 0; r < rounds; r++ {
+			for _, id := range ids {
+				playRound(t, m, id)
+			}
+		}
+		if err := m.Shutdown(ctx); err != nil {
+			t.Fatal(err)
+		}
+		return ids
+	}
+
+	oneStore, sixteenStore := persist.NewMemStore(), persist.NewMemStore()
+	oneIDs := play(t, 1, oneStore)
+	sixteenIDs := play(t, 16, sixteenStore)
+
+	// Same creation order ⇒ same minted ids in both topologies.
+	for i := range oneIDs {
+		if oneIDs[i] != sixteenIDs[i] {
+			t.Fatalf("session %d minted as %q under 1 shard, %q under 16", i, oneIDs[i], sixteenIDs[i])
+		}
+	}
+	// The 16-shard run must actually have spread the sessions out, or
+	// the parity below proves nothing.
+	homes := make(map[int]bool)
+	for _, id := range sixteenIDs {
+		homes[pickShard(id, 16)] = true
+	}
+	if len(homes) < 2 {
+		t.Fatalf("all %d sessions hashed onto one shard; workload does not exercise routing", sessions)
+	}
+	for i, id := range oneIDs {
+		one := sessionDigest(t, oneStore, id)
+		sixteen := sessionDigest(t, sixteenStore, id)
+		if !bytes.Equal(one, sixteen) {
+			t.Fatalf("session %d (%s, shard %d of 16): trajectory differs between 1 and 16 shards",
+				i, id, pickShard(id, 16))
+		}
+	}
+}
+
+// TestShardedHealth exercises the shard-aware healthz surface: the
+// aggregate keeps its pre-sharding schema while Shards breaks the same
+// counters out per shard and SickestShard points at the one with the
+// failing store.
+func TestShardedHealth(t *testing.T) {
+	ctx := context.Background()
+	fs := faulty.Wrap(persist.NewMemStore(), faulty.Config{
+		Seed: 99, FailRate: 1, Ops: []faulty.Op{faulty.OpPut},
+	})
+	m := NewManager(Options{
+		Shards: 4,
+		Store:  fs,
+		Retry:  RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: 2 * time.Millisecond},
+	})
+	var infos []Info
+	for i := 0; i < 6; i++ {
+		info, err := m.Create(ctx, testSpec())
+		if err != nil {
+			t.Fatal(err)
+		}
+		infos = append(infos, info)
+	}
+	h := m.Health()
+	if !h.OK || h.Live != 6 || len(h.Shards) != 4 {
+		t.Fatalf("healthy baseline = %+v", h)
+	}
+	var liveSum int
+	for i, s := range h.Shards {
+		if s.Shard != i {
+			t.Fatalf("shard breakdown out of order: %+v", h.Shards)
+		}
+		liveSum += s.Live
+	}
+	if liveSum != 6 {
+		t.Fatalf("per-shard live counts sum to %d, want 6", liveSum)
+	}
+
+	// Evicting through the dead store degrades that session's shard.
+	victim := infos[0].ID
+	if err := m.Evict(ctx, victim); err == nil {
+		t.Fatal("evict through a dead store should fail")
+	}
+	h = m.Health()
+	sick := pickShard(victim, 4)
+	if h.OK || h.Degraded != 1 {
+		t.Fatalf("after failed evict: %+v", h)
+	}
+	if h.SickestShard != sick {
+		t.Fatalf("SickestShard = %d, want %d (home of %s)", h.SickestShard, sick, victim)
+	}
+	s := h.Shards[sick]
+	if s.OK || s.Degraded != 1 || s.StoreFailures == 0 || s.StoreError == "" {
+		t.Fatalf("sick shard health = %+v", s)
+	}
+	for i, other := range h.Shards {
+		if i != sick && (!other.OK || other.StoreFailures != 0) {
+			t.Fatalf("healthy shard %d caught the sick shard's counters: %+v", i, other)
+		}
+	}
+	if h.StoreFailures != s.StoreFailures {
+		t.Fatalf("aggregate StoreFailures %d != sick shard's %d", h.StoreFailures, s.StoreFailures)
+	}
+
+	// A replicated store surfaces per-replica counters in the body.
+	ms, err := persist.NewMultiStore([]persist.Store{persist.NewMemStore(), persist.NewMemStore()}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr := NewManager(Options{Shards: 2, Store: ms})
+	info, err := mr.Create(ctx, testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mr.Snapshot(ctx, info.ID); err != nil {
+		t.Fatal(err)
+	}
+	ms.Flush()
+	hr := mr.Health()
+	if len(hr.Replicas) != 2 || hr.Replicas[0].Ops == 0 {
+		t.Fatalf("replicated store stats missing from health: %+v", hr.Replicas)
+	}
+}

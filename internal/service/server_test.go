@@ -299,7 +299,7 @@ func TestServerConcurrentSessions(t *testing.T) {
 func TestServerIdleEvictionAndResumeOverHTTP(t *testing.T) {
 	m, c, _ := newTestServer(t, Options{IdleTTL: time.Minute})
 	clock := time.Unix(5000, 0)
-	m.now = func() time.Time { return clock }
+	m.setNow(func() time.Time { return clock })
 
 	var info Info
 	c.expect(http.StatusCreated, "POST", "/v1/sessions",

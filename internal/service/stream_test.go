@@ -232,9 +232,7 @@ func TestStreamResumeExactlyOnce(t *testing.T) {
 	// must survive eviction because it lives in Last-Event-ID, and the
 	// reconnect must transparently unpark.
 	base := time.Now()
-	m.mu.Lock()
-	m.now = func() time.Time { return base.Add(2 * time.Minute) }
-	m.mu.Unlock()
+	m.setNow(func() time.Time { return base.Add(2 * time.Minute) })
 	swept, err := m.Sweep(ctx)
 	if err != nil {
 		t.Fatal(err)

@@ -7,7 +7,10 @@
 // that experiments are reproducible bit-for-bit for a fixed seed.
 package stats
 
-import "math"
+import (
+	"fmt"
+	"math"
+)
 
 // RNG is a deterministic pseudo-random number generator based on the
 // splitmix64 / xoshiro256** family. It is intentionally self-contained
@@ -159,4 +162,20 @@ func (r *RNG) SampleWithoutReplacement(n, k int) []int {
 	}
 	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
 	return out
+}
+
+// State exposes the generator's xoshiro256** state words so a
+// checkpoint can capture the exact position in the stream.
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// RestoreState resumes the generator at a previously captured State, so
+// the restored stream continues bit-for-bit where the captured one
+// stopped. The all-zero state is xoshiro's single invalid fixed point
+// and is rejected.
+func (r *RNG) RestoreState(s [4]uint64) error {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		return fmt.Errorf("stats: all-zero RNG state is invalid")
+	}
+	r.s = s
+	return nil
 }
