@@ -13,7 +13,7 @@ FUZZERS := ./internal/sampling:FuzzParseMethod \
            ./internal/service:FuzzServerJSON \
            ./internal/fd:FuzzPLIDelta
 
-.PHONY: all build vet lint test race check verify bench benchbaseline benchcheck fuzz chaos loadsmoke clean
+.PHONY: all build vet lint lintbench test race check verify bench benchbaseline benchcheck fuzz chaos loadsmoke clean
 
 all: build
 
@@ -24,9 +24,15 @@ vet:
 	$(GO) vet ./...
 
 # Project-specific determinism & concurrency rules (internal/lint):
-# detrand, detclock, maporder, lockedfield, printclean, floatcmp,
-# scratchalias.
-# Exits non-zero on any finding or unjustified suppression.
+# per-function — detrand, detclock, maporder, lockedfield, printclean,
+# floatcmp, scratchalias — plus the interprocedural, call-graph-driven
+# set: lockorder (DESIGN §12 lock order), goroleak (unjoined
+# goroutines), chanlock (blocking channel ops under a mutex), ctxflow
+# (manufactured contexts outside cmd/) and errkind (error-envelope
+# registry coverage).
+# Exits non-zero on any finding, unjustified suppression, or stale
+# suppression; `go run ./cmd/etlint -audit` lists every suppression
+# with its reason.
 lint:
 	$(GO) run ./cmd/etlint ./...
 
@@ -124,6 +130,17 @@ bench:
 # scaling case that the delta protocol makes feasible at all. Revision
 # runs 100 iterations so the recorded numbers are the steady state, not
 # the first call's one-time memo warm-up.
+# Record the lint-loader baseline (BENCH_Lint.json): the sequential
+# full-module analysis versus the parallel loader on a cold cache and
+# versus a warm cache hit. One iteration is enough — each sample is a
+# whole-module type-check, and the gated metrics are ratios of runs on
+# the same machine, so load noise mostly cancels.
+lintbench:
+	@echo "== BenchmarkLintLoader"
+	@$(GO) test -run '^$$' -bench '^BenchmarkLintLoader$$' -benchtime 1x ./internal/lint \
+		| $(GO) run ./cmd/benchjson > BENCH_Lint.json
+	@echo "   wrote BENCH_Lint.json"
+
 benchbaseline:
 	@echo "== BenchmarkRevision + BenchmarkGameScaling/rows=100000"
 	@( $(GO) test -run '^$$' -bench '^BenchmarkRevision$$' -benchtime 100x -benchmem . && \
@@ -153,6 +170,9 @@ benchcheck:
 	@$(GO) run ./cmd/etload -shards 1,4,16 -sessions 96 -rounds 3 \
 		-rows 24 -k 3 -store-delay 10ms \
 		| $(GO) run ./cmd/benchjson -check BENCH_Shard.json
+	@echo "== benchcheck lint loader (parallel + cache speedups)"
+	@$(GO) test -run '^$$' -bench '^BenchmarkLintLoader$$' -benchtime 1x ./internal/lint \
+		| $(GO) run ./cmd/benchjson -check BENCH_Lint.json
 
 clean:
 	rm -f BENCH_*.json

@@ -2,11 +2,19 @@
 // rules (internal/lint) over the whole module and exits non-zero on
 // findings. It is part of `make verify`:
 //
-//	etlint [-rules detrand,maporder] [-json] [-list] [./...]
+//	etlint [-rules detrand,maporder] [-json|-sarif] [-audit] [-list]
+//	       [-cache auto|off|DIR] [-seq] [./...]
 //
 // Package patterns are accepted for muscle-memory compatibility with
 // go vet, but the tool always lints the entire module containing the
 // working directory — the invariants it checks are repo-wide.
+//
+// -audit prints every //etlint:ignore directive with its reason and
+// whether it covered a finding (stale directives are marked and are
+// also findings in their own right). -sarif emits a SARIF 2.1.0 log.
+// -cache controls the content-hash result cache (default auto: the
+// user cache dir); -seq forces the old sequential loader and disables
+// the cache — the escape hatch and the benchmark baseline.
 //
 // Exit status: 0 clean, 1 findings, 2 usage or load error.
 package main
@@ -23,14 +31,30 @@ import (
 	"exptrain/internal/lint"
 )
 
+// options are the flag-derived settings run executes under.
+type options struct {
+	rulesCSV string
+	jsonOut  bool
+	sarifOut bool
+	audit    bool
+	list     bool
+	cache    string // "auto", "off", or a directory
+	seq      bool
+	dir      string
+}
+
 func main() {
-	var (
-		rulesCSV = flag.String("rules", "", "comma-separated subset of rules to run (default: all)")
-		jsonOut  = flag.Bool("json", false, "emit findings as a JSON array instead of text")
-		list     = flag.Bool("list", false, "print the rule registry and exit")
-	)
+	var opt options
+	flag.StringVar(&opt.rulesCSV, "rules", "", "comma-separated subset of rules to run (default: all)")
+	flag.BoolVar(&opt.jsonOut, "json", false, "emit findings as a JSON array instead of text")
+	flag.BoolVar(&opt.sarifOut, "sarif", false, "emit findings as a SARIF 2.1.0 log")
+	flag.BoolVar(&opt.audit, "audit", false, "report every etlint:ignore directive with its reason and usage")
+	flag.BoolVar(&opt.list, "list", false, "print the rule registry and exit")
+	flag.StringVar(&opt.cache, "cache", "auto", "result cache: auto, off, or a directory")
+	flag.BoolVar(&opt.seq, "seq", false, "use the sequential loader without caching (benchmark baseline)")
 	flag.Parse()
-	code, err := run(os.Stdout, *rulesCSV, *jsonOut, *list, ".")
+	opt.dir = "."
+	code, err := run(os.Stdout, opt)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "etlint:", err)
 		os.Exit(2)
@@ -38,53 +62,110 @@ func main() {
 	os.Exit(code)
 }
 
-// run executes the lint pass rooted at the module containing dir and
-// reports the process exit code.
-func run(w io.Writer, rulesCSV string, jsonOut, list bool, dir string) (int, error) {
+// run executes the lint pass rooted at the module containing opt.dir
+// and reports the process exit code.
+func run(w io.Writer, opt options) (int, error) {
 	rules := lint.AllRules()
-	if rulesCSV != "" {
+	if opt.rulesCSV != "" {
 		var err error
-		rules, err = lint.RulesByID(strings.Split(rulesCSV, ","))
+		rules, err = lint.RulesByID(strings.Split(opt.rulesCSV, ","))
 		if err != nil {
 			return 2, err
 		}
 	}
-	if list {
+	if opt.list {
 		for _, r := range rules {
 			fmt.Fprintf(w, "%-12s %s\n", r.ID(), r.Doc())
 		}
 		return 0, nil
 	}
-	root, err := findModuleRoot(dir)
+	if opt.jsonOut && opt.sarifOut {
+		return 2, fmt.Errorf("-json and -sarif are mutually exclusive")
+	}
+	root, err := findModuleRoot(opt.dir)
 	if err != nil {
 		return 2, err
 	}
-	pkgs, err := lint.LoadModule(root)
-	if err != nil {
-		return 2, err
+
+	var findings []lint.Finding
+	var audit []lint.AuditRecord
+	if opt.seq {
+		pkgs, err := lint.LoadModule(root)
+		if err != nil {
+			return 2, err
+		}
+		findings, audit = lint.RunAudit(pkgs, rules)
+	} else {
+		cacheDir := ""
+		switch opt.cache {
+		case "auto":
+			cacheDir = lint.DefaultCacheDir()
+		case "off", "":
+		default:
+			cacheDir = opt.cache
+		}
+		findings, audit, err = lint.LintModule(root, rules, cacheDir)
+		if err != nil {
+			return 2, err
+		}
 	}
-	findings := lint.Run(pkgs, rules)
 	if findings == nil {
 		findings = []lint.Finding{} // -json promises an array, not null
 	}
-	if jsonOut {
+
+	if opt.audit {
+		printAudit(w, audit)
+		return 0, nil
+	}
+
+	switch {
+	case opt.jsonOut:
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
 		if err := enc.Encode(findings); err != nil {
 			return 2, err
 		}
-	} else {
+	case opt.sarifOut:
+		data, err := lint.SARIF(findings, rules)
+		if err != nil {
+			return 2, err
+		}
+		if _, err := w.Write(append(data, '\n')); err != nil {
+			return 2, err
+		}
+	default:
 		for _, f := range findings {
 			fmt.Fprintln(w, f)
 		}
 	}
 	if len(findings) > 0 {
-		if !jsonOut {
+		if !opt.jsonOut && !opt.sarifOut {
 			fmt.Fprintf(w, "etlint: %d finding(s)\n", len(findings))
 		}
 		return 1, nil
 	}
 	return 0, nil
+}
+
+// printAudit renders the suppression audit: one line per directive,
+// stale ones marked. The audit is a report, not a gate — stale
+// directives fail the normal lint run as "suppress" findings.
+func printAudit(w io.Writer, audit []lint.AuditRecord) {
+	if len(audit) == 0 {
+		fmt.Fprintln(w, "etlint: no suppressions")
+		return
+	}
+	used := 0
+	for _, a := range audit {
+		mark := "used "
+		if !a.Used {
+			mark = "STALE"
+		} else {
+			used++
+		}
+		fmt.Fprintf(w, "%s %s:%d: %s — %s\n", mark, a.File, a.Line, a.Rule, a.Reason)
+	}
+	fmt.Fprintf(w, "etlint: %d suppression(s), %d stale\n", len(audit), len(audit)-used)
 }
 
 // findModuleRoot walks up from dir to the directory holding go.mod.

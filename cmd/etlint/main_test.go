@@ -6,14 +6,16 @@ import (
 	"testing"
 )
 
-// TestListRules: -list prints every rule with its doc line.
+// TestListRules: -list prints every rule with its doc line, including
+// the interprocedural ones.
 func TestListRules(t *testing.T) {
 	var sb strings.Builder
-	code, err := run(&sb, "", false, true, ".")
+	code, err := run(&sb, options{list: true, dir: "."})
 	if err != nil || code != 0 {
 		t.Fatalf("run(-list) = %d, %v", code, err)
 	}
-	for _, id := range []string{"detrand", "detclock", "maporder", "lockedfield", "printclean", "floatcmp"} {
+	for _, id := range []string{"detrand", "detclock", "maporder", "lockedfield", "printclean", "floatcmp",
+		"lockorder", "goroleak", "chanlock", "ctxflow", "errkind"} {
 		if !strings.Contains(sb.String(), id) {
 			t.Errorf("rule %s missing from -list output:\n%s", id, sb.String())
 		}
@@ -23,14 +25,14 @@ func TestListRules(t *testing.T) {
 // TestListSubset: -rules narrows -list, and unknown rules error.
 func TestListSubset(t *testing.T) {
 	var sb strings.Builder
-	code, err := run(&sb, "detrand,floatcmp", false, true, ".")
+	code, err := run(&sb, options{rulesCSV: "detrand,floatcmp", list: true, dir: "."})
 	if err != nil || code != 0 {
 		t.Fatalf("run = %d, %v", code, err)
 	}
 	if strings.Contains(sb.String(), "maporder") {
 		t.Errorf("-rules subset leaked other rules:\n%s", sb.String())
 	}
-	if code, err := run(&sb, "nosuchrule", false, true, "."); err == nil || code != 2 {
+	if code, err := run(&sb, options{rulesCSV: "nosuchrule", list: true, dir: "."}); err == nil || code != 2 {
 		t.Errorf("unknown rule: want exit 2 with error, got %d, %v", code, err)
 	}
 }
@@ -39,7 +41,7 @@ func TestListSubset(t *testing.T) {
 // tool walks up to go.mod), in both text and JSON modes.
 func TestModuleClean(t *testing.T) {
 	var sb strings.Builder
-	code, err := run(&sb, "", false, false, ".")
+	code, err := run(&sb, options{cache: "off", dir: "."})
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
@@ -51,7 +53,7 @@ func TestModuleClean(t *testing.T) {
 	}
 
 	sb.Reset()
-	code, err = run(&sb, "", true, false, ".")
+	code, err = run(&sb, options{jsonOut: true, cache: "off", dir: "."})
 	if err != nil || code != 0 {
 		t.Fatalf("json run = %d, %v", code, err)
 	}
@@ -64,10 +66,80 @@ func TestModuleClean(t *testing.T) {
 	}
 }
 
+// TestSARIFClean: -sarif always emits a well-formed log with the
+// driver's rule table, even with zero findings.
+func TestSARIFClean(t *testing.T) {
+	var sb strings.Builder
+	code, err := run(&sb, options{sarifOut: true, cache: "off", dir: "."})
+	if err != nil || code != 0 {
+		t.Fatalf("sarif run = %d, %v", code, err)
+	}
+	var log struct {
+		Version string `json:"version"`
+		Runs    []struct {
+			Tool struct {
+				Driver struct {
+					Name  string           `json:"name"`
+					Rules []map[string]any `json:"rules"`
+				} `json:"driver"`
+			} `json:"tool"`
+			Results []any `json:"results"`
+		} `json:"runs"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &log); err != nil {
+		t.Fatalf("-sarif output is not JSON: %v\n%s", err, sb.String())
+	}
+	if log.Version != "2.1.0" || len(log.Runs) != 1 {
+		t.Fatalf("want one SARIF 2.1.0 run, got version %q runs %d", log.Version, len(log.Runs))
+	}
+	if got := log.Runs[0].Tool.Driver.Name; got != "etlint" {
+		t.Errorf("driver name = %q, want etlint", got)
+	}
+	if len(log.Runs[0].Tool.Driver.Rules) == 0 {
+		t.Errorf("driver rule table is empty")
+	}
+	if len(log.Runs[0].Results) != 0 {
+		t.Errorf("clean tree: want zero SARIF results, got %d", len(log.Runs[0].Results))
+	}
+}
+
+// TestAudit: -audit lists every suppression with its reason and exits
+// zero; the real tree has at least one justified suppression.
+func TestAudit(t *testing.T) {
+	var sb strings.Builder
+	code, err := run(&sb, options{audit: true, cache: "off", dir: "."})
+	if err != nil || code != 0 {
+		t.Fatalf("audit run = %d, %v", code, err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "suppression(s)") {
+		t.Fatalf("-audit output missing summary line:\n%s", out)
+	}
+	if strings.Contains(out, "STALE") {
+		t.Errorf("real tree must not carry stale suppressions:\n%s", out)
+	}
+}
+
+// TestCacheRoundTrip: a warm cache run returns the same (clean) result
+// as the cold run that populated it.
+func TestCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	var cold, warm strings.Builder
+	if code, err := run(&cold, options{jsonOut: true, cache: dir, dir: "."}); err != nil || code != 0 {
+		t.Fatalf("cold run = %d, %v", code, err)
+	}
+	if code, err := run(&warm, options{jsonOut: true, cache: dir, dir: "."}); err != nil || code != 0 {
+		t.Fatalf("warm run = %d, %v", code, err)
+	}
+	if cold.String() != warm.String() {
+		t.Errorf("cold and warm cache runs differ:\ncold: %s\nwarm: %s", cold.String(), warm.String())
+	}
+}
+
 // TestNoModuleRoot: starting outside any module errors cleanly.
 func TestNoModuleRoot(t *testing.T) {
 	var sb strings.Builder
-	if code, err := run(&sb, "", false, false, t.TempDir()); err == nil || code != 2 {
+	if code, err := run(&sb, options{cache: "off", dir: t.TempDir()}); err == nil || code != 2 {
 		t.Errorf("want exit 2 with error outside a module, got %d, %v", code, err)
 	}
 }

@@ -113,7 +113,7 @@ func (r *Result) injector() *injector {
 			cand:   make([]bool, n),
 			orders: make(map[fd.AttrSet]*lhsOrder),
 		}
-		for row := range r.DirtyRows { //etlint:ignore maporder flag-array seeding is order-independent
+		for row := range r.DirtyRows { // flag-array seeding is order-independent
 			inj.dirty[row] = true
 		}
 		r.inj = inj

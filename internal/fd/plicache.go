@@ -182,12 +182,12 @@ func (c *PLICache) applyDeltaLocked(d dataset.CellDelta, adjust bool) {
 		}
 	}
 	aff := c.affected[:0]
-	for x := range c.parts { //etlint:ignore maporder collected set is sorted below before use
+	for x := range c.parts { // collected set is sorted below before use
 		if x.Has(d.Col) {
 			aff = append(aff, x)
 		}
 	}
-	for x := range c.incs { //etlint:ignore maporder collected set is sorted below before use
+	for x := range c.incs { // collected set is sorted below before use
 		if x.Has(d.Col) {
 			if _, dup := c.parts[x]; !dup {
 				aff = append(aff, x)

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// cacheVersion keys the on-disk result format and the analysis
+// semantics. Bump it whenever a rule's behaviour changes in a way that
+// should invalidate cached findings.
+const cacheVersion = "etlint-cache-v1"
+
+// cacheEntry is the persisted result of one full module run.
+type cacheEntry struct {
+	Version  string        `json:"version"`
+	Findings []Finding     `json:"findings"`
+	Audit    []AuditRecord `json:"audit"`
+}
+
+// LintModule loads the module at root with the parallel loader, runs
+// the rules, and returns findings plus the suppression audit. With a
+// non-empty cacheDir it first consults a content-hash cache: the key
+// digests the cache version, the rule set, the module root path, and
+// every non-test .go file plus go.mod, so any edit — or a different
+// rule subset — misses and re-analyzes while an untouched tree skips
+// parsing and type-checking entirely. Cache writes are best-effort;
+// a corrupt or unwritable cache degrades to a full run.
+func LintModule(root string, rules []Rule, cacheDir string) ([]Finding, []AuditRecord, error) {
+	var key string
+	if cacheDir != "" {
+		k, err := cacheKey(root, rules)
+		if err == nil {
+			key = k
+			if fs, audit, ok := cacheGet(cacheDir, key); ok {
+				return fs, audit, nil
+			}
+		}
+	}
+	pkgs, err := LoadModuleParallel(root)
+	if err != nil {
+		return nil, nil, err
+	}
+	fs, audit := RunAudit(pkgs, rules)
+	if fs == nil {
+		fs = []Finding{}
+	}
+	if audit == nil {
+		audit = []AuditRecord{}
+	}
+	if cacheDir != "" && key != "" {
+		cachePut(cacheDir, key, fs, audit)
+	}
+	return fs, audit, nil
+}
+
+// cacheKey hashes everything the findings depend on.
+func cacheKey(root string, rules []Rule) (string, error) {
+	h := sha256.New()
+	io.WriteString(h, cacheVersion+"\n")
+	abs, err := filepath.Abs(root)
+	if err != nil {
+		return "", err
+	}
+	// Findings embed paths as given; a different root string must not
+	// replay another invocation's output.
+	io.WriteString(h, "root "+abs+"\x00"+root+"\n")
+	ids := make([]string, 0, len(rules))
+	for _, r := range rules {
+		ids = append(ids, r.ID())
+	}
+	sort.Strings(ids)
+	io.WriteString(h, "rules "+strings.Join(ids, ",")+"\n")
+
+	dirs, err := moduleDirs(root)
+	if err != nil {
+		return "", err
+	}
+	var paths []string
+	paths = append(paths, filepath.Join(root, "go.mod"))
+	for _, dir := range dirs {
+		entries, err := os.ReadDir(dir)
+		if err != nil {
+			return "", err
+		}
+		for _, e := range entries {
+			name := e.Name()
+			if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") ||
+				strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") {
+				continue
+			}
+			paths = append(paths, filepath.Join(dir, name))
+		}
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		data, err := os.ReadFile(p)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(h, "file %s %d\n", p, len(data))
+		h.Write(data)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+func cachePath(cacheDir, key string) string {
+	return filepath.Join(cacheDir, key+".json")
+}
+
+func cacheGet(cacheDir, key string) ([]Finding, []AuditRecord, bool) {
+	data, err := os.ReadFile(cachePath(cacheDir, key))
+	if err != nil {
+		return nil, nil, false
+	}
+	var e cacheEntry
+	if json.Unmarshal(data, &e) != nil || e.Version != cacheVersion {
+		return nil, nil, false
+	}
+	if e.Findings == nil {
+		e.Findings = []Finding{}
+	}
+	if e.Audit == nil {
+		e.Audit = []AuditRecord{}
+	}
+	return e.Findings, e.Audit, true
+}
+
+func cachePut(cacheDir, key string, fs []Finding, audit []AuditRecord) {
+	if os.MkdirAll(cacheDir, 0o755) != nil {
+		return
+	}
+	data, err := json.Marshal(cacheEntry{Version: cacheVersion, Findings: fs, Audit: audit})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(cacheDir, "entry-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if os.Rename(tmp.Name(), cachePath(cacheDir, key)) != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// DefaultCacheDir is where cmd/etlint keeps results when caching is
+// on: the user cache dir, or a temp-dir fallback.
+func DefaultCacheDir() string {
+	if d, err := os.UserCacheDir(); err == nil {
+		return filepath.Join(d, "etlint")
+	}
+	return filepath.Join(os.TempDir(), "etlint-cache")
+}

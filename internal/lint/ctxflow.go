@@ -1,0 +1,106 @@
+package lint
+
+import (
+	"go/ast"
+)
+
+// ctxFlow keeps cancellation threaded: context.Background() and
+// context.TODO() may be manufactured only in cmd/ packages (process
+// roots) and tests. Library code must thread the caller's context —
+// a manufactured root silently detaches session work from request
+// cancellation and server shutdown.
+//
+// One shape is exempt: the compatibility wrapper `func F(...) {
+// return FContext(context.Background(), ...) }` whose whole body is
+// the single forwarding call. But even a wrapper is flagged when it is
+// synchronously reachable from a function that has a context — the
+// caller holds a context and chose the API that drops it.
+type ctxFlow struct{}
+
+func (ctxFlow) ID() string { return "ctxflow" }
+func (ctxFlow) Doc() string {
+	return "context.Background()/TODO() only in cmd/ and tests; thread the caller's context instead"
+}
+func (ctxFlow) Check(p *Package) []Finding { return nil }
+
+func (ctxFlow) CheckModule(m *Module) []Finding {
+	// Functions synchronously reachable from a context-bearing
+	// function. go edges are excluded: a detached goroutine's root is
+	// a deliberate lifetime boundary, judged at its spawn site instead.
+	reach := make(map[*FuncNode]bool)
+	var stack []*FuncNode
+	for _, n := range m.order {
+		if n.sum.hasCtxParam {
+			reach[n] = true
+			stack = append(stack, n)
+		}
+	}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, e := range n.Edges {
+			if e.Kind == EdgeGo || e.To == nil || reach[e.To] {
+				continue
+			}
+			reach[e.To] = true
+			stack = append(stack, e.To)
+		}
+	}
+
+	var out []Finding
+	for _, n := range m.order {
+		if n.Pkg.Cmd() {
+			continue
+		}
+		for _, site := range n.sum.ctxMakes {
+			if isCtxWrapper(n) && !reach[n] {
+				continue
+			}
+			what := "context." + site.name + "()"
+			switch {
+			case isCtxWrapper(n):
+				out = append(out, findingAt(n.Pkg, site.pos, "ctxflow",
+					"%s in wrapper %s reachable from context-bearing code; callers hold a context — thread it via the Context variant", what, n.Key))
+			case n.sum.hasCtxParam:
+				out = append(out, findingAt(n.Pkg, site.pos, "ctxflow",
+					"%s manufactured although %s already has a context parameter; thread it", what, n.Key))
+			default:
+				out = append(out, findingAt(n.Pkg, site.pos, "ctxflow",
+					"%s manufactured outside cmd/; thread a caller context or suppress with the lifetime rationale", what))
+			}
+		}
+	}
+	return out
+}
+
+// isCtxWrapper matches the sanctioned compatibility shape: a declared
+// function whose entire body is one statement forwarding to
+// <Name>Context with a manufactured root context.
+func isCtxWrapper(n *FuncNode) bool {
+	if n.Decl == nil || n.Decl.Body == nil || len(n.Decl.Body.List) != 1 {
+		return false
+	}
+	var call *ast.CallExpr
+	switch s := n.Decl.Body.List[0].(type) {
+	case *ast.ReturnStmt:
+		if len(s.Results) != 1 {
+			return false
+		}
+		call, _ = unparen(s.Results[0]).(*ast.CallExpr)
+	case *ast.ExprStmt:
+		call, _ = unparen(s.X).(*ast.CallExpr)
+	}
+	if call == nil {
+		return false
+	}
+	var callee string
+	switch fun := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		callee = fun.Name
+	case *ast.SelectorExpr:
+		callee = fun.Sel.Name
+	default:
+		return false
+	}
+	return callee == n.Name+"Context"
+}

@@ -24,8 +24,10 @@ import (
 	"go/ast"
 	"go/token"
 	"go/types"
+	"runtime"
 	"sort"
 	"strings"
+	"sync"
 )
 
 // Finding is one rule violation at a source position.
@@ -64,6 +66,9 @@ type Package struct {
 	// "internal/game", "cmd/etlint", ... Rules use it to scope
 	// themselves (deterministic core, cmd, internal).
 	Rel string
+	// Path is the import path the package was type-checked under; the
+	// call graph uses it to map cross-package objects back to Rel.
+	Path string
 	// Dir is the directory the files were read from.
 	Dir string
 	// Fset positions every node in Files.
@@ -132,7 +137,17 @@ func (p *Package) finding(rule string, n ast.Node, format string, args ...any) F
 	return Finding{Rule: rule, File: file, Line: line, Col: col, Message: fmt.Sprintf(format, args...)}
 }
 
-// AllRules returns the full registry in reporting order.
+// ModuleRule is a rule that needs the interprocedural Module view —
+// call graph and per-function summaries — instead of one package at a
+// time. Its Check method returns nil; Run calls CheckModule once over
+// the whole loaded set.
+type ModuleRule interface {
+	Rule
+	CheckModule(m *Module) []Finding
+}
+
+// AllRules returns the full registry in reporting order: the
+// per-function AST rules first, then the interprocedural rules.
 func AllRules() []Rule {
 	return []Rule{
 		detRand{},
@@ -142,6 +157,11 @@ func AllRules() []Rule {
 		printClean{},
 		floatCmp{},
 		scratchAlias{},
+		lockOrder{},
+		goroLeak{},
+		chanLock{},
+		ctxFlow{},
+		errKind{},
 	}
 }
 
@@ -163,22 +183,94 @@ func RulesByID(ids []string) ([]Rule, error) {
 }
 
 // Run applies the rules to every package, drops suppressed findings,
-// adds findings for malformed suppressions, and returns everything
-// sorted by position.
+// adds findings for malformed and stale suppressions, and returns
+// everything sorted by position.
 func Run(pkgs []*Package, rules []Rule) []Finding {
+	fs, _ := RunAudit(pkgs, rules)
+	return fs
+}
+
+// AuditRecord is one etlint:ignore directive as `etlint -audit`
+// reports it: where it sits, what it suppresses, the written reason,
+// and whether it actually covered a finding in this run.
+type AuditRecord struct {
+	File   string `json:"file"`
+	Line   int    `json:"line"`
+	Rule   string `json:"rule"`
+	Reason string `json:"reason"`
+	Used   bool   `json:"used"`
+}
+
+// RunAudit is Run plus the suppression audit trail. Per-package rules
+// fan out across GOMAXPROCS workers (rules are stateless and the
+// type-checked packages are read-only here); the interprocedural rules
+// run once over a Module built from the full set. A well-formed
+// directive whose rule ran but covered nothing is reported as stale —
+// dead suppressions hide future regressions.
+func RunAudit(pkgs []*Package, rules []Rule) ([]Finding, []AuditRecord) {
+	sup := &suppressions{}
 	var out []Finding
 	for _, p := range pkgs {
-		sup, bad := suppressionsFor(p)
-		out = append(out, bad...)
-		for _, r := range rules {
-			for _, f := range r.Check(p) {
-				if sup.covers(f) {
-					continue
-				}
+		out = append(out, sup.scan(p)...)
+	}
+
+	var perPkg []Rule
+	var modRules []ModuleRule
+	for _, r := range rules {
+		if mr, ok := r.(ModuleRule); ok {
+			modRules = append(modRules, mr)
+		} else {
+			perPkg = append(perPkg, r)
+		}
+	}
+
+	results := make([][]Finding, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range pkgs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			for _, r := range perPkg {
+				results[i] = append(results[i], r.Check(pkgs[i])...)
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, fs := range results {
+		for _, f := range fs {
+			if !sup.covers(f) {
 				out = append(out, f)
 			}
 		}
 	}
+
+	if len(modRules) > 0 {
+		m := NewModule(pkgs)
+		for _, r := range modRules {
+			for _, f := range r.CheckModule(m) {
+				if !sup.covers(f) {
+					out = append(out, f)
+				}
+			}
+		}
+	}
+
+	ran := make(map[string]bool, len(rules))
+	for _, r := range rules {
+		ran[r.ID()] = true
+	}
+	for _, d := range sup.all {
+		if ran[d.rule] && !d.used {
+			out = append(out, Finding{
+				Rule: "suppress", File: d.file, Line: d.line, Col: d.col,
+				Message: "etlint:ignore " + d.rule + " suppresses nothing; delete the stale directive",
+			})
+		}
+	}
+
 	sort.Slice(out, func(i, j int) bool {
 		a, b := out[i], out[j]
 		if a.File != b.File {
@@ -192,5 +284,17 @@ func Run(pkgs []*Package, rules []Rule) []Finding {
 		}
 		return a.Rule < b.Rule
 	})
-	return out
+
+	audit := make([]AuditRecord, 0, len(sup.all))
+	for _, d := range sup.all {
+		audit = append(audit, AuditRecord{File: d.file, Line: d.line, Rule: d.rule, Reason: d.reason, Used: d.used})
+	}
+	sort.Slice(audit, func(i, j int) bool {
+		a, b := audit[i], audit[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		return a.Line < b.Line
+	})
+	return out, audit
 }

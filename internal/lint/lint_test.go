@@ -36,6 +36,19 @@ func TestRuleFixtures(t *testing.T) {
 		{"scratchalias/bad", "internal/fd"},
 		{"scratchalias/good", "internal/fd"},
 		{"scratchalias/noncore", "internal/service"},
+		{"lockorder/bad", "internal/service"},
+		{"lockorder/good", "internal/service"},
+		{"goroleak/bad", "internal/x"},
+		{"goroleak/good", "internal/x"},
+		{"goroleak/cmdexempt", "cmd/x"},
+		{"chanlock/bad", "internal/x"},
+		{"chanlock/good", "internal/x"},
+		{"chanlock/exempt", "internal/service"},
+		{"ctxflow/bad", "internal/x"},
+		{"ctxflow/good", "internal/x"},
+		{"ctxflow/cmdexempt", "cmd/x"},
+		{"errkind/bad", "internal/x"},
+		{"errkind/good", "internal/x"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.dir, func(t *testing.T) {

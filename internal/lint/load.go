@@ -23,25 +23,10 @@ func LoadModule(root string) ([]*Package, error) {
 	if err != nil {
 		return nil, err
 	}
-	var dirs []string
-	err = filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if !d.IsDir() {
-			return nil
-		}
-		name := d.Name()
-		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
-			return filepath.SkipDir
-		}
-		dirs = append(dirs, path)
-		return nil
-	})
+	dirs, err := moduleDirs(root)
 	if err != nil {
 		return nil, err
 	}
-	sort.Strings(dirs)
 
 	fset := token.NewFileSet()
 	imp := importer.ForCompiler(fset, "source", nil)
@@ -136,7 +121,33 @@ func loadDir(fset *token.FileSet, imp types.Importer, dir, rel, importPath strin
 	if err != nil {
 		return nil, fmt.Errorf("lint: type-checking %s: %w", dir, err)
 	}
-	return &Package{Rel: rel, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+	return &Package{Rel: rel, Path: importPath, Dir: dir, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// moduleDirs walks the module tree and returns every candidate package
+// directory in sorted order, skipping testdata, hidden and underscore
+// entries.
+func moduleDirs(root string) ([]string, error) {
+	var dirs []string
+	err := filepath.WalkDir(root, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+			return filepath.SkipDir
+		}
+		dirs = append(dirs, path)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+	return dirs, nil
 }
 
 // modulePath reads the module path from a go.mod file.

@@ -1,0 +1,93 @@
+package lint
+
+import "encoding/json"
+
+// SARIF renders findings as a minimal SARIF 2.1.0 log — one run, one
+// driver ("etlint"), one result per finding — so editors and code
+// hosts that speak SARIF can ingest the reports without a converter.
+func SARIF(findings []Finding, rules []Rule) ([]byte, error) {
+	type sarifRule struct {
+		ID               string            `json:"id"`
+		ShortDescription map[string]string `json:"shortDescription"`
+	}
+	type artifactLocation struct {
+		URI string `json:"uri"`
+	}
+	type region struct {
+		StartLine   int `json:"startLine"`
+		StartColumn int `json:"startColumn"`
+	}
+	type physicalLocation struct {
+		ArtifactLocation artifactLocation `json:"artifactLocation"`
+		Region           region           `json:"region"`
+	}
+	type location struct {
+		PhysicalLocation physicalLocation `json:"physicalLocation"`
+	}
+	type result struct {
+		RuleID    string            `json:"ruleId"`
+		RuleIndex int               `json:"ruleIndex"`
+		Level     string            `json:"level"`
+		Message   map[string]string `json:"message"`
+		Locations []location        `json:"locations"`
+	}
+	type driver struct {
+		Name  string      `json:"name"`
+		Rules []sarifRule `json:"rules"`
+	}
+	type tool struct {
+		Driver driver `json:"driver"`
+	}
+	type run struct {
+		Tool    tool     `json:"tool"`
+		Results []result `json:"results"`
+	}
+	type log struct {
+		Schema  string `json:"$schema"`
+		Version string `json:"version"`
+		Runs    []run  `json:"runs"`
+	}
+
+	// The meta-rule "suppress" reports malformed/stale directives and
+	// is always part of the driver's rule table.
+	ruleIndex := make(map[string]int)
+	var sr []sarifRule
+	for _, r := range rules {
+		ruleIndex[r.ID()] = len(sr)
+		sr = append(sr, sarifRule{ID: r.ID(), ShortDescription: map[string]string{"text": r.Doc()}})
+	}
+	if _, ok := ruleIndex["suppress"]; !ok {
+		ruleIndex["suppress"] = len(sr)
+		sr = append(sr, sarifRule{ID: "suppress", ShortDescription: map[string]string{
+			"text": "etlint:ignore directives must name a known rule, carry a reason, and cover a finding",
+		}})
+	}
+
+	results := make([]result, 0, len(findings))
+	for _, f := range findings {
+		idx, ok := ruleIndex[f.Rule]
+		if !ok {
+			idx = len(sr)
+			ruleIndex[f.Rule] = idx
+			sr = append(sr, sarifRule{ID: f.Rule, ShortDescription: map[string]string{"text": f.Rule}})
+		}
+		results = append(results, result{
+			RuleID:    f.Rule,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   map[string]string{"text": f.Message},
+			Locations: []location{{PhysicalLocation: physicalLocation{
+				ArtifactLocation: artifactLocation{URI: f.File},
+				Region:           region{StartLine: f.Line, StartColumn: f.Col},
+			}}},
+		})
+	}
+	return json.MarshalIndent(log{
+		Schema:  "https://json.schemastore.org/sarif-2.1.0.json",
+		Version: "2.1.0",
+		Runs: []run{{
+			Tool:    tool{Driver: driver{Name: "etlint", Rules: sr}},
+			Results: results,
+		}},
+	}, "", "  ")
+}

@@ -15,43 +15,63 @@ import (
 // mandatory — it is the written justification a reviewer audits.
 const ignoreDirective = "etlint:ignore"
 
-// suppressions is the per-package suppression index.
+// directive is one well-formed etlint:ignore comment. covers marks it
+// used; a directive whose rule ran but that covered nothing is stale
+// and is itself reported.
+type directive struct {
+	file   string
+	line   int
+	col    int
+	rule   string
+	reason string
+	used   bool
+}
+
+// suppressions is the suppression index for a run, accumulated across
+// every scanned package.
 type suppressions struct {
-	// lines maps file → line → suppressed rule IDs on that line.
-	lines map[string]map[int]map[string]bool
+	// lines maps file → line → rule → the directive covering it.
+	lines map[string]map[int]map[string]*directive
+	// all lists every well-formed directive in scan order.
+	all []*directive
 }
 
 func (s *suppressions) covers(f Finding) bool {
-	return s.lines[f.File][f.Line][f.Rule]
+	d := s.lines[f.File][f.Line][f.Rule]
+	if d == nil {
+		return false
+	}
+	d.used = true
+	return true
 }
 
-func (s *suppressions) add(file string, line int, rule string) {
+func (s *suppressions) add(d *directive) {
 	if s.lines == nil {
-		s.lines = make(map[string]map[int]map[string]bool)
+		s.lines = make(map[string]map[int]map[string]*directive)
 	}
-	byLine := s.lines[file]
+	byLine := s.lines[d.file]
 	if byLine == nil {
-		byLine = make(map[int]map[string]bool)
-		s.lines[file] = byLine
+		byLine = make(map[int]map[string]*directive)
+		s.lines[d.file] = byLine
 	}
-	for _, l := range [2]int{line, line + 1} {
+	for _, l := range [2]int{d.line, d.line + 1} {
 		if byLine[l] == nil {
-			byLine[l] = make(map[string]bool)
+			byLine[l] = make(map[string]*directive)
 		}
-		byLine[l][rule] = true
+		byLine[l][d.rule] = d
 	}
+	s.all = append(s.all, d)
 }
 
-// suppressionsFor scans a package's comments for etlint:ignore
-// directives. Malformed directives — missing rule, unknown rule, or a
-// missing reason — come back as findings of the meta-rule "suppress":
-// an unjustified suppression is itself a violation.
-func suppressionsFor(p *Package) (*suppressions, []Finding) {
+// scan collects a package's etlint:ignore directives into the index.
+// Malformed directives — missing rule, unknown rule, or a missing
+// reason — come back as findings of the meta-rule "suppress": an
+// unjustified suppression is itself a violation.
+func (s *suppressions) scan(p *Package) []Finding {
 	known := make(map[string]bool)
 	for _, r := range AllRules() {
 		known[r.ID()] = true
 	}
-	sup := &suppressions{}
 	var bad []Finding
 	for _, file := range p.Files {
 		for _, group := range file.Comments {
@@ -79,12 +99,16 @@ func suppressionsFor(p *Package) (*suppressions, []Finding) {
 						Message: "etlint:ignore " + fields[0] + " has no reason; justify the suppression",
 					})
 				default:
-					sup.add(pos.Filename, pos.Line, fields[0])
+					s.add(&directive{
+						file: pos.Filename, line: pos.Line, col: pos.Column,
+						rule:   fields[0],
+						reason: strings.TrimSpace(strings.TrimPrefix(text, fields[0])),
+					})
 				}
 			}
 		}
 	}
-	return sup, bad
+	return bad
 }
 
 // directiveText extracts the payload after etlint:ignore, reporting

@@ -1,0 +1,45 @@
+// Package diamond is the call-graph unit-test fixture: a classic
+// diamond (top → mid1/mid2 → bottom), an interface call resolved by
+// CHA to both implementations, and go/defer edge kinds.
+package diamond
+
+// Store is the dispatch interface; both A and B implement it.
+type Store interface {
+	Put(s string) int
+}
+
+type A struct{}
+
+func (A) Put(s string) int { return len(s) }
+
+type B struct{}
+
+func (B) Put(s string) int { return 0 }
+
+// narrower has Put with a different signature: CHA must not match it.
+type narrower struct{}
+
+func (narrower) Put(n int) int { return n }
+
+func top(st Store) int {
+	left := mid1()
+	right := mid2()
+	return st.Put("x") + left + right
+}
+
+func mid1() int { return bottom() }
+
+func mid2() int { return bottom() }
+
+func bottom() int { return 1 }
+
+func spawn() {
+	go func() {
+		bottom()
+	}()
+}
+
+func cleanup() {
+	defer bottom()
+	bottom()
+}

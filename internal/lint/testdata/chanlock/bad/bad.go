@@ -1,0 +1,54 @@
+// Package bad exercises chanlock: blocking channel operations and
+// Waits while a mutex is held, directly and through a callee.
+package bad
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	ch chan int
+}
+
+// sendLocked blocks on a channel send with mu held.
+func (b *box) sendLocked(v int) {
+	b.mu.Lock()
+	b.ch <- v // want chanlock
+	b.mu.Unlock()
+}
+
+// recvLocked blocks on a receive with mu held via defer-unlock.
+func (b *box) recvLocked() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return <-b.ch // want chanlock
+}
+
+// waitLocked parks on a WaitGroup with mu held.
+func (b *box) waitLocked(wg *sync.WaitGroup) {
+	b.mu.Lock()
+	wg.Wait() // want chanlock
+	b.mu.Unlock()
+}
+
+// selectLocked blocks in a select with no default arm.
+func (b *box) selectLocked() {
+	b.mu.Lock()
+	select { // want chanlock
+	case v := <-b.ch:
+		_ = v
+	case b.ch <- 0:
+	}
+	b.mu.Unlock()
+}
+
+// drain blocks on its own; calling it under the lock is the
+// interprocedural finding.
+func (b *box) drain() {
+	<-b.ch
+}
+
+func (b *box) drainLocked() {
+	b.mu.Lock()
+	b.drain() // want chanlock
+	b.mu.Unlock()
+}

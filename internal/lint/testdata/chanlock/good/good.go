@@ -1,0 +1,46 @@
+// Package good holds channel-under-lock patterns that must stay
+// clean: release-before-block, non-blocking select, and channel ops
+// on a goroutine's own stack.
+package good
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	wg sync.WaitGroup
+	ch chan int
+}
+
+// handoff releases the lock before blocking.
+func (b *box) handoff(v int) {
+	b.mu.Lock()
+	b.mu.Unlock()
+	b.ch <- v
+}
+
+// tryNotify is non-blocking: select with a default arm.
+func (b *box) tryNotify(v int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	select {
+	case b.ch <- v:
+	default:
+	}
+}
+
+// spawnDrain blocks only on the spawned goroutine's own stack; the
+// caller's held set does not flow across a go edge.
+func (b *box) spawnDrain() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.wg.Add(1)
+	go func() {
+		defer b.wg.Done()
+		<-b.ch
+	}()
+}
+
+// joinDrains waits for spawnDrain's goroutines (keeps goroleak quiet).
+func (b *box) joinDrains() {
+	b.wg.Wait()
+}

@@ -1,0 +1,44 @@
+// Package bad exercises ctxflow: contexts manufactured inside
+// internal/ where a caller context exists or should be threaded.
+package bad
+
+import "context"
+
+func use(ctx context.Context) { _ = ctx }
+
+// hasParam manufactures a fresh context despite having one.
+func hasParam(ctx context.Context) {
+	use(context.Background()) // want ctxflow
+}
+
+// plain has no context parameter and is not a wrapper: internal/ code
+// must thread, not manufacture.
+func plain() {
+	use(context.TODO()) // want ctxflow
+}
+
+// helper is sync-reachable from run (which has a context), so its
+// manufactured context severs a live cancellation chain.
+func run(ctx context.Context) {
+	helper()
+}
+
+func helper() {
+	use(context.Background()) // want ctxflow
+}
+
+// Drain looks like a root wrapper, but caller threads a context into
+// the code that calls it — the wrapper exemption does not apply once
+// a context could have been forwarded.
+func Drain() {
+	DrainContext(context.Background()) // want ctxflow
+}
+
+// DrainContext is the real implementation.
+func DrainContext(ctx context.Context) {
+	use(ctx)
+}
+
+func caller(ctx context.Context) {
+	Drain()
+}

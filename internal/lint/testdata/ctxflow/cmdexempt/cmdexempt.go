@@ -1,0 +1,12 @@
+// Package cmdexempt shows ctxflow is scoped out of cmd/: binaries own
+// their process lifetime and may mint root contexts freely.
+package cmdexempt
+
+import "context"
+
+func use(ctx context.Context) { _ = ctx }
+
+func main0() {
+	use(context.Background())
+	use(context.TODO())
+}

@@ -1,0 +1,34 @@
+// Package good holds context patterns that must stay clean: threading
+// a caller context, a true root wrapper no context-bearing code calls,
+// and derivation instead of manufacture.
+package good
+
+import (
+	"context"
+	"time"
+)
+
+func use(ctx context.Context) { _ = ctx }
+
+// threaded forwards the caller's context.
+func threaded(ctx context.Context) {
+	use(ctx)
+}
+
+// derived builds on the caller's context rather than replacing it.
+func derived(ctx context.Context) {
+	tctx, cancel := context.WithTimeout(ctx, time.Second)
+	defer cancel()
+	use(tctx)
+}
+
+// Drain is a root convenience wrapper: a single forwarding statement,
+// and nothing with a context calls it.
+func Drain() {
+	DrainContext(context.Background())
+}
+
+// DrainContext is the real implementation.
+func DrainContext(ctx context.Context) {
+	use(ctx)
+}

@@ -1,0 +1,52 @@
+// Package bad exercises errkind: a produced sentinel the classifier
+// never maps, a registered kind nothing can produce, and a kind the
+// classifier emits without registering.
+package bad
+
+import "errors"
+
+var (
+	// ErrBad is mapped and produced: the healthy path.
+	ErrBad = errors.New("bad request")
+	// ErrOrphan is produced below but errorKind never tests it.
+	ErrOrphan = errors.New("orphan failure")
+	// ErrDormant is mapped but nothing produces it, so its kind is dead.
+	ErrDormant = errors.New("dormant failure")
+	// ErrTransient guards the unregistered-kind case.
+	ErrTransient = errors.New("transient failure")
+)
+
+const (
+	KindBad      = "bad_request"
+	KindDormant  = "dormant"
+	KindInternal = "internal"
+)
+
+// KindInfo mirrors the service registry row.
+type KindInfo struct {
+	Kind   string
+	Status int
+}
+
+var kindRegistry = []KindInfo{
+	{KindBad, 400},
+	{KindDormant, 410}, // want errkind
+	{KindInternal, 500},
+}
+
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, ErrBad):
+		return KindBad
+	case errors.Is(err, ErrDormant):
+		return KindDormant
+	case errors.Is(err, ErrTransient):
+		return "surprise" // want errkind
+	default:
+		return KindInternal
+	}
+}
+
+func failBad() error { return ErrBad }
+
+func failOrphan() error { return ErrOrphan } // want errkind

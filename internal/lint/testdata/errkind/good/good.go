@@ -1,0 +1,57 @@
+// Package good holds a healthy error envelope: every produced
+// sentinel is mapped, every registered kind has a producing path
+// (including via the context guard and the default case), and every
+// emitted kind is registered.
+package good
+
+import (
+	"context"
+	"errors"
+)
+
+var (
+	ErrBad      = errors.New("bad request")
+	ErrNotFound = errors.New("not found")
+)
+
+const (
+	KindBad      = "bad_request"
+	KindNotFound = "not_found"
+	KindTimeout  = "timeout"
+	KindInternal = "internal"
+)
+
+// KindInfo mirrors the service registry row.
+type KindInfo struct {
+	Kind   string
+	Status int
+}
+
+var kindRegistry = []KindInfo{
+	{KindBad, 400},
+	{KindNotFound, 404},
+	{KindTimeout, 504},
+	{KindInternal, 500},
+}
+
+func errorKind(err error) string {
+	switch {
+	case errors.Is(err, ErrBad):
+		return KindBad
+	case errors.Is(err, ErrNotFound):
+		return KindNotFound
+	case errors.Is(err, context.DeadlineExceeded):
+		return KindTimeout
+	default:
+		return KindInternal
+	}
+}
+
+func failBad() error { return ErrBad }
+
+func lookup(ok bool) error {
+	if !ok {
+		return ErrNotFound
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+// Package bad exercises goroleak: spawned goroutines nothing ever
+// joins.
+package bad
+
+import "sync"
+
+// fireAndForget spawns a goroutine with no join path at all.
+func fireAndForget(work func()) {
+	go work() // want goroleak
+}
+
+// litLeak spawns a literal that signals no one.
+func litLeak() {
+	done := make(chan struct{})
+	go func() { // want goroleak
+		close(done)
+	}()
+}
+
+// doneNoWait calls Done on a WaitGroup no function ever Waits on.
+func doneNoWait(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() { // want goroleak
+		defer wg.Done()
+	}()
+}

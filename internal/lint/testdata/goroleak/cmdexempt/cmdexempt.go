@@ -1,0 +1,7 @@
+// Package cmdexempt shows goroleak is scoped to internal/: a cmd/
+// binary may detach goroutines for its own lifetime.
+package cmdexempt
+
+func main0() {
+	go func() {}()
+}

@@ -1,0 +1,38 @@
+// Package good holds joined-goroutine patterns that must stay clean:
+// same-function WaitGroup join, a cross-method join through a struct
+// field, and an audited suppression.
+package good
+
+import "sync"
+
+// local spawns and joins within one function.
+func local() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+	wg.Wait()
+}
+
+// worker joins its drain goroutine from Shutdown — the labelpool
+// shape: spawn and Wait live in different methods but share wg.
+type worker struct {
+	wg sync.WaitGroup
+}
+
+func (w *worker) start() {
+	w.wg.Add(1)
+	go func() {
+		defer w.wg.Done()
+	}()
+}
+
+func (w *worker) Shutdown() {
+	w.wg.Wait()
+}
+
+// audited documents why its goroutine is deliberately detached.
+func audited() {
+	go func() {}() //etlint:ignore goroleak fixture: deliberately detached, exercising the audited-suppression path
+}

@@ -1,0 +1,64 @@
+package service
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// kindRowRe matches one row of API.md's error-kind table:
+// | `kind` | status | meaning |
+var kindRowRe = regexp.MustCompile("^\\|\\s*`([a-z_]+)`\\s*\\|\\s*(\\d{3})\\s*\\|")
+
+// TestAPIDocKindTable keeps API.md's error-kind table in lockstep with
+// the registry: same kinds, same statuses, same order (the registry is
+// append-only, so order is part of the contract). A registry edit
+// without the matching doc edit — or vice versa — fails plain go test.
+func TestAPIDocKindTable(t *testing.T) {
+	f, err := os.Open(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("API.md must ship with the module: %v", err)
+	}
+	defer f.Close()
+
+	type row struct {
+		kind   string
+		status int
+	}
+	var doc []row
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		m := kindRowRe.FindStringSubmatch(strings.TrimSpace(sc.Text()))
+		if m == nil {
+			continue
+		}
+		status, err := strconv.Atoi(m[2])
+		if err != nil {
+			t.Fatalf("unparseable status in API.md row %q", sc.Text())
+		}
+		doc = append(doc, row{kind: m[1], status: status})
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(doc) == 0 {
+		t.Fatal("no kind-table rows found in API.md; did the table format change?")
+	}
+
+	reg := Kinds()
+	var regRows, docRows []string
+	for _, k := range reg {
+		regRows = append(regRows, fmt.Sprintf("%s=%d", k.Kind, k.Status))
+	}
+	for _, r := range doc {
+		docRows = append(docRows, fmt.Sprintf("%s=%d", r.kind, r.status))
+	}
+	if got, want := strings.Join(docRows, "\n"), strings.Join(regRows, "\n"); got != want {
+		t.Errorf("API.md kind table out of sync with service.Kinds():\nAPI.md:\n%s\n\nregistry:\n%s", got, want)
+	}
+}

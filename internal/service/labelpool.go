@@ -84,10 +84,10 @@ type labelPool struct {
 	queue []poolItem
 	// draining marks the single-flight drain goroutine; guarded by mu.
 	draining bool
-	// tickets indexes every remembered ticket; order is their FIFO
-	// eviction order. Both guarded by mu.
+	// tickets indexes every remembered ticket; guarded by mu.
 	tickets map[string]*Ticket
-	order   []string
+	// order is the tickets' FIFO eviction order; guarded by mu.
+	order []string
 	// seq numbers tickets; guarded by mu.
 	seq uint64
 	// sinceCkpt counts rounds applied since the last drain checkpoint;
@@ -351,7 +351,7 @@ func (sh *shard) drainLoop(p *labelPool) {
 // checkpointing, and a ticketed submission must not be dropped because
 // shutdown won the race.
 func (sh *shard) drainAcquire(id string) (*entry, error) {
-	ctx := context.Background()
+	ctx := context.Background() //etlint:ignore ctxflow the drain goroutine is detached by design: a ticketed submission must outlive its submitter's request context (see DESIGN §11)
 	var err error
 	for attempt := 0; attempt < 400; attempt++ {
 		var e *entry
@@ -420,7 +420,7 @@ func (sh *shard) drainOnce(p *labelPool) bool {
 	for i, it := range run {
 		batch[i] = it.labeled
 	}
-	applied, serr := e.sess.SubmitBatch(context.Background(), batch)
+	applied, serr := e.sess.SubmitBatch(context.Background(), batch) //etlint:ignore ctxflow ticketed rounds are applied by the detached drain; cancelling a submitter must not abort a batch other sessions' tickets ride on
 
 	p.mu.Lock()
 	for i := 0; i < applied; i++ {
@@ -460,6 +460,7 @@ func (sh *shard) drainOnce(p *labelPool) bool {
 		// the session live and degraded, exactly like an explicit
 		// Snapshot; the drain keeps going.
 		if snap, err := e.sess.Snapshot(); err == nil {
+			//etlint:ignore ctxflow amortized checkpoints belong to the drain's lifetime, not any request's; a caller context here could tear a snapshot mid-write
 			if err := sh.storeRetry(context.Background(), "checkpointing "+e.id, func(ctx context.Context) error {
 				return sh.store.Put(ctx, e.id, snap)
 			}); err != nil {

@@ -112,7 +112,7 @@ type shard struct {
 	// enqueue and keyed by session id, surviving park/unpark. Never
 	// hold poolMu while taking mu or an entry or pool lock.
 	poolMu sync.Mutex
-	pools  map[string]*labelPool
+	pools  map[string]*labelPool // guarded by poolMu
 	// drainWG tracks in-flight labelpool drain goroutines so shutdown
 	// can flush every queued submission before checkpointing.
 	drainWG sync.WaitGroup
@@ -120,7 +120,7 @@ type shard struct {
 	// streamMu guards streams: per-session wakeup channels of attached
 	// SSE streams. A leaf lock — safe to take under any other.
 	streamMu sync.Mutex
-	streams  map[string]map[chan struct{}]struct{}
+	streams  map[string]map[chan struct{}]struct{} // guarded by streamMu
 }
 
 // newShard builds one shard. maxSessions is the per-shard resident
@@ -314,7 +314,7 @@ func (sh *shard) acquireOpt(ctx context.Context, id string, evenWhileDraining bo
 		// the same id queue on its lock instead of double-resuming, then
 		// do the store read and replay without holding the shard lock.
 		e := &entry{id: id, spec: spec, lastUsed: sh.now()}
-		e.mu.Lock()
+		e.mu.Lock() //etlint:ignore lockorder freshly allocated placeholder locked before publication in sh.live; nothing else can hold it, so the entry→shard edge of the order can't close a cycle
 		delete(sh.parked, id)
 		sh.live[id] = e
 		over := len(sh.live) > sh.opts.MaxSessions
