@@ -10,10 +10,11 @@ FUZZTIME ?= 5s
 FUZZERS := ./internal/sampling:FuzzParseMethod \
            ./internal/persist:FuzzSnapshotDecode \
            ./internal/persist:FuzzSnapshotChecksum \
+           ./internal/persist/wal:FuzzWalDecode \
            ./internal/service:FuzzServerJSON \
            ./internal/fd:FuzzPLIDelta
 
-.PHONY: all build vet lint lintbench test race check verify bench benchbaseline benchcheck fuzz chaos loadsmoke clean
+.PHONY: all build vet lint lintbench test race check verify bench benchbaseline benchcheck fuzz chaos loadsmoke walbench clean
 
 all: build
 
@@ -84,6 +85,20 @@ loadsmoke:
 		-rows 24 -k 3 -store-delay 10ms \
 		| $(GO) run ./cmd/benchjson > BENCH_Shard.json
 	@echo "   wrote BENCH_Shard.json"
+
+# WAL durability bench (~10s): etload plays the same 64-session submit
+# workload against a simulated 20ms-fsync disk twice — making every
+# submit durable with a full snapshot Put (serialized: one disk, one
+# fsync queue) versus riding the write-ahead log's group commit — and
+# benchjson records BENCH_WalCommit.json, including the
+# BenchmarkWalSpeedup x-vs-snapshot ratio that `make benchcheck`
+# gates: group commit must keep sustaining roughly an order of
+# magnitude more durable submits per second per disk.
+walbench:
+	@echo "== etload WAL group-commit bench"
+	@$(GO) run ./cmd/etload -wal -sessions 64 -rounds 4 -store-delay 20ms \
+		| $(GO) run ./cmd/benchjson > BENCH_WalCommit.json
+	@echo "   wrote BENCH_WalCommit.json"
 
 # Fault-injection suite under the race detector: crash-point property
 # tests for the snapshot commit protocol, torn-write invariants (both
@@ -170,6 +185,9 @@ benchcheck:
 	@$(GO) run ./cmd/etload -shards 1,4,16 -sessions 96 -rounds 3 \
 		-rows 24 -k 3 -store-delay 10ms \
 		| $(GO) run ./cmd/benchjson -check BENCH_Shard.json
+	@echo "== benchcheck WAL group commit (etload -wal)"
+	@$(GO) run ./cmd/etload -wal -sessions 64 -rounds 4 -store-delay 20ms \
+		| $(GO) run ./cmd/benchjson -check BENCH_WalCommit.json
 	@echo "== benchcheck lint loader (parallel + cache speedups)"
 	@$(GO) test -run '^$$' -bench '^BenchmarkLintLoader$$' -benchtime 1x ./internal/lint \
 		| $(GO) run ./cmd/benchjson -check BENCH_Lint.json

@@ -35,6 +35,16 @@
 // milliseconds of RTT the baseline's closed loop serializes two round
 // trips per submission while the pool amortizes one round trip over a
 // whole window. `make loadsmoke` records that configuration.
+//
+// -wal switches to the durability comparison `make walbench` records:
+// the same submit workload is played twice against a simulated
+// fsync-bound disk (-store-delay per disk operation), once making each
+// submit durable with a full snapshot Put — serialized, because one
+// disk has one fsync queue — and once through the write-ahead log,
+// whose group committer batches every session waiting on the same
+// fsync and writes O(round) delta bytes instead of O(history)
+// snapshots. Emits BenchmarkWalSnapshot, BenchmarkWalCommit, and a
+// BenchmarkWalSpeedup ratio line.
 package main
 
 import (
@@ -53,6 +63,7 @@ import (
 
 	"exptrain/client"
 	"exptrain/internal/persist"
+	"exptrain/internal/persist/wal"
 	"exptrain/internal/sampling"
 	"exptrain/internal/service"
 )
@@ -74,6 +85,7 @@ type config struct {
 
 	shardCounts string
 	storeDelay  time.Duration
+	walCompare  bool
 }
 
 func main() {
@@ -91,7 +103,8 @@ func main() {
 	flag.Uint64Var(&cfg.seed, "seed", 1, "base seed; session i uses seed+i")
 	flag.DurationVar(&cfg.netDelay, "net-delay", 0, "simulated client-side round-trip delay per request (e.g. 10ms)")
 	flag.StringVar(&cfg.shardCounts, "shards", "", "comma-separated shard counts to compare (e.g. 1,4,16); drives the manager directly and ignores -mode/-addr")
-	flag.DurationVar(&cfg.storeDelay, "store-delay", 4*time.Millisecond, "simulated checkpoint-store latency per operation in -shards runs")
+	flag.DurationVar(&cfg.storeDelay, "store-delay", 4*time.Millisecond, "simulated checkpoint-store latency per operation in -shards and -wal runs")
+	flag.BoolVar(&cfg.walCompare, "wal", false, "compare snapshot-per-submit durability against WAL group commit on a simulated fsync-bound disk; drives the manager directly and ignores -mode/-addr")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal("etload: ", err)
@@ -99,6 +112,9 @@ func main() {
 }
 
 func run(cfg config) error {
+	if cfg.walCompare {
+		return runWalCompare(cfg)
+	}
 	if cfg.shardCounts != "" {
 		return runShardCompare(cfg)
 	}
@@ -574,6 +590,168 @@ func runShardWorkload(cfg config, shards int) (result, error) {
 		}
 		if _, err := m.Sweep(ctx); err != nil {
 			return result{}, fmt.Errorf("sweep round %d: %w", r, err)
+		}
+	}
+	res.rounds = cfg.sessions * cfg.rounds
+	res.elapsed = time.Since(start)
+	if err := m.Shutdown(ctx); err != nil {
+		return result{}, fmt.Errorf("shutdown: %w", err)
+	}
+	return res, nil
+}
+
+// serialDiskStore models one disk with one fsync queue: every Put
+// holds the disk for a fixed latency, so concurrent checkpointers
+// serialize exactly the way fsyncs on a single spindle do. The WAL
+// side of the comparison gives its log the same per-fsync latency via
+// wal.Config.SyncDelay (the committer goroutine is its own serial
+// queue), so the measured difference is purely how many sessions'
+// rounds ride each fsync and how many bytes each one carries. Reads
+// stay cheap: recovery and resume are off the measured path.
+type serialDiskStore struct {
+	d     time.Duration
+	mu    sync.Mutex
+	inner persist.Store
+}
+
+func (s *serialDiskStore) Put(ctx context.Context, id string, snap *persist.Snapshot) error {
+	// Only the simulated disk time is serialized; the in-memory write
+	// happens outside the lock (MemStore synchronizes itself).
+	s.mu.Lock()
+	select {
+	case <-ctx.Done():
+		s.mu.Unlock()
+		return ctx.Err()
+	case <-time.After(s.d):
+	}
+	s.mu.Unlock()
+	return s.inner.Put(ctx, id, snap)
+}
+
+func (s *serialDiskStore) Get(ctx context.Context, id string) (*persist.Snapshot, error) {
+	return s.inner.Get(ctx, id)
+}
+
+func (s *serialDiskStore) Delete(ctx context.Context, id string) error {
+	return s.inner.Delete(ctx, id)
+}
+
+func (s *serialDiskStore) List(ctx context.Context) ([]string, error) {
+	return s.inner.List(ctx)
+}
+
+// runWalCompare measures the cost of making every submitted round
+// durable, two ways, over the same fsync-bound disk:
+//
+//	BenchmarkWalSnapshot ...   each submit Puts a full snapshot
+//	BenchmarkWalCommit ...     each submit rides a WAL group commit
+//	BenchmarkWalSpeedup 1 12.41 x-vs-snapshot
+func runWalCompare(cfg config) error {
+	snap, err := runWalWorkload(cfg, &serialDiskStore{d: cfg.storeDelay, inner: persist.NewMemStore()}, true)
+	if err != nil {
+		return fmt.Errorf("snapshot mode: %w", err)
+	}
+	emit("WalSnapshot", snap)
+
+	dir, err := os.MkdirTemp("", "etload-wal-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	ws, _, err := wal.OpenStore(
+		&serialDiskStore{d: cfg.storeDelay, inner: persist.NewMemStore()},
+		dir,
+		wal.StoreConfig{Wal: wal.Config{SyncDelay: cfg.storeDelay}},
+	)
+	if err != nil {
+		return fmt.Errorf("opening wal: %w", err)
+	}
+	defer ws.Close()
+	committed, err := runWalWorkload(cfg, ws, false)
+	if err != nil {
+		return fmt.Errorf("wal mode: %w", err)
+	}
+	emit("WalCommit", committed)
+
+	if snap.throughput() > 0 {
+		fmt.Printf("BenchmarkWalSpeedup 1 %.2f x-vs-snapshot\n",
+			committed.throughput()/snap.throughput())
+	}
+	return nil
+}
+
+// runWalWorkload drives a service.Manager directly through the
+// durability-bound submit pattern: every worker plays Next/Submit
+// rounds across its slice of the fleet, and each submit only counts
+// once it is durable — via an explicit full snapshot in snapshotEach
+// mode, or by the submit itself acking off its WAL group commit
+// otherwise. Session creation (and the WAL mode's genesis snapshots)
+// happens before the clock starts.
+func runWalWorkload(cfg config, store persist.Store, snapshotEach bool) (result, error) {
+	ctx := context.Background()
+	m := service.NewManager(service.Options{
+		MaxSessions: 2 * cfg.sessions,
+		IdleTTL:     time.Hour,
+		Store:       store,
+	})
+	ids := make([]string, cfg.sessions)
+	for i := range ids {
+		info, err := m.Create(ctx, service.Spec{
+			Source: service.Source{Dataset: cfg.dataset, Rows: cfg.rows, Seed: cfg.seed + uint64(i)},
+			Method: sampling.MethodStochasticUS,
+			K:      cfg.k,
+			Seed:   cfg.seed + uint64(i),
+		})
+		if err != nil {
+			return result{}, fmt.Errorf("create session %d: %w", i, err)
+		}
+		ids[i] = info.ID
+	}
+	workers := cfg.sessions
+	if workers > 32 {
+		workers = 32
+	}
+	var (
+		mu  sync.Mutex
+		res result
+		ec  = make(chan error, workers)
+	)
+	start := time.Now()
+	for r := 0; r < cfg.rounds; r++ {
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				var lats []time.Duration
+				for i := w; i < len(ids); i += workers {
+					t0 := time.Now()
+					if _, err := m.Next(ctx, ids[i]); err != nil {
+						ec <- fmt.Errorf("next %s round %d: %w", ids[i], r, err)
+						return
+					}
+					if _, err := m.Submit(ctx, ids[i], r, nil); err != nil {
+						ec <- fmt.Errorf("submit %s round %d: %w", ids[i], r, err)
+						return
+					}
+					if snapshotEach {
+						if _, err := m.Snapshot(ctx, ids[i]); err != nil {
+							ec <- fmt.Errorf("snapshot %s round %d: %w", ids[i], r, err)
+							return
+						}
+					}
+					lats = append(lats, time.Since(t0))
+				}
+				mu.Lock()
+				res.latencies = append(res.latencies, lats...)
+				mu.Unlock()
+			}(w)
+		}
+		wg.Wait()
+		select {
+		case err := <-ec:
+			return result{}, err
+		default:
 		}
 	}
 	res.rounds = cfg.sessions * cfg.rounds

@@ -12,7 +12,8 @@
 //	        [-idle-ttl 15m] [-sweep 1m] [-timeout 30s]
 //	        [-retry-attempts 4] [-retry-base 5ms] [-retry-max 250ms]
 //	        [-max-queued 64] [-drain-batch 16] [-checkpoint-every 0]
-//	        [-heartbeat 15s]
+//	        [-heartbeat 15s] [-wal] [-wal-segment-bytes N]
+//	        [-wal-batch-bytes N] [-wal-compact-every N]
 //
 // Besides the interactive next/submit loop, clients can POST whole
 // windows of labeled rounds to /v1/sessions/{id}/submissions and watch
@@ -49,6 +50,22 @@
 // held-out split every round; GET /v1/sessions/{id}/rounds serves the
 // per-round MAE/payoff (and detection F1) series either way. See the
 // README for the API routes and a curl transcript.
+//
+// -wal puts a crash-safe write-ahead log in front of the snapshot
+// store (a "wal" subdirectory per store directory): each submitted
+// round appends a CRC-framed delta record, batches of records across
+// sessions ride one fsync (group commit), and a submit acks once its
+// batch is durable — O(round) bytes per submit instead of an O(history)
+// snapshot. On startup the log is replayed onto the last snapshots
+// (torn tails from a crash are truncated, never trusted), and
+// -checkpoint-every N becomes a compaction point: the session's WAL
+// tail folds into a fresh snapshot and the log space is reclaimed.
+// -wal-segment-bytes, -wal-batch-bytes and -wal-compact-every tune
+// rotation, group-commit fairness, and background compaction. With
+// -replicas each replica directory gets its own log and appends ack at
+// the same write-majority quorum as checkpoints. GET /v1/healthz
+// reports per-shard appended/pending counts and log-level fsync
+// metrics.
 package main
 
 import (
@@ -67,6 +84,7 @@ import (
 	"time"
 
 	"exptrain/internal/persist"
+	"exptrain/internal/persist/wal"
 	"exptrain/internal/service"
 )
 
@@ -88,6 +106,11 @@ type config struct {
 	drainBatch    int
 	ckptEvery     int
 	heartbeat     time.Duration
+
+	wal             bool
+	walSegBytes     int64
+	walBatchBytes   int
+	walCompactEvery int
 }
 
 func main() {
@@ -108,6 +131,10 @@ func main() {
 	flag.IntVar(&cfg.drainBatch, "drain-batch", 16, "max queued rounds applied per drain batch (one lock acquisition)")
 	flag.IntVar(&cfg.ckptEvery, "checkpoint-every", 0, "checkpoint after this many pool-applied rounds (0: only on park/shutdown)")
 	flag.DurationVar(&cfg.heartbeat, "heartbeat", 15*time.Second, "SSE stream keep-alive comment interval")
+	flag.BoolVar(&cfg.wal, "wal", false, "write-ahead log submitted rounds; submits ack after a group-committed fsync instead of a full snapshot (requires -store)")
+	flag.Int64Var(&cfg.walSegBytes, "wal-segment-bytes", 0, "WAL segment rotation size in bytes (0: 4MiB default)")
+	flag.IntVar(&cfg.walBatchBytes, "wal-batch-bytes", 0, "max payload bytes per WAL group commit (0: 1MiB default)")
+	flag.IntVar(&cfg.walCompactEvery, "wal-compact-every", 0, "fold a session's WAL tail into its snapshot after this many committed rounds (0: 64 default)")
 	flag.Parse()
 	if err := run(cfg); err != nil {
 		log.Fatal(err)
@@ -148,17 +175,24 @@ type app struct {
 	store    persist.Store
 	srv      *http.Server
 	serveErr chan error
+	// walStores are the per-directory write-ahead logs to close on
+	// shutdown (after the manager drains, so every late append lands).
+	walStores []*wal.Store
 
 	stopSweep context.CancelFunc
 	sweepDone chan struct{}
 }
 
-// scanDirStore runs a DirStore's recovery scan: verify every
-// checkpoint, quarantine the rotten ones instead of letting a single
-// bad file block startup, and clean up temp files a crashed writer
-// left behind.
-func scanDirStore(dir *persist.DirStore, path string) error {
-	res, err := dir.Scan(context.Background())
+// scanStore runs a store's recovery scan: verify every checkpoint,
+// quarantine the rotten ones instead of letting a single bad file
+// block startup, and clean up temp files a crashed writer left behind.
+// A WAL-wrapped store's scan additionally folds every committed log
+// tail into a fresh snapshot, so the directory alone carries every
+// durable round before serving begins.
+func scanStore(st interface {
+	Scan(ctx context.Context) (persist.ScanResult, error)
+}, path string) error {
+	res, err := st.Scan(context.Background())
 	if err != nil {
 		return fmt.Errorf("scanning store %s: %w", path, err)
 	}
@@ -172,22 +206,53 @@ func scanDirStore(dir *persist.DirStore, path string) error {
 	return nil
 }
 
+// openWal puts a write-ahead log in front of a snapshot directory (in
+// a "wal" subdirectory — DirStore scans skip subdirectories, so the
+// two coexist) and logs what recovery found: replayed committed
+// deltas, torn tail bytes truncated, unreadable segments dropped.
+func openWal(inner persist.Store, base string, cfg config) (*wal.Store, error) {
+	ws, rec, err := wal.OpenStore(inner, filepath.Join(base, "wal"), wal.StoreConfig{
+		Wal: wal.Config{
+			MaxSegmentBytes: cfg.walSegBytes,
+			MaxBatchBytes:   cfg.walBatchBytes,
+		},
+		CompactEvery: cfg.walCompactEvery,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("opening WAL under %s: %w", base, err)
+	}
+	if rec.TruncatedBytes > 0 {
+		log.Printf("wal %s: truncated %d torn tail byte(s) left by a crash", base, rec.TruncatedBytes)
+	}
+	if rec.SegmentsDropped > 0 {
+		log.Printf("wal %s: dropped %d spent or unreadable segment(s)", base, rec.SegmentsDropped)
+	}
+	log.Printf("wal %s: replayed %d committed round delta(s) from %d segment(s)",
+		base, len(rec.Deltas), rec.Segments)
+	return ws, nil
+}
+
 // buildStore assembles the checkpoint store from the flag surface: nil
 // (in-memory) without -store, a single DirStore for -replicas 1, or a
-// quorum-replicating MultiStore over N replica directories. Replicated
+// quorum-replicating MultiStore over N replica directories, each
+// optionally fronted by a write-ahead log under -wal. Replicated
 // stores are reconciled on startup so a replica that missed
-// checkpoints while down converges before serving begins.
-func buildStore(cfg config) (persist.Store, error) {
+// checkpoints while down converges before serving begins. The second
+// return value lists the WAL stores the caller must close on shutdown.
+func buildStore(cfg config) (persist.Store, []*wal.Store, error) {
+	if cfg.wal && cfg.storeDir == "" && cfg.replicaDirs == "" {
+		return nil, nil, fmt.Errorf("-wal requires -store (or -replica-dirs); an in-memory store has nothing to recover")
+	}
 	var dirs []string
 	switch {
 	case cfg.replicaDirs != "":
 		dirs = strings.Split(cfg.replicaDirs, ",")
 		if cfg.replicas > 1 && cfg.replicas != len(dirs) {
-			return nil, fmt.Errorf("-replicas %d but -replica-dirs names %d directories", cfg.replicas, len(dirs))
+			return nil, nil, fmt.Errorf("-replicas %d but -replica-dirs names %d directories", cfg.replicas, len(dirs))
 		}
 	case cfg.replicas > 1:
 		if cfg.storeDir == "" {
-			return nil, fmt.Errorf("-replicas %d requires -store (or -replica-dirs)", cfg.replicas)
+			return nil, nil, fmt.Errorf("-replicas %d requires -store (or -replica-dirs)", cfg.replicas)
 		}
 		for i := 0; i < cfg.replicas; i++ {
 			dirs = append(dirs, filepath.Join(cfg.storeDir, fmt.Sprintf("replica-%d", i)))
@@ -195,33 +260,53 @@ func buildStore(cfg config) (persist.Store, error) {
 	case cfg.storeDir != "":
 		dir, err := persist.NewDirStore(cfg.storeDir)
 		if err != nil {
-			return nil, fmt.Errorf("opening store: %w", err)
+			return nil, nil, fmt.Errorf("opening store: %w", err)
 		}
-		if err := scanDirStore(dir, cfg.storeDir); err != nil {
-			return nil, err
+		if !cfg.wal {
+			if err := scanStore(dir, cfg.storeDir); err != nil {
+				return nil, nil, err
+			}
+			return dir, nil, nil
 		}
-		return dir, nil
+		ws, err := openWal(dir, cfg.storeDir, cfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := scanStore(ws, cfg.storeDir); err != nil {
+			ws.Close()
+			return nil, nil, err
+		}
+		return ws, []*wal.Store{ws}, nil
 	default:
-		return nil, nil
+		return nil, nil, nil
 	}
+	var walStores []*wal.Store
 	replicas := make([]persist.Store, len(dirs))
 	for i, d := range dirs {
 		if err := os.MkdirAll(d, 0o755); err != nil {
-			return nil, fmt.Errorf("creating replica directory: %w", err)
+			return nil, nil, fmt.Errorf("creating replica directory: %w", err)
 		}
 		dir, err := persist.NewDirStore(d)
 		if err != nil {
-			return nil, fmt.Errorf("opening replica %d: %w", i, err)
+			return nil, nil, fmt.Errorf("opening replica %d: %w", i, err)
 		}
 		replicas[i] = dir
+		if cfg.wal {
+			ws, err := openWal(dir, d, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			replicas[i] = ws
+			walStores = append(walStores, ws)
+		}
 	}
 	ms, err := persist.NewMultiStore(replicas, 0) // 0: write-majority quorum
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	res, err := ms.Scan(context.Background())
 	if err != nil {
-		return nil, fmt.Errorf("reconciling replicas: %w", err)
+		return nil, nil, fmt.Errorf("reconciling replicas: %w", err)
 	}
 	for i, rs := range res.ReplicaScans {
 		if rs == nil {
@@ -242,14 +327,14 @@ func buildStore(cfg config) (persist.Store, error) {
 	}
 	log.Printf("store: %d snapshot(s) verified across %d replicas (write quorum %d)",
 		len(res.OK), ms.Replicas(), ms.WriteQuorum())
-	return ms, nil
+	return ms, walStores, nil
 }
 
 // start builds the store + manager + server and begins serving on
 // cfg.addr (use port 0 for an ephemeral port; app.addr has the one
 // actually bound).
 func start(cfg config) (*app, error) {
-	store, err := buildStore(cfg)
+	store, walStores, err := buildStore(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -284,6 +369,7 @@ func start(cfg config) (*app, error) {
 		store:     store,
 		srv:       srv,
 		serveErr:  make(chan error, 1),
+		walStores: walStores,
 		sweepDone: make(chan struct{}),
 	}
 
@@ -333,6 +419,14 @@ func (a *app) shutdown(ctx context.Context) error {
 	// as converged as the dying process can make it.
 	if f, ok := a.store.(interface{ Flush() }); ok {
 		f.Flush()
+	}
+	// The drain above checkpointed and appended everything it could;
+	// closing the logs now fsyncs any tail batch before the process
+	// exits.
+	for _, ws := range a.walStores {
+		if err := ws.Close(); err != nil {
+			log.Printf("wal close: %v", err)
+		}
 	}
 	if err := a.srv.Shutdown(ctx); err != nil {
 		log.Printf("http shutdown: %v", err)

@@ -193,6 +193,135 @@ func TestStartupRecoveryScan(t *testing.T) {
 	}
 }
 
+// TestWalServe boots with -wal, plays two rounds over HTTP (each
+// submit acks off a group-committed WAL append, not a full snapshot),
+// then kills the process without a graceful drain — no shutdown
+// checkpoints land. The next boot must replay the log onto the genesis
+// snapshot and resume the session with both rounds intact.
+func TestWalServe(t *testing.T) {
+	dir := t.TempDir()
+	cfg := config{
+		addr: "127.0.0.1:0", storeDir: dir, wal: true,
+		maxSessions: 8, idleTTL: time.Hour, sweepEvery: time.Hour, timeout: 10 * time.Second,
+	}
+	app, err := start(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + app.addr.String()
+
+	post := func(path string, body, out any) {
+		t.Helper()
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := http.Post(base+path, "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode >= 300 {
+			t.Fatalf("POST %s: status %d", path, resp.StatusCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	playRound := func(id string) int {
+		t.Helper()
+		var next struct {
+			Pairs []struct {
+				A int `json:"a"`
+				B int `json:"b"`
+			} `json:"pairs"`
+		}
+		post(fmt.Sprintf("/v1/sessions/%s/next", id), nil, &next)
+		labels := make([]map[string]any, len(next.Pairs))
+		for i, p := range next.Pairs {
+			labels[i] = map[string]any{"pair": [2]int{p.A, p.B}}
+		}
+		var after struct {
+			Rounds int `json:"rounds"`
+		}
+		post(fmt.Sprintf("/v1/sessions/%s/submit", id), map[string]any{"labels": labels}, &after)
+		return after.Rounds
+	}
+
+	var info struct {
+		ID string `json:"id"`
+	}
+	post("/v1/sessions", map[string]any{
+		"dataset": "OMDB", "rows": 60, "method": "StochasticUS", "k": 4, "seed": 9,
+	}, &info)
+	playRound(info.ID)
+	if got := playRound(info.ID); got != 2 {
+		t.Fatalf("rounds = %d after two submits", got)
+	}
+
+	// Healthz carries the log-level WAL counters.
+	resp, err := http.Get(base + "/v1/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var health struct {
+		Wal *struct {
+			Appended uint64 `json:"appended_records"`
+			Fsyncs   uint64 `json:"fsyncs"`
+		} `json:"wal"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&health); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if health.Wal == nil || health.Wal.Appended < 2 || health.Wal.Fsyncs == 0 {
+		t.Fatalf("healthz wal counters missing or stale: %+v", health.Wal)
+	}
+
+	// Crash: tear the server down without draining the manager, so no
+	// session checkpoint lands — the two rounds exist only as genesis +
+	// WAL records.
+	app.stopSweeper()
+	_ = app.srv.Close()
+	<-app.serveErr
+	for _, ws := range app.walStores {
+		_ = ws.Close()
+	}
+
+	app, err = start(cfg)
+	if err != nil {
+		t.Fatalf("start after crash: %v", err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		_ = app.shutdown(ctx)
+	}()
+	base = "http://" + app.addr.String()
+	post("/v1/sessions", map[string]any{
+		"resume": info.ID, "dataset": "OMDB", "rows": 60, "method": "StochasticUS", "k": 4, "seed": 9,
+	}, nil)
+	var series struct {
+		Rounds []json.RawMessage `json:"rounds"`
+	}
+	resp, err = http.Get(base + fmt.Sprintf("/v1/sessions/%s/rounds", info.ID))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&series); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(series.Rounds) != 2 {
+		t.Fatalf("recovered %d rounds from the WAL, want 2", len(series.Rounds))
+	}
+	if got := playRound(info.ID); got != 3 {
+		t.Fatalf("rounds = %d after post-recovery submit, want 3", got)
+	}
+}
+
 // TestReplicatedShardedServe boots a sharded server over a 3-replica
 // quorum store, plays a round, shuts down, deletes one entire replica
 // directory, and boots again: the startup reconcile must re-replicate

@@ -363,6 +363,13 @@ func (s *Session) Snapshot() (*persist.Snapshot, error) {
 	return snap, nil
 }
 
+// RNGState exposes the learner sampler's RNG position — the same four
+// xoshiro256** words Snapshot captures. Callers assembling per-round
+// WAL deltas read it right after a round submits; no draw happens
+// between a round's submission and the next presentation, so the
+// capture is draw-exact-equivalent to a full snapshot taken there.
+func (s *Session) RNGState() [4]uint64 { return s.eng.learner.RNGState() }
+
 // ResumeSession rebuilds a session from a snapshot against the same
 // relation: the hypothesis space, learner belief and per-round records
 // are restored, and previously labeled pairs are excluded from future

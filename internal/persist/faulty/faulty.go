@@ -17,6 +17,7 @@ import (
 	"time"
 
 	"exptrain/internal/persist"
+	"exptrain/internal/persist/wal"
 	"exptrain/internal/stats"
 )
 
@@ -31,6 +32,9 @@ const (
 	OpGet
 	OpDelete
 	OpList
+	// OpAppend is the WAL round-append operation (persist.RoundAppender),
+	// present only when the inner store supports it.
+	OpAppend
 )
 
 // String renders the op for error messages.
@@ -44,6 +48,8 @@ func (o Op) String() string {
 		return "delete"
 	case OpList:
 		return "list"
+	case OpAppend:
+		return "append"
 	default:
 		return fmt.Sprintf("Op(%d)", uint8(o))
 	}
@@ -81,6 +87,15 @@ type Config struct {
 	// during the temp-file write leaves a seeded prefix of the bytes on
 	// disk — exactly the state a power cut there would leave.
 	TornWrites bool
+	// TornAppends, when the inner store is a *wal.Store, turns injected
+	// append failures into simulated crashes partway through the group
+	// commit: the log dies before a seeded step (torn-append when the
+	// crash lands mid-flush — a seeded fraction of the unsynced bytes
+	// stays on disk; fsync-crash when it lands after the fsync but
+	// before the ack), and stays dead until reopened — exactly the
+	// process-death model the WAL's recovery contract covers. Tests
+	// reopen the log directory to model the restart.
+	TornAppends bool
 }
 
 // Store wraps an inner persist.Store, injecting faults per Config.
@@ -91,6 +106,7 @@ type Config struct {
 type Store struct {
 	inner persist.Store
 	dir   *persist.DirStore // non-nil when inner is a DirStore
+	wal   *wal.Store        // non-nil when inner is a WAL-backed store
 
 	mu       sync.Mutex
 	cfg      Config     // guarded by mu (ClearFaults mutates it)
@@ -117,7 +133,8 @@ func Wrap(inner persist.Store, cfg Config) *Store {
 		cfg.Err = ErrInjected
 	}
 	dir, _ := inner.(*persist.DirStore)
-	return &Store{inner: inner, dir: dir, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
+	ws, _ := inner.(*wal.Store)
+	return &Store{inner: inner, dir: dir, wal: ws, cfg: cfg, rng: stats.NewRNG(cfg.Seed)}
 }
 
 // Seed returns the seed driving the fault schedule — the one from
@@ -155,6 +172,7 @@ func (s *Store) ClearFaults() {
 	s.cfg.FailEveryN = 0
 	s.cfg.AmbiguousCancelRate = 0
 	s.cfg.TornWrites = false
+	s.cfg.TornAppends = false
 }
 
 // plan is one operation's drawn decisions.
@@ -166,6 +184,10 @@ type plan struct {
 	crashStep persist.PutStep
 	keep      float64
 	torn      bool
+	// walStep and walTorn are the append-crash analogues, meaningful
+	// when fail && TornAppends on a WAL-backed store.
+	walStep wal.AppendStep
+	walTorn bool
 }
 
 // eligibleLocked reports whether op may receive injections.
@@ -208,6 +230,12 @@ func (s *Store) draw(op Op) plan {
 		p.crashStep = steps[s.rng.Intn(len(steps))]
 		p.keep = s.rng.Float64()
 		p.torn = true
+	}
+	if p.fail && op == OpAppend && s.cfg.TornAppends && s.wal != nil {
+		steps := wal.AppendSteps()
+		p.walStep = steps[s.rng.Intn(len(steps))]
+		p.keep = s.rng.Float64()
+		p.walTorn = true
 	}
 	if p.fail || p.cancel {
 		s.injected++

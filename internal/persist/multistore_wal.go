@@ -1,0 +1,109 @@
+package persist
+
+import (
+	"context"
+	"errors"
+	"fmt"
+)
+
+// RoundAppender reports the replica set's round-append capability:
+// non-nil (the multistore itself) only when every replica supports
+// appends. A mixed set falls back to snapshot-only durability — quorum
+// math over appends is only sound when all N replicas can take them,
+// otherwise a "quorum" of the appendable minority would not intersect
+// a snapshot write quorum.
+func (s *MultiStore) RoundAppender() RoundAppender {
+	for _, r := range s.replicas {
+		if AppenderOf(r) == nil {
+			return nil
+		}
+	}
+	return s
+}
+
+// AppendRounds implements RoundAppender across the replica set with
+// the same quorum discipline as Put: every replica's log takes the
+// deltas concurrently and the call acks once W replicas fsynced.
+// Stragglers finish in the background (Flush waits them out); a
+// replica that missed the append heals through the ordinary read path
+// — its next Get folds a shorter tail, loses the freshness race, and
+// read-repair rewrites it with the winner.
+func (s *MultiStore) AppendRounds(ctx context.Context, deltas []*RoundDelta) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if len(deltas) == 0 {
+		return nil
+	}
+	for _, d := range deltas {
+		if d == nil {
+			return errors.New("persist: nil round delta")
+		}
+		if err := ValidateID(d.Session); err != nil {
+			return err
+		}
+	}
+	n := len(s.replicas)
+	type result struct {
+		i   int
+		err error
+	}
+	results := make(chan result, n)
+	s.wg.Add(n)
+	for i, r := range s.replicas {
+		app := AppenderOf(r)
+		go func(i int, app RoundAppender) {
+			defer s.wg.Done()
+			var err error
+			if app == nil {
+				err = errors.New("replica lacks a round appender")
+			} else {
+				err = app.AppendRounds(ctx, deltas)
+			}
+			s.note(i, err, false)
+			results <- result{i, err}
+		}(i, app)
+	}
+	acks, fails := 0, 0
+	var errs []error
+	for seen := 0; seen < n; seen++ {
+		res := <-results
+		if res.err == nil {
+			acks++
+		} else {
+			fails++
+			errs = append(errs, fmt.Errorf("replica %d: %w", res.i, res.err))
+		}
+		if acks >= s.w {
+			return nil // quorum fsynced; stragglers finish in background
+		}
+		if fails > n-s.w {
+			return fmt.Errorf("persist: append of %d round(s) acked by %d of %d replicas (need %d): %w",
+				len(deltas), acks, n, s.w, errors.Join(errs...))
+		}
+	}
+	// Unreachable: one of the two branches above fires by the last result.
+	return fmt.Errorf("persist: append of %d round(s) acked by %d of %d replicas (need %d): %w",
+		len(deltas), acks, n, s.w, errors.Join(errs...))
+}
+
+// WalStats implements WalStatter across the replica set: counts sum,
+// the p99 is the worst replica's. Reports false when no replica
+// surfaces WAL counters.
+func (s *MultiStore) WalStats() (WalStats, bool) {
+	var agg WalStats
+	any := false
+	for _, r := range s.replicas {
+		ws, ok := r.(WalStatter)
+		if !ok {
+			continue
+		}
+		st, reported := ws.WalStats()
+		if !reported {
+			continue
+		}
+		agg.merge(st)
+		any = true
+	}
+	return agg, any
+}

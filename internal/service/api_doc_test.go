@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"reflect"
 	"regexp"
 	"strconv"
 	"strings"
 	"testing"
+
+	"exptrain/internal/persist"
 )
 
 // kindRowRe matches one row of API.md's error-kind table:
@@ -60,5 +63,65 @@ func TestAPIDocKindTable(t *testing.T) {
 	}
 	if got, want := strings.Join(docRows, "\n"), strings.Join(regRows, "\n"); got != want {
 		t.Errorf("API.md kind table out of sync with service.Kinds():\nAPI.md:\n%s\n\nregistry:\n%s", got, want)
+	}
+}
+
+// TestAPIDocWalStats keeps API.md's healthz WAL metrics table in
+// lockstep with persist.WalStats: same JSON field names, same order. A
+// struct edit without the matching doc edit — or vice versa — fails
+// plain go test. The per-shard wal_appended/wal_pending fields
+// (ShardHealth) must be documented by name too.
+func TestAPIDocWalStats(t *testing.T) {
+	data, err := os.ReadFile(filepath.Join("..", "..", "API.md"))
+	if err != nil {
+		t.Fatalf("API.md must ship with the module: %v", err)
+	}
+	lines := strings.Split(string(data), "\n")
+	start := -1
+	for i, l := range lines {
+		if strings.Contains(l, "`wal` object") {
+			start = i
+			break
+		}
+	}
+	if start < 0 {
+		t.Fatal("API.md: Health section no longer introduces the `wal` object")
+	}
+
+	// The first table after the marker is the metrics table; it ends at
+	// the first non-row line.
+	rowRe := regexp.MustCompile("^\\|\\s*`([a-z0-9_]+)`\\s*\\|")
+	var doc []string
+	inTable := false
+	for _, l := range lines[start:] {
+		if m := rowRe.FindStringSubmatch(strings.TrimSpace(l)); m != nil {
+			inTable = true
+			doc = append(doc, m[1])
+			continue
+		}
+		if inTable && !strings.HasPrefix(strings.TrimSpace(l), "|") {
+			break
+		}
+	}
+
+	var want []string
+	rt := reflect.TypeOf(persist.WalStats{})
+	for i := 0; i < rt.NumField(); i++ {
+		want = append(want, strings.Split(rt.Field(i).Tag.Get("json"), ",")[0])
+	}
+	if got, w := strings.Join(doc, "\n"), strings.Join(want, "\n"); got != w {
+		t.Errorf("API.md wal table out of sync with persist.WalStats:\nAPI.md:\n%s\n\nstruct:\n%s", got, w)
+	}
+
+	sh := reflect.TypeOf(ShardHealth{})
+	for _, field := range []string{"WalAppended", "WalPending"} {
+		f, ok := sh.FieldByName(field)
+		if !ok {
+			t.Fatalf("ShardHealth no longer has %s", field)
+		}
+		name := strings.Split(f.Tag.Get("json"), ",")[0]
+		if !strings.Contains(string(data), "`"+name+"`") {
+			t.Errorf("API.md does not document the per-shard `%s` field", name)
+		}
 	}
 }

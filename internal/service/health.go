@@ -24,6 +24,13 @@ type ShardHealth struct {
 	// one, empty once an operation succeeds again.
 	StoreFailures uint64 `json:"store_failures"`
 	StoreError    string `json:"store_error,omitempty"`
+	// WalAppended counts round deltas this shard durably appended
+	// through the store's WAL (0 on snapshot-only stores).
+	WalAppended uint64 `json:"wal_appended,omitempty"`
+	// WalPending counts rounds recorded by this shard's live sessions
+	// but not yet durably appended — the shard's crash-loss exposure;
+	// non-zero steady state means appends are failing.
+	WalPending int `json:"wal_pending,omitempty"`
 }
 
 // Health implements Shard.
@@ -35,9 +42,17 @@ func (sh *shard) Health() ShardHealth {
 		Parked:        len(sh.parked),
 		Degraded:      len(sh.degraded),
 		StoreFailures: sh.storeFails,
+		WalAppended:   sh.walAppended,
 	}
 	if sh.storeErr != nil {
 		h.StoreError = sh.storeErr.Error()
+	}
+	for _, e := range sh.live {
+		if e.wal != nil {
+			// Lock-free read of the recorder's atomic backlog mirror —
+			// health must not queue behind entry locks.
+			h.WalPending += e.wal.backlog()
+		}
 	}
 	h.OK = h.Degraded == 0 && sh.storeErr == nil
 	sh.mu.Unlock()
@@ -109,6 +124,14 @@ type Health struct {
 	// replica with climbing failures is a disk to replace before a
 	// second one dies.
 	Replicas []persist.ReplicaStats `json:"replicas,omitempty"`
+	// Wal carries the store's write-ahead-log counters when the store
+	// is WAL-backed (absent otherwise): unflushed records and the last
+	// group-commit batch size say how commits are batching, the fsync
+	// p99 is the durability latency floor, and the compaction lag is
+	// the committed-but-unfolded replay work a recovery would redo.
+	// Under replication the counts are summed across replicas and the
+	// p99 is the worst replica's.
+	Wal *persist.WalStats `json:"wal,omitempty"`
 }
 
 // replicaStats is the optional store interface surfacing per-replica
@@ -145,6 +168,11 @@ func (m *Manager) Health() Health {
 	}
 	if rs, ok := m.store.(replicaStats); ok {
 		h.Replicas = rs.Stats()
+	}
+	if ws, ok := m.store.(persist.WalStatter); ok {
+		if st, reported := ws.WalStats(); reported {
+			h.Wal = &st
+		}
 	}
 	return h
 }

@@ -453,12 +453,22 @@ func (sh *shard) drainOnce(p *labelPool) bool {
 
 	if applied > 0 {
 		sh.notifyStreams(p.id)
+		// WAL-era durability: the whole applied run rides one group
+		// commit (one append call, one fsync shared with whatever other
+		// sessions' drains queued meanwhile) before the tickets' rounds
+		// count as durable. Failure degrades the session and keeps the
+		// deltas for the next flush, exactly like the direct-submit path.
+		//etlint:ignore ctxflow ticketed rounds are persisted by the detached drain; a submitter's context must not abort a group commit other sessions ride on
+		_ = sh.flushWal(context.Background(), e)
 	}
 	if ckpt && e.sess.PendingCount() == 0 {
-		// Amortized durability: one snapshot per CheckpointEvery applied
-		// rounds, taken while we still hold the entry lock. Failure leaves
-		// the session live and degraded, exactly like an explicit
-		// Snapshot; the drain keeps going.
+		// With a WAL-backed store this snapshot is the compaction point —
+		// the piggyback that used to be the only durability is now just
+		// the fold that lets the log drop committed segments. Without a
+		// WAL it remains the amortized checkpoint: one snapshot per
+		// CheckpointEvery applied rounds, taken while we still hold the
+		// entry lock. Failure leaves the session live and degraded,
+		// exactly like an explicit Snapshot; the drain keeps going.
 		if snap, err := e.sess.Snapshot(); err == nil {
 			//etlint:ignore ctxflow amortized checkpoints belong to the drain's lifetime, not any request's; a caller context here could tear a snapshot mid-write
 			if err := sh.storeRetry(context.Background(), "checkpointing "+e.id, func(ctx context.Context) error {
@@ -466,6 +476,7 @@ func (sh *shard) drainOnce(p *labelPool) bool {
 			}); err != nil {
 				sh.setDegraded(e.id, true)
 			} else {
+				e.snapshotLandedLocked()
 				sh.setDegraded(e.id, false)
 			}
 		}

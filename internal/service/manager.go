@@ -279,11 +279,12 @@ func (m *Manager) setNow(now func() time.Time) {
 
 // buildSession constructs the game.Session for a spec, optionally
 // resuming from a snapshot, along with its stats-collecting observer.
-// Everything is deterministic in the spec (injection, split and pool
-// all derive from spec.Seed), so an evicted session unparks onto an
-// identical world — and a sharded deployment replays identically to a
-// single-shard one.
-func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats, error) {
+// When wrec is non-nil it is installed alongside the stats observer so
+// every scored round also yields a WAL delta. Everything is
+// deterministic in the spec (injection, split and pool all derive from
+// spec.Seed), so an evicted session unparks onto an identical world —
+// and a sharded deployment replays identically to a single-shard one.
+func buildSession(spec Spec, snap *persist.Snapshot, wrec *walRecorder) (*game.Session, *roundStats, error) {
 	rel, ds, err := spec.Source.materialize()
 	if err != nil {
 		return nil, nil, err
@@ -299,6 +300,10 @@ func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats
 		K:        spec.K,
 		Seed:     spec.Seed,
 		Observer: rs,
+	}
+	if wrec != nil {
+		wrec.eval = spec.Eval
+		cfg.Observer = game.MultiObserver(rs, wrec)
 	}
 	if spec.Eval {
 		if ds == nil {
@@ -337,6 +342,9 @@ func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats
 		}
 		// Restored rounds replay without observer events; backfill them.
 		rs.prime(sess.Records())
+		if wrec != nil {
+			wrec.bind(sess)
+		}
 		return sess, rs, nil
 	}
 	maxLHS := spec.MaxLHS
@@ -360,6 +368,9 @@ func buildSession(spec Spec, snap *persist.Snapshot) (*game.Session, *roundStats
 	if err != nil {
 		return nil, nil, err
 	}
+	if wrec != nil {
+		wrec.bind(sess)
+	}
 	return sess, rs, nil
 }
 
@@ -381,7 +392,11 @@ func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	if err := ctx.Err(); err != nil {
 		return Info{}, err
 	}
-	sess, rs, err := buildSession(spec, nil)
+	var wrec *walRecorder
+	if persist.AppenderOf(m.store) != nil {
+		wrec = &walRecorder{}
+	}
+	sess, rs, err := buildSession(spec, nil, wrec)
 	if err != nil {
 		return Info{}, err
 	}
@@ -389,11 +404,17 @@ func (m *Manager) Create(ctx context.Context, spec Spec) (Info, error) {
 	if err != nil {
 		return Info{}, err
 	}
+	if wrec != nil {
+		wrec.id = id // before any round flows; deltas are immutable after recording
+	}
 	sh := m.shardFor(id)
-	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs, wal: wrec}
 	if err := sh.install(ctx, e); err != nil {
 		return Info{}, err
 	}
+	// WAL-backed sessions checkpoint a genesis snapshot immediately, so
+	// every later round needs only an O(space) append, never a snapshot.
+	sh.genesis(ctx, e)
 	return sh.infoOf(e, false), nil
 }
 
@@ -419,7 +440,11 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	if err != nil {
 		return Info{}, err
 	}
-	sess, rs, err := buildSession(spec, snap)
+	var wrec *walRecorder
+	if persist.AppenderOf(m.store) != nil {
+		wrec = &walRecorder{}
+	}
+	sess, rs, err := buildSession(spec, snap, wrec)
 	if err != nil {
 		return Info{}, err
 	}
@@ -427,11 +452,18 @@ func (m *Manager) Resume(ctx context.Context, snapshotID string, spec Spec) (Inf
 	if err != nil {
 		return Info{}, err
 	}
+	if wrec != nil {
+		wrec.id = id // before any round flows; deltas are immutable after recording
+	}
 	sh := m.shardFor(id)
-	e := &entry{id: id, spec: spec, sess: sess, stats: rs}
+	e := &entry{id: id, spec: spec, sess: sess, stats: rs, wal: wrec}
 	if err := sh.install(ctx, e); err != nil {
 		return Info{}, err
 	}
+	// The loaded snapshot lives under snapshotID, not the new id: the
+	// resumed session still needs its own base snapshot for appends to
+	// replay onto.
+	sh.genesis(ctx, e)
 	return sh.infoOf(e, false), nil
 }
 

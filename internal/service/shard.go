@@ -60,6 +60,13 @@ type entry struct {
 	sess     *game.Session
 	stats    *roundStats
 	lastUsed time.Time
+	// wal records per-round deltas for WAL-backed durability; nil when
+	// the store takes no appends. Its take/restore/clear run under mu.
+	wal *walRecorder
+	// walBased marks that a base snapshot for this entry durably landed
+	// in the store, so appended deltas alone restore the session (and a
+	// successful append may heal the degraded mark); guarded by mu.
+	walBased bool
 	// gone marks the entry evicted or shut down. A goroutine that won
 	// the entry lock after blocking must re-check it and retry the
 	// lookup: the session now lives in the store, not here.
@@ -82,6 +89,10 @@ type shard struct {
 	// shard count); everything else is shared verbatim.
 	opts  Options
 	store persist.Store
+	// appender is the store's round-append capability (nil when the
+	// store is snapshot-only); when present, submits are made durable by
+	// group-committed WAL appends instead of full snapshots.
+	appender persist.RoundAppender
 	// now is the clock; a test hook (set via Manager.setNow).
 	now func() time.Time
 
@@ -103,6 +114,9 @@ type shard struct {
 	// storeErr is the most recent exhausted-retries store error, nil
 	// once an operation succeeds again; guarded by mu.
 	storeErr error
+	// walAppended counts round deltas this shard durably appended
+	// through the WAL; guarded by mu.
+	walAppended uint64
 	// rrng draws retry backoff jitter; guarded by mu. Seeded from
 	// (RetrySeed, shard id) so a replica outage does not synchronize
 	// backoff storms across shards.
@@ -132,6 +146,7 @@ func newShard(id int, opts Options, maxSessions int) *shard {
 		id:       id,
 		opts:     opts,
 		store:    opts.Store,
+		appender: persist.AppenderOf(opts.Store),
 		now:      time.Now,
 		live:     make(map[string]*entry),
 		parked:   make(map[string]Spec),
@@ -251,6 +266,7 @@ func (sh *shard) evict(ctx context.Context, e *entry) error {
 		sh.setDegraded(e.id, true)
 		return err
 	}
+	e.snapshotLandedLocked()
 	e.gone = true
 	sh.mu.Lock()
 	delete(sh.live, e.id)
@@ -335,12 +351,19 @@ func (sh *shard) acquireOpt(ctx context.Context, id string, evenWhileDraining bo
 			return gerr
 		})
 		if err == nil {
+			var wrec *walRecorder
+			if sh.appender != nil {
+				wrec = &walRecorder{id: id}
+			}
 			var sess *game.Session
 			var rs *roundStats
-			sess, rs, err = buildSession(spec, snap)
+			sess, rs, err = buildSession(spec, snap, wrec)
 			if err == nil {
 				e.sess = sess
 				e.stats = rs
+				e.wal = wrec
+				// The snapshot we just resumed from IS the base snapshot.
+				e.walBased = wrec != nil
 				return e, nil
 			}
 		}
@@ -484,6 +507,11 @@ func (sh *shard) Submit(ctx context.Context, id string, round int, labeled []bel
 	if err := e.sess.SubmitContext(ctx, labeled); err != nil {
 		return Info{}, err
 	}
+	// WAL-era durability: the submitted round's delta rides a group
+	// commit before the submit acks. Failure degrades the session (the
+	// round lives on in memory and in the recorder's backlog) rather
+	// than failing a submit that already applied.
+	_ = sh.flushWal(ctx, e)
 	sh.notifyStreams(id)
 	// A direct submit can fill the gap a parked labelpool drain stalled
 	// on; give it another chance.
@@ -577,6 +605,7 @@ func (sh *shard) Snapshot(ctx context.Context, id string) (string, error) {
 	}
 	// A successful explicit checkpoint heals a degraded session: its
 	// state is durable again.
+	e.snapshotLandedLocked()
 	sh.setDegraded(e.id, false)
 	return e.id, nil
 }
